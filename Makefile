@@ -1,0 +1,31 @@
+# Convenience targets mirroring the paper artifact's workflow.
+
+.PHONY: build test bench report report-full demo clean
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# One benchmark per paper table/figure plus ablations (quick subsets).
+bench:
+	go test -run xxx -bench . -benchtime 1x .
+
+# The complete SPEC CPU2017 + NPB suites (much longer).
+bench-full:
+	LOOPPOINT_FULL=1 go test -run xxx -bench . -benchtime 1x .
+
+# Regenerate the evaluation as a text report.
+report:
+	go run ./cmd/lpreport -quick
+
+report-full:
+	go run ./cmd/lpreport
+
+# The artifact's demo: end-to-end LoopPoint on the demo application.
+demo:
+	go run ./cmd/looppoint -p demo-matrix-1 -n 8 -i train
+
+clean:
+	go clean ./...

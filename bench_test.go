@@ -1,0 +1,297 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section V), plus the Section II naive-SimPoint and
+// Section V-A1 constrained-replay measurements and the DESIGN.md
+// ablations.
+//
+// By default the benchmarks run on representative workload subsets
+// (harness quick mode) so a full `go test -bench=.` pass completes in
+// minutes; set LOOPPOINT_FULL=1 to evaluate the complete SPEC CPU2017 and
+// NPB suites as the paper does. Results are printed through b.Log so the
+// regenerated figure data appears in the benchmark output (run with
+// -v or read the captured bench_output.txt).
+package looppoint
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"looppoint/internal/harness"
+)
+
+var (
+	benchOnce sync.Once
+	benchEval *harness.Evaluator
+)
+
+// evalForBench returns the evaluator shared by every benchmark so that
+// experiments reusing the same application runs (Figures 5a, 7, 8) pay
+// for them once, exactly as the paper's evaluation does.
+func evalForBench() *harness.Evaluator {
+	benchOnce.Do(func() {
+		opts := harness.Options{Quick: os.Getenv("LOOPPOINT_FULL") == ""}
+		benchEval = harness.NewEvaluator(opts)
+	})
+	return benchEval
+}
+
+type renderer interface{ Render() string }
+
+// metricName turns a free-form label into a ReportMetric-safe unit.
+func metricName(label, suffix string) string {
+	var b []byte
+	for _, r := range label {
+		switch {
+		case r == ' ' || r == '(' || r == ')' || r == ',' || r == '+':
+			b = append(b, '_')
+		default:
+			b = append(b, string(r)...)
+		}
+	}
+	return string(b) + "_" + suffix
+}
+
+func runFigure[T renderer](b *testing.B, fn func() (T, error)) T {
+	b.Helper()
+	var res T
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Log("\n" + res.Render())
+	return res
+}
+
+// BenchmarkFig1EvaluationTime regenerates Figure 1: estimated evaluation
+// time for full-detail, time-based, BarrierPoint, and LoopPoint
+// methodologies across suite×input combinations at paper scale.
+func BenchmarkFig1EvaluationTime(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig1)
+	for _, row := range res.Rows {
+		if row.LoopPoint > 0 {
+			b.ReportMetric(row.FullDetail/row.LoopPoint, metricName(row.Label, "speedup_vs_full"))
+		}
+	}
+}
+
+// BenchmarkFig3ThreadShares regenerates Figure 3: per-thread instruction
+// share per slice for a homogeneous and a heterogeneous application.
+func BenchmarkFig3ThreadShares(b *testing.B) {
+	e := evalForBench()
+	runFigure(b, e.Fig3)
+}
+
+// BenchmarkFig4RegionIPC regenerates Figure 4: IPC over time for a full
+// run versus a chosen representative region.
+func BenchmarkFig4RegionIPC(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig4)
+	b.ReportMetric(float64(len(res.FullTrace)), "full_trace_samples")
+}
+
+// BenchmarkFig5aPredictionError regenerates Figure 5a: SPEC train runtime
+// prediction error under active and passive wait policies (paper: 2.33 %
+// and 2.23 % average).
+func BenchmarkFig5aPredictionError(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig5a)
+	b.ReportMetric(res.AvgActive, "avg_err_active_pct")
+	b.ReportMetric(res.AvgPassive, "avg_err_passive_pct")
+}
+
+// BenchmarkFig5bMicroarchPortability regenerates Figure 5b: the same
+// looppoints simulated on an in-order core.
+func BenchmarkFig5bMicroarchPortability(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig5b)
+	b.ReportMetric(res.AvgActive, "avg_err_active_pct")
+	b.ReportMetric(res.AvgPassive, "avg_err_passive_pct")
+}
+
+// BenchmarkFig6NPBThreads regenerates Figure 6: NPB class C errors at 8
+// and 16 threads (paper: 2.87 % and 1.78 % average).
+func BenchmarkFig6NPBThreads(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig6)
+	b.ReportMetric(res.Avg8, "avg_err_8t_pct")
+	b.ReportMetric(res.Avg16, "avg_err_16t_pct")
+}
+
+// BenchmarkFig7Metrics regenerates Figures 7a–7c: cycle error and
+// branch/L2 MPKI differences.
+func BenchmarkFig7Metrics(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig7)
+	var cyc, l2 float64
+	for _, r := range res.Rows {
+		cyc += r.CyclesErrPct
+		l2 += r.L2MPKIDiff
+	}
+	if n := float64(len(res.Rows)); n > 0 {
+		b.ReportMetric(cyc/n, "avg_cycles_err_pct")
+		b.ReportMetric(l2/n, "avg_l2_mpki_diff")
+	}
+}
+
+// BenchmarkFig8SpeedupsTrain regenerates Figure 8: theoretical and actual,
+// serial and parallel speedups on SPEC train (active).
+func BenchmarkFig8SpeedupsTrain(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig8)
+	var ts, tp float64
+	for _, r := range res.Rows {
+		ts += r.TheoreticalSerial
+		tp += r.TheoreticalParallel
+	}
+	if n := float64(len(res.Rows)); n > 0 {
+		b.ReportMetric(ts/n, "avg_theoretical_serial_x")
+		b.ReportMetric(tp/n, "avg_theoretical_parallel_x")
+	}
+}
+
+// BenchmarkFig9RefSpeedups regenerates Figure 9: LoopPoint vs BarrierPoint
+// theoretical speedup on SPEC ref inputs; BarrierPoint is inapplicable to
+// the barrier-free 657.xz_s workloads.
+func BenchmarkFig9RefSpeedups(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig9)
+	var lp float64
+	inapplicable := 0
+	for _, r := range res.Rows {
+		lp += r.LPParallel
+		if !r.BPApplicable {
+			inapplicable++
+		}
+	}
+	if n := float64(len(res.Rows)); n > 0 {
+		b.ReportMetric(lp/n, "avg_looppoint_parallel_x")
+	}
+	b.ReportMetric(float64(inapplicable), "barrierpoint_inapplicable_apps")
+}
+
+// BenchmarkFig10NPBSpeedups regenerates Figure 10: NPB actual speedups at
+// 8 and 16 cores.
+func BenchmarkFig10NPBSpeedups(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Fig10)
+	var p8, p16 float64
+	for _, r := range res.Rows {
+		p8 += r.Parallel8
+		p16 += r.Parallel16
+	}
+	if n := float64(len(res.Rows)); n > 0 {
+		b.ReportMetric(p8/n, "avg_parallel_8c_x")
+		b.ReportMetric(p16/n, "avg_parallel_16c_x")
+	}
+}
+
+// BenchmarkTables regenerates Tables I–III (configuration and workload
+// attribute tables).
+func BenchmarkTables(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = harness.TableI() + "\n" + harness.TableII() + "\n" + harness.TableIII()
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkNaiveSimPointError regenerates the Section II motivating
+// measurement: the naive instruction-count SimPoint adaptation versus
+// LoopPoint (paper: naive averages 25 % error on active runs, up to
+// 68.44 %).
+func BenchmarkNaiveSimPointError(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.NaiveSimPoint)
+	var naive, lp float64
+	for _, r := range res.Rows {
+		naive += r.NaiveErrPct
+		lp += r.LoopPointErr
+	}
+	if n := float64(len(res.Rows)); n > 0 {
+		b.ReportMetric(naive/n, "avg_naive_err_pct")
+		b.ReportMetric(lp/n, "avg_looppoint_err_pct")
+	}
+}
+
+// BenchmarkConstrainedReplayError regenerates the Section V-A1
+// observation: constrained pinball replay misleads timing (paper: up to
+// 19.6 % on 657.xz_s.2) while unconstrained sampling stays accurate.
+func BenchmarkConstrainedReplayError(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Constrained)
+	for _, r := range res.Rows {
+		b.ReportMetric(r.ConstrainedErrPct, metricName(r.App, "constrained_err_pct"))
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+func benchAblation(b *testing.B, fn func() (*harness.AblationResult, error)) {
+	res := runFigure(b, fn)
+	for _, row := range res.Rows {
+		b.ReportMetric(row.ErrPct, metricName(row.Config, "err_pct"))
+	}
+}
+
+// BenchmarkAblationSpinFilter toggles spin-loop filtering (off should
+// inflate error on active-wait runs).
+func BenchmarkAblationSpinFilter(b *testing.B) {
+	benchAblation(b, evalForBench().AblationSpinFilter)
+}
+
+// BenchmarkAblationGlobalBBV compares concatenated vs summed per-thread
+// BBVs on the heterogeneous 657.xz_s.2.
+func BenchmarkAblationGlobalBBV(b *testing.B) {
+	benchAblation(b, evalForBench().AblationGlobalBBV)
+}
+
+// BenchmarkAblationFlowControl toggles flow control during analysis.
+func BenchmarkAblationFlowControl(b *testing.B) {
+	benchAblation(b, evalForBench().AblationFlowControl)
+}
+
+// BenchmarkAblationSliceSize sweeps the per-thread slice unit.
+func BenchmarkAblationSliceSize(b *testing.B) {
+	benchAblation(b, evalForBench().AblationSliceSize)
+}
+
+// BenchmarkAblationMaxK sweeps the maximum cluster count.
+func BenchmarkAblationMaxK(b *testing.B) {
+	benchAblation(b, evalForBench().AblationMaxK)
+}
+
+// BenchmarkAblationWarmup compares warmup strategies.
+func BenchmarkAblationWarmup(b *testing.B) {
+	benchAblation(b, evalForBench().AblationWarmup)
+}
+
+// BenchmarkAblationPrefetcher evaluates unchanged looppoints on systems
+// with a hardware prefetcher the analysis never saw.
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	benchAblation(b, evalForBench().AblationPrefetcher)
+}
+
+// BenchmarkAblationVariableSlices compares fixed against phase-aligned
+// variable-length slicing.
+func BenchmarkAblationVariableSlices(b *testing.B) {
+	benchAblation(b, evalForBench().AblationVariableSlices)
+}
+
+// BenchmarkHybridMethodology measures the Section V-B hybrid: per
+// application, pick whichever of LoopPoint and BarrierPoint yields the
+// larger sample reduction.
+func BenchmarkHybridMethodology(b *testing.B) {
+	e := evalForBench()
+	res := runFigure(b, e.Hybrid)
+	var bp int
+	for _, r := range res.Rows {
+		if r.Choice == "barrierpoint" {
+			bp++
+		}
+	}
+	b.ReportMetric(float64(bp), "apps_choosing_barrierpoint")
+}

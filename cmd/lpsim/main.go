@@ -1,0 +1,225 @@
+// Command lpsim runs the timing simulator directly: a fully detailed
+// simulation of a workload, a single (PC, count)-delimited region, or a
+// periodic time-based-sampling run, on the Gainestown-like out-of-order
+// model or the in-order model. It is the "how to simulate" half of the
+// methodology, exposed for experimentation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"looppoint"
+	"looppoint/internal/bbv"
+	"looppoint/internal/pinball"
+	"looppoint/internal/timing"
+)
+
+func main() {
+	var (
+		program    = flag.String("p", "demo-matrix-1", "program to simulate")
+		ncores     = flag.Int("n", 8, "number of threads/cores")
+		inputClass = flag.String("i", "", "input class")
+		waitPolicy = flag.String("w", "passive", "wait policy: passive or active")
+		inorder    = flag.Bool("inorder", false, "use the in-order core model")
+		start      = flag.String("start", "", "region start marker as pc:count (hex pc ok); empty = program start")
+		end        = flag.String("end", "", "region end marker as pc:count; empty = program end")
+		cold       = flag.Bool("cold", false, "skip functional warmup for region simulation")
+		periodic   = flag.String("periodic", "", "time-based sampling as detail:period instruction counts")
+		trace      = flag.Uint64("trace", 0, "emit an IPC trace sampled every N instructions")
+		checkpoint = flag.String("checkpoint", "", "simulate a saved region pinball (from lpprofile -save-regions); build flags must match the profiling run")
+		constrain  = flag.Bool("constrained", false, "with -checkpoint: constrained replay instead of unconstrained simulation")
+		dumpTrace  = flag.String("dump-trace", "", "record the workload and write an instruction trace to this file (no timing simulation)")
+		fromTrace  = flag.String("from-trace", "", "run a timing-only simulation of a trace file (-n selects the core count; no workload executes)")
+	)
+	flag.Parse()
+
+	if *fromTrace != "" {
+		cfg := timing.Gainestown(*ncores)
+		if *inorder {
+			cfg = timing.InOrderConfig(*ncores)
+		}
+		f, err := os.Open(*fromTrace)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		st, err := timing.SimulateTrace(cfg, f)
+		if err != nil {
+			fail(err)
+		}
+		printStats(fmt.Sprintf("trace %s", *fromTrace), cfg, st, nil)
+		return
+	}
+
+	policy := looppoint.Passive
+	if *waitPolicy == "active" {
+		policy = looppoint.Active
+	}
+	w, err := looppoint.BuildWorkload(*program, looppoint.WorkloadOptions{
+		Threads: *ncores, Input: *inputClass, Policy: policy,
+	})
+	if err != nil {
+		fail(err)
+	}
+	cfg := timing.Gainestown(w.Threads())
+	if *inorder {
+		cfg = timing.InOrderConfig(w.Threads())
+	}
+	sim, err := timing.New(cfg, w.App.Prog)
+	if err != nil {
+		fail(err)
+	}
+	if *trace > 0 {
+		sim.Trace = timing.NewIPCTrace(*trace)
+	}
+
+	if *dumpTrace != "" {
+		pb, err := pinball.Record(w.App.Prog, 1, 4096)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*dumpTrace)
+		if err != nil {
+			fail(err)
+		}
+		tw, err := timing.NewTraceWriter(f)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := pb.Replay(w.App.Prog, tw); err != nil {
+			fail(err)
+		}
+		if err := tw.Close(); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d-record trace to %s\n", tw.Records(), *dumpTrace)
+		return
+	}
+
+	var st *timing.Stats
+	switch {
+	case *checkpoint != "":
+		pb, err := pinball.Load(*checkpoint)
+		if err != nil {
+			fail(err)
+		}
+		if pb.NumThreads != w.Threads() {
+			fail(fmt.Errorf("checkpoint recorded with %d threads, program built with %d; pass matching -p/-n/-i/-w flags",
+				pb.NumThreads, w.Threads()))
+		}
+		if *constrain {
+			st, err = sim.SimulateConstrained(pb)
+		} else {
+			st, err = sim.SimulateCheckpoint(pb)
+		}
+		if err != nil {
+			fail(err)
+		}
+	case *periodic != "":
+		d, p, err := parsePair(*periodic)
+		if err != nil {
+			fail(err)
+		}
+		st, err = sim.SimulatePeriodic(d, p)
+		if err != nil {
+			fail(err)
+		}
+	default:
+		startM, err := parseMarker(*start, bbv.Marker{})
+		if err != nil {
+			fail(err)
+		}
+		endM, err := parseMarker(*end, bbv.Marker{IsEnd: true})
+		if err != nil {
+			fail(err)
+		}
+		warm := timing.WarmupFunctional
+		if *cold {
+			warm = timing.WarmupNone
+		}
+		st, err = sim.SimulateRegion(startM, endM, warm)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	printStats(w.Name(), cfg, st, sim.Trace)
+}
+
+func printStats(label string, cfg timing.Config, st *timing.Stats, trace *timing.IPCTrace) {
+	fmt.Printf("%s on %d-core %v system:\n", label, cfg.Cores, cfg.Kind)
+	fmt.Printf("  instructions  %d\n", st.Instructions)
+	fmt.Printf("  cycles        %.0f\n", st.Cycles)
+	fmt.Printf("  runtime       %.6f s @ %.2f GHz\n", st.RuntimeSeconds(), cfg.FreqGHz)
+	fmt.Printf("  IPC           %.3f\n", st.IPC())
+	fmt.Printf("  branch MPKI   %.3f (%d/%d)\n", st.BranchMPKI(), st.BranchMisses, st.Branches)
+	fmt.Printf("  L1D MPKI      %.3f\n", st.L1DMPKI())
+	fmt.Printf("  L2 MPKI       %.3f\n", st.L2MPKI())
+	fmt.Printf("  L3 MPKI       %.3f\n", st.L3MPKI())
+	fmt.Printf("  coherence inv %d, futex waits %d\n", st.CoherenceInvalidations, st.FutexWaits)
+	if total := st.Stack.Total(); total > 0 {
+		fmt.Println("  CPI stack (share of core-busy cycles):")
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{
+			{"base", st.Stack.Base}, {"ifetch", st.Stack.Ifetch},
+			{"memory", st.Stack.Memory}, {"branch", st.Stack.Branch},
+			{"compute", st.Stack.Compute}, {"sync", st.Stack.Sync},
+		} {
+			fmt.Printf("    %-8s %6.2f%%\n", c.name, c.v/total*100)
+		}
+	}
+	if trace != nil {
+		fmt.Println("IPC trace:")
+		for _, s := range trace.Samples {
+			fmt.Printf("  %12d %8.0f %.3f\n", s.Instructions, s.Cycles, s.IPC)
+		}
+	}
+}
+
+func parseMarker(s string, def bbv.Marker) (bbv.Marker, error) {
+	if s == "" {
+		return def, nil
+	}
+	pc, count, err := parsePair(s)
+	if err != nil {
+		return bbv.Marker{}, err
+	}
+	return bbv.Marker{PC: pc, Count: count}, nil
+}
+
+func parsePair(s string) (uint64, uint64, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want a:b, got %q", s)
+	}
+	a, err := strconv.ParseUint(strings.TrimPrefix(parts[0], "0x"), pickBase(parts[0]), 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func pickBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "lpsim: %v\n", err)
+	os.Exit(1)
+}

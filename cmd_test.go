@@ -1,0 +1,135 @@
+package looppoint
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// goRun executes one of the repository's commands via `go run`.
+func goRun(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestCmdLooppointList(t *testing.T) {
+	out := goRun(t, "./cmd/looppoint", "-list")
+	for _, want := range []string{"603.bwaves_s.1", "657.xz_s.2", "npb-mg", "demo-matrix-1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %s", want)
+		}
+	}
+}
+
+func TestCmdLooppointDemoEndToEnd(t *testing.T) {
+	out := goRun(t, "./cmd/looppoint", "-p", "demo-matrix-1", "-n", "4", "-i", "test")
+	for _, want := range []string{"regions profiled", "looppoints selected", "runtime error", "theoretical speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("driver output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdLpprofile(t *testing.T) {
+	out := goRun(t, "./cmd/lpprofile", "-p", "demo-matrix-1", "-n", "4", "-i", "test", "-slice", "2000", "-regions")
+	if !strings.Contains(out, "selected looppoints") || !strings.Contains(out, "all regions") {
+		t.Errorf("lpprofile output incomplete:\n%s", out)
+	}
+	csv := goRun(t, "./cmd/lpprofile", "-p", "demo-matrix-1", "-n", "4", "-i", "test", "-csv")
+	if !strings.Contains(csv, "region,start,end") {
+		t.Errorf("lpprofile CSV header missing:\n%s", csv)
+	}
+}
+
+func TestCmdLpsim(t *testing.T) {
+	out := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-1", "-n", "4", "-i", "test")
+	for _, want := range []string{"instructions", "cycles", "IPC", "L2 MPKI"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lpsim output missing %q:\n%s", want, out)
+		}
+	}
+	inorder := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-1", "-n", "4", "-i", "test", "-inorder")
+	if !strings.Contains(inorder, "inorder") {
+		t.Errorf("in-order flag ignored:\n%s", inorder)
+	}
+	periodic := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-1", "-n", "4", "-i", "test", "-periodic", "500:5000")
+	if !strings.Contains(periodic, "cycles") {
+		t.Errorf("periodic mode broken:\n%s", periodic)
+	}
+}
+
+func TestCmdLpreportTables(t *testing.T) {
+	out := goRun(t, "./cmd/lpreport", "-figures", "tables")
+	for _, want := range []string{"Table I", "Table II", "Table III", "Gainestown"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lpreport tables missing %q", want)
+		}
+	}
+}
+
+func TestCmdCheckpointWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	out := goRun(t, "./cmd/lpprofile", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-slice", "3000", "-save-regions", dir, "-save-pinball", dir+"/whole.pinball")
+	if !strings.Contains(out, "wrote whole-program pinball") || !strings.Contains(out, ".pinball (region") {
+		t.Fatalf("lpprofile did not export checkpoints:\n%s", out)
+	}
+	// Find an exported region pinball and simulate it with lpsim.
+	var region string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "wrote ") && strings.Contains(line, ".r") {
+			region = strings.Fields(line)[1]
+			break
+		}
+	}
+	if region == "" {
+		t.Fatalf("no region pinball path in output:\n%s", out)
+	}
+	sim := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", region)
+	if !strings.Contains(sim, "cycles") || !strings.Contains(sim, "IPC") {
+		t.Fatalf("lpsim checkpoint output incomplete:\n%s", sim)
+	}
+	constrained := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", region, "-constrained")
+	if !strings.Contains(constrained, "cycles") {
+		t.Fatalf("lpsim constrained output incomplete:\n%s", constrained)
+	}
+}
+
+func TestCmdLpprofileDisasmAndDot(t *testing.T) {
+	out := goRun(t, "./cmd/lpprofile", "-p", "demo-matrix-1", "-n", "2", "-i", "test", "-disasm")
+	if !strings.Contains(out, "image main") || !strings.Contains(out, "routine omp_barrier") {
+		t.Fatalf("disassembly incomplete:\n%.400s", out)
+	}
+	dir := t.TempDir()
+	dot := dir + "/g.dot"
+	goRun(t, "./cmd/lpprofile", "-p", "demo-matrix-1", "-n", "2", "-i", "test", "-slice", "3000", "-dot", dot)
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "digraph dcfg {") {
+		t.Fatalf("bad DOT file: %.100s", data)
+	}
+}
+
+func TestCmdTraceWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	trace := dir + "/demo.trace"
+	out := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-1", "-n", "4", "-i", "test",
+		"-dump-trace", trace)
+	if !strings.Contains(out, "record trace") {
+		t.Fatalf("trace dump output: %s", out)
+	}
+	sim := goRun(t, "./cmd/lpsim", "-n", "4", "-from-trace", trace)
+	if !strings.Contains(sim, "CPI stack") || !strings.Contains(sim, "instructions") {
+		t.Fatalf("trace-driven output incomplete:\n%s", sim)
+	}
+}

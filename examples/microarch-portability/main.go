@@ -1,0 +1,63 @@
+// microarch-portability: the Figure 5b experiment — LoopPoint's analysis
+// is microarchitecture-independent, so the same looppoints predict
+// runtime accurately on a completely different core model. This example
+// evaluates one workload on the Gainestown-like out-of-order system and
+// again on an in-order system, reusing the same methodology parameters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"looppoint"
+)
+
+func main() {
+	const app = "619.lbm_s.1"
+	cfg := looppoint.DefaultConfig()
+
+	type outcome struct {
+		label   string
+		errPct  float64
+		runtime float64
+		ipc     float64
+	}
+	var rows []outcome
+	for _, inorder := range []bool{false, true} {
+		w, err := looppoint.BuildWorkload(app, looppoint.WorkloadOptions{
+			Input:  "train",
+			Policy: looppoint.Passive,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := looppoint.EvalOptions{CompareFull: true}
+		label := "out-of-order (Gainestown-like)"
+		if inorder {
+			sys := looppoint.InOrderSystem(w.Threads())
+			opts.System = &sys
+			label = "in-order"
+		}
+		rep, err := looppoint.Evaluate(w, cfg, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, outcome{
+			label:   label,
+			errPct:  rep.RuntimeErrPct,
+			runtime: rep.Full.RuntimeSeconds(),
+			ipc:     rep.Full.IPC(),
+		})
+	}
+
+	fmt.Printf("workload: %s (train, 8 threads, passive)\n\n", app)
+	fmt.Println("core model                       full runtime   IPC     prediction err%")
+	fmt.Println("-------------------------------  -------------  ------  ---------------")
+	for _, r := range rows {
+		fmt.Printf("%-31s  %11.6fs  %6.3f  %15.2f\n", r.label, r.runtime, r.ipc, r.errPct)
+	}
+	fmt.Println()
+	fmt.Println("The in-order system is slower (lower IPC), yet the SAME region")
+	fmt.Println("selection predicts its runtime too: looppoints are portable across")
+	fmt.Println("microarchitectures because the up-front analysis never looks at one.")
+}

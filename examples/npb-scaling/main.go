@@ -1,0 +1,38 @@
+// npb-scaling: evaluate NAS Parallel Benchmarks at 8 and 16 threads
+// (class C, passive wait policy) — the Figure 6 / Figure 10 experiment.
+// Applications with different thread counts are profiled separately, as
+// the paper requires; the same methodology applies unchanged.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"looppoint"
+)
+
+func main() {
+	apps := []string{"npb-cg", "npb-ep", "npb-is"}
+	fmt.Println("app      threads  err%    actual serial  actual parallel")
+	fmt.Println("-------  -------  ------  -------------  ---------------")
+	for _, name := range apps {
+		for _, threads := range []int{8, 16} {
+			w, err := looppoint.BuildWorkload(name, looppoint.WorkloadOptions{
+				Threads: threads,
+				Input:   "C",
+				Policy:  looppoint.Passive,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := looppoint.Evaluate(w, looppoint.DefaultConfig(),
+				looppoint.EvalOptions{CompareFull: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-7s  %7d  %6.2f  %13.1f  %15.1f\n",
+				name, threads, rep.RuntimeErrPct,
+				rep.Speedups.ActualSerial, rep.Speedups.ActualParallel)
+		}
+	}
+}

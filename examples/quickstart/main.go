@@ -1,0 +1,46 @@
+// Quickstart: run the complete LoopPoint flow on the demo application —
+// record, profile, cluster, simulate the chosen looppoints, extrapolate,
+// and compare against the full detailed simulation. Mirrors the paper
+// artifact's `./run-looppoint.py -p demo-matrix-1 -n 8 --force`.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"looppoint"
+)
+
+func main() {
+	w, err := looppoint.BuildWorkload("demo-matrix-1", looppoint.WorkloadOptions{
+		Threads: 8,
+		Input:   "train",
+		Policy:  looppoint.Passive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := looppoint.DefaultConfig()
+	cfg.SliceUnit = 10_000 // the demo is small; slice finer than the default
+
+	rep, err := looppoint.Evaluate(w, cfg, looppoint.EvalOptions{CompareFull: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof := rep.Selection.Analysis.Profile
+	fmt.Printf("workload:             %s (%d threads)\n", w.Name(), w.Threads())
+	fmt.Printf("instructions:         %d total, %d doing work\n", prof.TotalICount, prof.TotalFiltered)
+	fmt.Printf("regions profiled:     %d\n", len(prof.Regions))
+	fmt.Printf("looppoints selected:  %d\n", len(rep.Selection.Points))
+	for _, lp := range rep.Selection.Points {
+		fmt.Printf("  region %-3d %v .. %v, multiplier %.2f\n",
+			lp.Region.Index, lp.Region.Start, lp.Region.End, lp.Multiplier)
+	}
+	fmt.Printf("predicted runtime:    %.6f s\n", rep.Predicted.Seconds)
+	fmt.Printf("measured runtime:     %.6f s\n", rep.Full.RuntimeSeconds())
+	fmt.Printf("prediction error:     %.2f %%\n", rep.RuntimeErrPct)
+	fmt.Printf("theoretical speedup:  %.1fx serial, %.1fx parallel\n",
+		rep.Speedups.TheoreticalSerial, rep.Speedups.TheoreticalParallel)
+}

@@ -1,0 +1,44 @@
+// spec-sampling: sample SPEC CPU2017-style workloads under both OpenMP
+// wait policies — including the barrier-free, heterogeneous 657.xz_s.2
+// that defeats BarrierPoint — and report prediction error and speedups
+// (the Figure 5a / Figure 8 experiment on two applications).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"looppoint"
+)
+
+func main() {
+	apps := []string{"603.bwaves_s.1", "657.xz_s.2"}
+	fmt.Println("app                  policy   regions  looppoints  err%    theo serial  theo parallel")
+	fmt.Println("-------------------  -------  -------  ----------  ------  -----------  -------------")
+	for _, name := range apps {
+		for _, policy := range []looppoint.WaitPolicy{looppoint.Active, looppoint.Passive} {
+			w, err := looppoint.BuildWorkload(name, looppoint.WorkloadOptions{
+				Input:  "train",
+				Policy: policy,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := looppoint.Evaluate(w, looppoint.DefaultConfig(),
+				looppoint.EvalOptions{CompareFull: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-19s  %-7v  %7d  %10d  %6.2f  %11.1f  %13.1f\n",
+				name, policy,
+				len(rep.Selection.Analysis.Profile.Regions),
+				len(rep.Selection.Points),
+				rep.RuntimeErrPct,
+				rep.Speedups.TheoreticalSerial,
+				rep.Speedups.TheoreticalParallel)
+		}
+	}
+	fmt.Println()
+	fmt.Println("657.xz_s.2 has no barriers and unbalanced threads: LoopPoint samples it")
+	fmt.Println("anyway because loop iterations, not barriers, are the unit of work.")
+}

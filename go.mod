@@ -1,0 +1,3 @@
+module looppoint
+
+go 1.22

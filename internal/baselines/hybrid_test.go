@@ -1,0 +1,52 @@
+package baselines
+
+import (
+	"testing"
+
+	"looppoint/internal/core"
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+func TestHybridPicksBetterMethodology(t *testing.T) {
+	// A barrier-dense application: BarrierPoint's many small regions
+	// should give it a fighting chance; either way the hybrid's choice
+	// must have the max of the two serial speedups.
+	p, rt := testprog.PhasedWithRuntime(4, 16, 120, omp.Passive)
+	res, err := AnalyzeHybrid(p, rt.BarrierReleaseAddr(), testConfig())
+	if err != nil {
+		t.Fatalf("AnalyzeHybrid: %v", err)
+	}
+	if !res.BarrierPointApplicable {
+		t.Fatal("barriered app reported as barrier-free")
+	}
+	best := res.LoopPoint.TheoreticalSerial
+	if res.BarrierPoint.TheoreticalSerial > best {
+		best = res.BarrierPoint.TheoreticalSerial
+		if res.Choice != ChoseBarrierPoint {
+			t.Errorf("hybrid chose %s despite BarrierPoint being faster", res.Choice)
+		}
+	} else if res.Choice != ChoseLoopPoint {
+		t.Errorf("hybrid chose %s despite LoopPoint being faster", res.Choice)
+	}
+	if got := core.ComputeTheoretical(res.Selection).TheoreticalSerial; got != best {
+		t.Errorf("chosen selection speedup %.2f != best %.2f", got, best)
+	}
+}
+
+func TestHybridFallsBackWithoutBarriers(t *testing.T) {
+	p, release := barrierFree(4)
+	res, err := AnalyzeHybrid(p, release, testConfig())
+	if err != nil {
+		t.Fatalf("AnalyzeHybrid: %v", err)
+	}
+	if res.Choice != ChoseLoopPoint {
+		t.Errorf("barrier-free app chose %s", res.Choice)
+	}
+	if res.BarrierPointApplicable {
+		t.Error("BarrierPoint reported applicable without barriers")
+	}
+	if res.Selection == nil || len(res.Selection.Points) == 0 {
+		t.Error("no selection")
+	}
+}

@@ -1,0 +1,391 @@
+// Package bbv collects Basic Block Vectors over an execution and slices
+// it into variable-length regions demarcated by worker-loop entries
+// (paper Sections III-A through III-C):
+//
+//   - the unit of work is the filtered (non-synchronization-library)
+//     instruction count;
+//   - a region ends at the first main-image loop-header entry after the
+//     global filtered instruction count crosses N × SliceUnit for an
+//     N-threaded program;
+//   - region boundaries are (PC, count) pairs — the address of the marker
+//     block and its global execution count — which remain valid even in
+//     the presence of spin-loops;
+//   - per-thread BBVs are kept separate so that clustering can see
+//     run-time parallelism (Section III-B); they are concatenated into a
+//     single global vector per region by the simpoint package.
+package bbv
+
+import (
+	"fmt"
+
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+)
+
+// Marker is a (PC, count) execution point: the count-th global entry of
+// the basic block at address PC. The zero Marker denotes the program
+// start; IsEnd marks the program end. A marker with PC == 0 and a
+// non-zero Count is a raw global-instruction-count boundary — the kind
+// the naive SimPoint baseline uses, which is not stable across thread
+// interleavings (Section II).
+type Marker struct {
+	PC    uint64
+	Count uint64
+	IsEnd bool
+}
+
+// IsStart reports whether the marker denotes the program start.
+func (m Marker) IsStart() bool { return m.PC == 0 && m.Count == 0 && !m.IsEnd }
+
+// IsICount reports whether the marker is a raw instruction-count boundary.
+func (m Marker) IsICount() bool { return m.PC == 0 && m.Count > 0 && !m.IsEnd }
+
+func (m Marker) String() string {
+	switch {
+	case m.IsEnd:
+		return "<end>"
+	case m.IsStart():
+		return "<start>"
+	case m.IsICount():
+		return fmt.Sprintf("@icount %d", m.Count)
+	default:
+		return fmt.Sprintf("(%#x, %d)", m.PC, m.Count)
+	}
+}
+
+// Region is one profiling slice.
+type Region struct {
+	Index int
+	Start Marker
+	End   Marker
+	// StartICount/EndICount are the global unfiltered retired counts at
+	// the region boundaries.
+	StartICount, EndICount uint64
+	// Filtered is the global filtered (worker) instruction count in the
+	// region — the amount of work it represents.
+	Filtered uint64
+	// ThreadFiltered is the per-thread filtered instruction split.
+	ThreadFiltered []uint64
+	// Vectors holds one sparse BBV per thread: global block index →
+	// instructions retired in that block during this region.
+	Vectors []map[int]float64
+}
+
+// UnfilteredLen returns the unfiltered instruction length of the region.
+func (r *Region) UnfilteredLen() uint64 { return r.EndICount - r.StartICount }
+
+// Profile is the outcome of one profiling run.
+type Profile struct {
+	Regions    []*Region
+	NumThreads int
+	NumBlocks  int // static block count (vector dimensionality per thread)
+	// TotalFiltered and TotalICount cover the whole execution.
+	TotalFiltered uint64
+	TotalICount   uint64
+	// MarkerCounts is the final global execution count per marker PC.
+	MarkerCounts map[uint64]uint64
+}
+
+// ThreadShare returns, per region, each thread's share of the filtered
+// instructions (Figure 3's per-slice series).
+func (p *Profile) ThreadShare() [][]float64 {
+	out := make([][]float64, len(p.Regions))
+	for i, r := range p.Regions {
+		shares := make([]float64, p.NumThreads)
+		if r.Filtered > 0 {
+			for t, f := range r.ThreadFiltered {
+				shares[t] = float64(f) / float64(r.Filtered)
+			}
+		}
+		out[i] = shares
+	}
+	return out
+}
+
+// Collector is an exec.Observer that builds a Profile.
+type Collector struct {
+	prog        *isa.Program
+	markers     map[uint64]bool // marker block addresses (main-image loop headers)
+	sliceTarget uint64          // global filtered instructions per slice
+	nthreads    int
+
+	profile      *Profile
+	markerCounts map[uint64]uint64
+	cur          *Region
+	icount       uint64 // global unfiltered
+	filtered     uint64 // global filtered
+	sliceStart   uint64 // filtered count at current region start
+	finished     bool
+	includeSync  bool
+	byICount     bool
+
+	varMinFrac float64
+	varThresh  float64
+	varEnabled bool
+	prevNorm   map[int]float64 // previous region's normalized global BBV
+
+	// modulus restricts which hit counts of a marker may end a region:
+	// only counts with (count-1) % modulus == 0 qualify. Symmetric
+	// worker-loop headers (entered once per thread per episode) use
+	// modulus == nthreads so boundaries land on episode leaders rather
+	// than mid-burst; all other markers use modulus 1.
+	modulus map[uint64]uint64
+}
+
+// SetMarkerModulus installs per-marker hit-count moduli (see the modulus
+// field); markers without an entry behave as modulus 1.
+func (c *Collector) SetMarkerModulus(m map[uint64]uint64) { c.modulus = m }
+
+// boundaryAllowed reports whether the count-th hit of marker addr is a
+// stable region boundary.
+func (c *Collector) boundaryAllowed(addr, count uint64) bool {
+	mod := c.modulus[addr]
+	if mod <= 1 {
+		return true
+	}
+	return (count-1)%mod == 0
+}
+
+// SetVariableSlices enables phase-aligned variable-length slicing (the
+// alternative Section III-B points to, after Lau et al.'s variable-length
+// intervals): a region may close early — at a worker-loop entry, once it
+// holds at least minFrac of the slice budget — when its basic-block mix
+// has diverged from the previous region by more than threshold
+// (normalized Manhattan distance, range [0, 2]). The fixed budget still
+// forces a close, so regions stay within the configured maximum size.
+func (c *Collector) SetVariableSlices(minFrac, threshold float64) {
+	if minFrac <= 0 || minFrac > 1 {
+		minFrac = 0.25
+	}
+	if threshold <= 0 {
+		threshold = 0.5
+	}
+	c.varEnabled = true
+	c.varMinFrac = minFrac
+	c.varThresh = threshold
+}
+
+// normalizedVector flattens a region's per-thread vectors into one
+// normalized global map keyed by thread*nblocks+block.
+func (c *Collector) normalizedVector(r *Region) map[int]float64 {
+	out := make(map[int]float64)
+	var total float64
+	for t, tv := range r.Vectors {
+		base := t * c.profile.NumBlocks
+		for blk, w := range tv {
+			out[base+blk] = w
+			total += w
+		}
+	}
+	if total > 0 {
+		for k := range out {
+			out[k] /= total
+		}
+	}
+	return out
+}
+
+func manhattan(a, b map[int]float64) float64 {
+	var d float64
+	for k, va := range a {
+		vb := b[k]
+		if va > vb {
+			d += va - vb
+		} else {
+			d += vb - va
+		}
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			d += vb
+		}
+	}
+	return d
+}
+
+// phaseChanged reports whether the accumulating region's mix diverged
+// from the previous region's.
+func (c *Collector) phaseChanged() bool {
+	if c.prevNorm == nil {
+		return false
+	}
+	cur := c.normalizedVector(c.cur)
+	return manhattan(cur, c.prevNorm) > c.varThresh
+}
+
+// DisableSyncFilter makes the collector count synchronization-library
+// instructions as work (the naive-SimPoint baseline of Section II; the
+// spin-filter ablation).
+func (c *Collector) DisableSyncFilter() { c.includeSync = true }
+
+// SliceOnICount switches slicing to raw global instruction counts (the
+// naive SimPoint baseline): a region closes as soon as the unfiltered
+// global count crosses the slice target, with no loop alignment.
+func (c *Collector) SliceOnICount() { c.byICount = true }
+
+// NewCollector creates a collector. markerAddrs are the candidate region
+// boundary PCs (main-image loop headers from the DCFG pass); sliceTarget
+// is the global filtered-instruction budget per slice (N × SliceUnit).
+func NewCollector(p *isa.Program, markerAddrs []uint64, sliceTarget uint64) *Collector {
+	if sliceTarget == 0 {
+		panic("bbv: sliceTarget must be positive")
+	}
+	mk := make(map[uint64]bool, len(markerAddrs))
+	for _, a := range markerAddrs {
+		mk[a] = true
+	}
+	c := &Collector{
+		prog:        p,
+		markers:     mk,
+		sliceTarget: sliceTarget,
+		nthreads:    p.NumThreads(),
+		profile: &Profile{
+			NumThreads:   p.NumThreads(),
+			NumBlocks:    p.NumBlocks(),
+			MarkerCounts: make(map[uint64]uint64),
+		},
+		markerCounts: make(map[uint64]uint64),
+	}
+	c.cur = c.newRegion(Marker{}, 0)
+	return c
+}
+
+func (c *Collector) newRegion(start Marker, startIC uint64) *Region {
+	r := &Region{
+		Index:          len(c.profile.Regions),
+		Start:          start,
+		StartICount:    startIC,
+		ThreadFiltered: make([]uint64, c.nthreads),
+		Vectors:        make([]map[int]float64, c.nthreads),
+	}
+	for t := range r.Vectors {
+		r.Vectors[t] = make(map[int]float64)
+	}
+	return r
+}
+
+// OnInstr implements exec.Observer.
+func (c *Collector) OnInstr(ev *exec.Event) {
+	if c.finished {
+		return
+	}
+	c.icount++
+	blk := ev.Block
+	if c.byICount {
+		if c.icount-c.cur.StartICount >= c.sliceTarget {
+			c.closeRegion(Marker{Count: c.icount})
+		}
+	} else if ev.BlockEntry && c.markers[blk.Addr] {
+		c.markerCounts[blk.Addr]++
+		// When all N threads enter the same worker loop once per episode
+		// (a timestep header after a barrier), the header fires in N-hit
+		// bursts under natural scheduling, and a (PC, count) boundary
+		// placed mid-burst is unstable: the work between two hits of one
+		// burst depends entirely on thread interleaving, which differs
+		// between the flow-controlled profiling replay and unconstrained
+		// simulation. Symmetric markers therefore only admit episode-
+		// leader counts (boundaryAllowed); a 2x budget overrun forces a
+		// close anyway as a safety valve.
+		allowed := c.boundaryAllowed(blk.Addr, c.markerCounts[blk.Addr])
+		inRegion := c.filtered - c.sliceStart
+		switch {
+		case inRegion >= c.sliceTarget && (allowed || inRegion >= 2*c.sliceTarget):
+			c.closeRegion(Marker{PC: blk.Addr, Count: c.markerCounts[blk.Addr]})
+		case c.varEnabled && allowed && inRegion >= uint64(c.varMinFrac*float64(c.sliceTarget)) && c.phaseChanged():
+			c.closeRegion(Marker{PC: blk.Addr, Count: c.markerCounts[blk.Addr]})
+		}
+	}
+	if blk.Routine.Image.Sync && !c.includeSync {
+		return // synchronization code: execute but do not count (IV-F)
+	}
+	c.filtered++
+	c.cur.Filtered++
+	c.cur.ThreadFiltered[ev.Tid]++
+	c.cur.Vectors[ev.Tid][blk.Global]++
+}
+
+func (c *Collector) closeRegion(end Marker) {
+	c.cur.End = end
+	c.cur.EndICount = c.icount
+	if c.varEnabled {
+		c.prevNorm = c.normalizedVector(c.cur)
+	}
+	c.profile.Regions = append(c.profile.Regions, c.cur)
+	c.cur = c.newRegion(end, c.icount)
+	c.sliceStart = c.filtered
+}
+
+// Finish closes the trailing region and returns the profile. It must be
+// called exactly once, after the run completes.
+func (c *Collector) Finish() *Profile {
+	if c.finished {
+		return c.profile
+	}
+	c.finished = true
+	if c.cur.Filtered > 0 || len(c.profile.Regions) == 0 {
+		c.closeRegion(Marker{IsEnd: true})
+	}
+	c.profile.TotalFiltered = c.filtered
+	c.profile.TotalICount = c.icount
+	for a, n := range c.markerCounts {
+		c.profile.MarkerCounts[a] = n
+	}
+	return c.profile
+}
+
+// Watcher observes an execution and fires when a (PC, count) marker is
+// reached, optionally requesting the machine to stop. It is how both
+// profiling validation and region simulation locate region boundaries.
+type Watcher struct {
+	machine *exec.Machine
+	marker  Marker
+	count   uint64
+	Fired   bool
+	// OnFire, if set, runs when the marker is hit (before the stop request).
+	OnFire func()
+	// StopOnFire requests the machine to stop at the marker (default true).
+	StopOnFire bool
+}
+
+// NewWatcher creates a marker watcher bound to a machine. A start marker
+// fires immediately on the first instruction.
+func NewWatcher(m *exec.Machine, marker Marker) *Watcher {
+	return &Watcher{machine: m, marker: marker, StopOnFire: true}
+}
+
+// SkipCounted credits n prior hits of the marker PC, for watchers attached
+// mid-execution: marker counts are global since program start.
+func (w *Watcher) SkipCounted(n uint64) { w.count = n }
+
+// OnInstr implements exec.Observer.
+func (w *Watcher) OnInstr(ev *exec.Event) {
+	if w.Fired || w.marker.IsEnd {
+		return
+	}
+	if w.marker.IsStart() {
+		w.fire()
+		return
+	}
+	if w.marker.IsICount() {
+		if w.machine.TotalICount() >= w.marker.Count {
+			w.fire()
+		}
+		return
+	}
+	if ev.BlockEntry && ev.Block.Addr == w.marker.PC {
+		w.count++
+		if w.count >= w.marker.Count {
+			w.fire()
+		}
+	}
+}
+
+func (w *Watcher) fire() {
+	w.Fired = true
+	if w.OnFire != nil {
+		w.OnFire()
+	}
+	if w.StopOnFire {
+		w.machine.RequestStop()
+	}
+}

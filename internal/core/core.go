@@ -1,0 +1,456 @@
+// Package core implements the LoopPoint methodology end to end (paper
+// Section III): reproducible whole-program recording, DCFG-based loop
+// identification, BBV profiling with spin-loop filtering and loop-entry
+// slice boundaries, SimPoint clustering of per-thread-concatenated BBVs,
+// representative (looppoint) selection with work multipliers, parallel
+// region simulation with warmup, and runtime extrapolation with error
+// reporting against the full-application simulation.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"looppoint/internal/bbv"
+	"looppoint/internal/dcfg"
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+	"looppoint/internal/pinball"
+	"looppoint/internal/simpoint"
+	"looppoint/internal/timing"
+)
+
+// Config holds the methodology knobs.
+type Config struct {
+	// SliceUnit is the per-thread slice size in filtered instructions;
+	// the global slice target is N × SliceUnit for an N-threaded program
+	// (the paper uses 100 M; this repository's workloads are scaled down
+	// by workloads.Scale, so the default here is 100 K).
+	SliceUnit uint64
+	// MaxK caps the number of clusters (paper: 50).
+	MaxK int
+	// Dims is the projected BBV dimensionality (paper: 100).
+	Dims int
+	// Seed drives every random choice (projection, k-means, OS model).
+	Seed uint64
+	// FlowWindow is the flow-control window (in instructions) used while
+	// recording and profiling so all threads progress evenly.
+	FlowWindow uint64
+	// MarkerEntryBudget bounds how many times a marker PC may fire per
+	// slice for it to count as a stable region boundary.
+	MarkerEntryBudget uint64
+	// Warmup selects region-simulation warmup (perfect/functional by default).
+	Warmup timing.WarmupMode
+	// WarmupRegions is how many preceding regions a checkpoint-driven
+	// region simulation warms over (default 1; the paper assumes "a
+	// large enough warmup region added to the representative region").
+	WarmupRegions int
+	// RegionSim selects how looppoints are simulated (checkpoint-driven
+	// by default).
+	RegionSim RegionSimMode
+	// SumBBVs switches to naive summed (rather than concatenated)
+	// per-thread BBVs — the ablation of Section III-B's insight.
+	SumBBVs bool
+	// HostBias emulates an imbalanced host during recording (per-thread
+	// scheduling-quantum multipliers). The flow-control window is what
+	// keeps a biased host from skewing the profile; the flow-control
+	// ablation records with bias and toggles the window.
+	HostBias []int
+	// NoSpinFilter disables synchronization-library filtering — the
+	// ablation corresponding to the naive SimPoint adaptation.
+	NoSpinFilter bool
+	// VariableSlices enables phase-aligned variable-length slicing
+	// (Section III-B's alternative after Lau et al.): regions may close
+	// early at a worker-loop entry when the basic-block mix shifts.
+	VariableSlices bool
+}
+
+// DefaultConfig returns the paper's parameters at this repository's scale.
+func DefaultConfig() Config {
+	return Config{
+		SliceUnit:         100_000,
+		MaxK:              simpoint.DefaultMaxK,
+		Dims:              simpoint.DefaultDims,
+		Seed:              42,
+		FlowWindow:        4096,
+		MarkerEntryBudget: 64,
+		Warmup:            timing.WarmupFunctional,
+		WarmupRegions:     2,
+	}
+}
+
+func (c *Config) fill() {
+	if c.SliceUnit == 0 {
+		c.SliceUnit = 100_000
+	}
+	if c.MaxK == 0 {
+		c.MaxK = simpoint.DefaultMaxK
+	}
+	if c.Dims == 0 {
+		c.Dims = simpoint.DefaultDims
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.FlowWindow == 0 {
+		c.FlowWindow = 4096
+	}
+	if c.MarkerEntryBudget == 0 {
+		c.MarkerEntryBudget = 64
+	}
+	if c.WarmupRegions == 0 {
+		c.WarmupRegions = 2
+	}
+}
+
+// Analysis is the up-front, one-time application analysis (Section III-I):
+// the recorded pinball, the DCFG with its loop table, the chosen marker
+// set, and the sliced BBV profile.
+type Analysis struct {
+	Prog    *isa.Program
+	Pinball *pinball.Pinball
+	Graph   *dcfg.Graph
+	Loops   *dcfg.LoopTable
+	Markers []uint64
+	Profile *bbv.Profile
+	Config  Config
+}
+
+// Analyze records the program once and replays the pinball twice: first
+// to build the DCFG and identify worker loops, then to collect sliced,
+// spin-filtered BBVs at loop boundaries.
+func Analyze(prog *isa.Program, cfg Config) (*Analysis, error) {
+	cfg.fill()
+	pb, err := pinball.RecordWithOptions(prog, cfg.Seed, exec.RunOpts{
+		FlowWindow:  cfg.FlowWindow,
+		QuantumBias: cfg.HostBias,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: analyze %s: %w", prog.Name, err)
+	}
+
+	db := dcfg.NewBuilder(prog, prog.NumThreads())
+	if _, err := pb.Replay(prog, db); err != nil {
+		return nil, fmt.Errorf("core: DCFG replay of %s: %w", prog.Name, err)
+	}
+	g := db.Graph()
+	loops := g.FindLoops()
+
+	sliceTarget := cfg.SliceUnit * uint64(prog.NumThreads())
+	expectedSlices := pb.Schedule.Steps()/sliceTarget + 1
+	maxExecs := cfg.MarkerEntryBudget * expectedSlices
+	var markers []uint64
+	for _, h := range g.StableMarkers(loops, maxExecs) {
+		markers = append(markers, h.Addr)
+	}
+	if len(markers) == 0 {
+		return nil, fmt.Errorf("core: %s has no loops to mark regions with", prog.Name)
+	}
+
+	col := bbv.NewCollector(prog, markers, sliceTarget)
+	// Symmetric worker-loop headers (entered once per thread per episode)
+	// fire in N-hit bursts under natural scheduling; restrict their
+	// boundary counts to episode leaders so (PC, count) regions stay
+	// stable across interleavings (the paper's stable-region requirement).
+	modulus := make(map[uint64]uint64)
+	for _, addr := range markers {
+		if blk, ok := prog.BlockByAddr(addr); ok {
+			if n := g.Nodes[blk.Global]; n != nil && n.Symmetric(prog.NumThreads()) {
+				modulus[addr] = uint64(prog.NumThreads())
+			}
+		}
+	}
+	col.SetMarkerModulus(modulus)
+	if cfg.NoSpinFilter {
+		col.DisableSyncFilter()
+	}
+	if cfg.VariableSlices {
+		col.SetVariableSlices(0.25, 0.5)
+	}
+	if _, err := pb.Replay(prog, col); err != nil {
+		return nil, fmt.Errorf("core: BBV replay of %s: %w", prog.Name, err)
+	}
+	prof := col.Finish()
+	if len(prof.Regions) == 0 {
+		return nil, fmt.Errorf("core: %s produced no regions", prog.Name)
+	}
+	return &Analysis{
+		Prog: prog, Pinball: pb, Graph: g, Loops: loops,
+		Markers: markers, Profile: prof, Config: cfg,
+	}, nil
+}
+
+// LoopPoint is one selected representative region with its extrapolation
+// multiplier (Equation 2).
+type LoopPoint struct {
+	Region      *bbv.Region
+	Cluster     int
+	ClusterSize int
+	// Multiplier is Σ filtered counts of represented regions divided by
+	// this region's filtered count.
+	Multiplier float64
+	// Spread is the average distance (in the projected BBV space) from
+	// the cluster's members to this representative — a confidence proxy:
+	// a tight cluster extrapolates reliably, a diffuse one less so.
+	Spread float64
+}
+
+// Selection is the set of looppoints chosen for an application.
+type Selection struct {
+	Analysis *Analysis
+	Result   *simpoint.Result
+	Points   []LoopPoint
+}
+
+// Select clusters the profile's regions and picks one looppoint per
+// cluster (Section III-E).
+func Select(a *Analysis) (*Selection, error) {
+	cfg := a.Config
+	regions := a.Profile.Regions
+	var vectors [][]float64
+	if cfg.SumBBVs {
+		vectors = simpoint.SumProjectRegions(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed)
+	} else {
+		vectors = simpoint.ProjectRegions(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed)
+	}
+	weights := make([]float64, len(regions))
+	for i, r := range regions {
+		weights[i] = float64(r.Filtered)
+	}
+	res, err := simpoint.Cluster(vectors, weights, simpoint.Options{
+		MaxK: cfg.MaxK, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: clustering %s: %w", a.Prog.Name, err)
+	}
+
+	sel := &Selection{Analysis: a, Result: res}
+	clusterFiltered := make([]uint64, res.K)
+	clusterSize := make([]int, res.K)
+	spread := make([]float64, res.K)
+	for i, r := range regions {
+		j := res.Assign[i]
+		clusterFiltered[j] += r.Filtered
+		clusterSize[j]++
+		spread[j] += dist(vectors[i], vectors[res.Reps[j]])
+	}
+	for j, repIdx := range res.Reps {
+		rep := regions[repIdx]
+		mult := 0.0
+		if rep.Filtered > 0 {
+			mult = float64(clusterFiltered[j]) / float64(rep.Filtered)
+		}
+		sel.Points = append(sel.Points, LoopPoint{
+			Region: rep, Cluster: j, ClusterSize: clusterSize[j], Multiplier: mult,
+			Spread: spread[j] / float64(clusterSize[j]),
+		})
+	}
+	sort.Slice(sel.Points, func(i, k int) bool {
+		return sel.Points[i].Region.Index < sel.Points[k].Region.Index
+	})
+	return sel, nil
+}
+
+// RegionSimMode selects how looppoints are simulated.
+type RegionSimMode int
+
+// Region simulation modes.
+const (
+	// RegionSimCheckpoint restores each looppoint's region pinball and
+	// simulates it unconstrained from the snapshot, warming over the
+	// captured warmup prefix (the ELFie-style path). All checkpoints
+	// are extracted in one replay sweep, so total work scales with the
+	// sample size, not with sample × application length.
+	RegionSimCheckpoint RegionSimMode = iota
+	// RegionSimBinaryDriven re-executes the binary from the program
+	// start for every region with functional warming ("perfect warmup",
+	// Section III-F) — the paper's most accurate configuration, at the
+	// cost of visiting the whole prefix per region.
+	RegionSimBinaryDriven
+)
+
+func (m RegionSimMode) String() string {
+	if m == RegionSimBinaryDriven {
+		return "binary-driven"
+	}
+	return "checkpoint"
+}
+
+// RegionResult pairs a looppoint with its simulated statistics and the
+// host time the simulation took (for actual-speedup accounting).
+type RegionResult struct {
+	Point    LoopPoint
+	Stats    *timing.Stats
+	HostTime time.Duration
+}
+
+// SimulateRegions runs a detailed simulation of every looppoint. With
+// parallel true the regions are simulated concurrently (checkpoints make
+// the runs independent — Section III-J).
+func SimulateRegions(sel *Selection, simCfg timing.Config, parallel bool) ([]RegionResult, error) {
+	a := sel.Analysis
+	var checkpoints []*pinball.Pinball
+	if a.Config.RegionSim == RegionSimCheckpoint {
+		warmupRegions := a.Config.WarmupRegions
+		if warmupRegions <= 0 {
+			warmupRegions = 1
+		}
+		specs := make([]pinball.RegionSpec, len(sel.Points))
+		for i, lp := range sel.Points {
+			r := lp.Region
+			warmStart := r.StartICount
+			if a.Config.Warmup == timing.WarmupFunctional {
+				back := r.Index - warmupRegions
+				if back < 0 {
+					back = 0
+				}
+				warmStart = a.Profile.Regions[back].StartICount
+			}
+			specs[i] = pinball.RegionSpec{
+				Name:            fmt.Sprintf("%s.r%d", a.Prog.Name, r.Index),
+				WarmupStartStep: warmStart,
+				StartStep:       r.StartICount,
+				EndStep:         r.EndICount,
+				Start:           r.Start,
+				End:             r.End,
+			}
+		}
+		var err error
+		checkpoints, err = a.Pinball.ExtractRegions(a.Prog, specs)
+		if err != nil {
+			return nil, fmt.Errorf("core: extracting region pinballs: %w", err)
+		}
+	}
+
+	results := make([]RegionResult, len(sel.Points))
+	errs := make([]error, len(sel.Points))
+	runOne := func(i int) {
+		lp := sel.Points[i]
+		start := time.Now()
+		sim, err := timing.New(simCfg, a.Prog)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		sim.Seed = a.Config.Seed
+		var st *timing.Stats
+		if checkpoints != nil {
+			st, err = sim.SimulateCheckpoint(checkpoints[i])
+		} else {
+			st, err = sim.SimulateRegion(lp.Region.Start, lp.Region.End, a.Config.Warmup)
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("core: region %d: %w", lp.Region.Index, err)
+			return
+		}
+		results[i] = RegionResult{Point: lp, Stats: st, HostTime: time.Since(start)}
+	}
+	if parallel {
+		var wg sync.WaitGroup
+		for i := range sel.Points {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range sel.Points {
+			runOne(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Prediction is the extrapolated whole-program performance (Equation 1,
+// generalized to every metric of interest as Section III-G notes).
+type Prediction struct {
+	Cycles       float64
+	Seconds      float64
+	Instructions float64
+	BranchMisses float64
+	Branches     float64
+	L1DMisses    float64
+	L2Misses     float64
+	L3Misses     float64
+	// Stack is the extrapolated cycle decomposition (CPI stack).
+	Stack timing.CPIStack
+}
+
+// BranchMPKI returns the predicted branch misses per kilo-instruction.
+func (p Prediction) BranchMPKI() float64 { return fmpki(p.BranchMisses, p.Instructions) }
+
+// L1DMPKI returns the predicted L1-D MPKI.
+func (p Prediction) L1DMPKI() float64 { return fmpki(p.L1DMisses, p.Instructions) }
+
+// L2MPKI returns the predicted L2 MPKI.
+func (p Prediction) L2MPKI() float64 { return fmpki(p.L2Misses, p.Instructions) }
+
+// L3MPKI returns the predicted L3 MPKI.
+func (p Prediction) L3MPKI() float64 { return fmpki(p.L3Misses, p.Instructions) }
+
+func fmpki(m, i float64) float64 {
+	if i == 0 {
+		return 0
+	}
+	return m / i * 1000
+}
+
+// Extrapolate reconstructs whole-program metrics from the region results:
+// total = Σ_i value_i × multiplier_i.
+func Extrapolate(results []RegionResult, freqGHz float64) Prediction {
+	var p Prediction
+	for _, r := range results {
+		m := r.Point.Multiplier
+		p.Cycles += r.Stats.Cycles * m
+		p.Instructions += float64(r.Stats.Instructions) * m
+		p.BranchMisses += float64(r.Stats.BranchMisses) * m
+		p.Branches += float64(r.Stats.Branches) * m
+		p.L1DMisses += float64(r.Stats.L1DMisses) * m
+		p.L2Misses += float64(r.Stats.L2Misses) * m
+		p.L3Misses += float64(r.Stats.L3Misses) * m
+		p.Stack.Add(timing.CPIStack{
+			Base:    r.Stats.Stack.Base * m,
+			Ifetch:  r.Stats.Stack.Ifetch * m,
+			Memory:  r.Stats.Stack.Memory * m,
+			Branch:  r.Stats.Stack.Branch * m,
+			Compute: r.Stats.Stack.Compute * m,
+			Sync:    r.Stats.Stack.Sync * m,
+		})
+	}
+	p.Seconds = p.Cycles / (freqGHz * 1e9)
+	return p
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// PercentError returns |predicted-actual|/actual × 100.
+func PercentError(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return 100
+	}
+	e := (predicted - actual) / actual * 100
+	if e < 0 {
+		e = -e
+	}
+	return e
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"looppoint/internal/isa"
+	"looppoint/internal/timing"
+)
+
+// Speedups captures the paper's four speedup definitions (Section V-B).
+type Speedups struct {
+	// Theoretical: reduction in filtered instructions to simulate in
+	// detail; serial sums all looppoints, parallel is bounded by the
+	// largest one.
+	TheoreticalSerial   float64
+	TheoreticalParallel float64
+	// Actual: reduction in measured simulation (host) time.
+	ActualSerial   float64
+	ActualParallel float64
+}
+
+// ComputeTheoretical derives instruction-count speedups from a selection.
+func ComputeTheoretical(sel *Selection) Speedups {
+	total := float64(sel.Analysis.Profile.TotalFiltered)
+	var sum, max float64
+	for _, lp := range sel.Points {
+		f := float64(lp.Region.Filtered)
+		sum += f
+		if f > max {
+			max = f
+		}
+	}
+	var s Speedups
+	if sum > 0 {
+		s.TheoreticalSerial = total / sum
+	}
+	if max > 0 {
+		s.TheoreticalParallel = total / max
+	}
+	return s
+}
+
+// AddActual fills in measured-time speedups given the full-simulation
+// host time and the per-region host times.
+func (s *Speedups) AddActual(fullTime time.Duration, regions []RegionResult) {
+	var sum, max time.Duration
+	for _, r := range regions {
+		sum += r.HostTime
+		if r.HostTime > max {
+			max = r.HostTime
+		}
+	}
+	if sum > 0 {
+		s.ActualSerial = float64(fullTime) / float64(sum)
+	}
+	if max > 0 {
+		s.ActualParallel = float64(fullTime) / float64(max)
+	}
+}
+
+// Report is the complete outcome of an end-to-end LoopPoint evaluation of
+// one application: selection, region simulations, extrapolation, and —
+// when the full run was simulated — prediction errors.
+type Report struct {
+	Name      string
+	Selection *Selection
+	Regions   []RegionResult
+	Predicted Prediction
+
+	Full         *timing.Stats
+	FullHostTime time.Duration
+
+	// Errors versus the full simulation (valid when Full != nil).
+	RuntimeErrPct  float64
+	CyclesErrPct   float64
+	BranchMPKIDiff float64
+	L1DMPKIDiff    float64
+	L2MPKIDiff     float64
+	L3MPKIDiff     float64
+
+	Speedups Speedups
+}
+
+// RunOpts controls an end-to-end run.
+type RunOpts struct {
+	// SimulateFull runs the whole-application detailed simulation to
+	// compute prediction errors (skipped for ref-scale inputs, where the
+	// paper also only reports speedups).
+	SimulateFull bool
+	// Parallel simulates looppoints concurrently.
+	Parallel bool
+}
+
+// Run performs the complete LoopPoint flow on one program: analyze,
+// select, simulate the looppoints, extrapolate, and (optionally) compare
+// against the full detailed simulation.
+func Run(prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Report, error) {
+	a, err := Analyze(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := Select(a)
+	if err != nil {
+		return nil, err
+	}
+	regions, err := SimulateRegions(sel, simCfg, opts.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Name:      prog.Name,
+		Selection: sel,
+		Regions:   regions,
+		Predicted: Extrapolate(regions, simCfg.FreqGHz),
+		Speedups:  ComputeTheoretical(sel),
+	}
+	if opts.SimulateFull {
+		start := time.Now()
+		sim, err := timing.New(simCfg, prog)
+		if err != nil {
+			return nil, err
+		}
+		sim.Seed = cfg.Seed
+		full, err := sim.SimulateFull()
+		if err != nil {
+			return nil, fmt.Errorf("core: full simulation of %s: %w", prog.Name, err)
+		}
+		rep.Full = full
+		rep.FullHostTime = time.Since(start)
+		rep.computeErrors()
+		rep.Speedups.AddActual(rep.FullHostTime, regions)
+	}
+	return rep, nil
+}
+
+func (r *Report) computeErrors() {
+	full := r.Full
+	r.CyclesErrPct = PercentError(r.Predicted.Cycles, full.Cycles)
+	r.RuntimeErrPct = PercentError(r.Predicted.Seconds, full.RuntimeSeconds())
+	r.BranchMPKIDiff = absDiff(r.Predicted.BranchMPKI(), full.BranchMPKI())
+	r.L1DMPKIDiff = absDiff(r.Predicted.L1DMPKI(), full.L1DMPKI())
+	r.L2MPKIDiff = absDiff(r.Predicted.L2MPKI(), full.L2MPKI())
+	r.L3MPKIDiff = absDiff(r.Predicted.L3MPKI(), full.L3MPKI())
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Summary renders a one-line report.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("%s: %d regions -> %d looppoints", r.Name,
+		len(r.Selection.Analysis.Profile.Regions), len(r.Selection.Points))
+	if r.Full != nil {
+		s += fmt.Sprintf(", runtime err %.2f%%", r.RuntimeErrPct)
+	}
+	s += fmt.Sprintf(", theoretical speedup %.1fx serial / %.1fx parallel",
+		r.Speedups.TheoreticalSerial, r.Speedups.TheoreticalParallel)
+	return s
+}

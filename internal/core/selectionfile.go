@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"looppoint/internal/bbv"
+)
+
+// SelectionFile is the JSON-serializable form of a region selection — the
+// analogue of the paper artifact's <basename>.Data directory: everything
+// a downstream simulation campaign needs to locate and weight the chosen
+// regions, without the profile itself.
+type SelectionFile struct {
+	// Program identifies the analyzed application.
+	Program string `json:"program"`
+	Threads int    `json:"threads"`
+	// SliceUnit and Seed record the analysis parameters for provenance.
+	SliceUnit uint64 `json:"slice_unit"`
+	Seed      uint64 `json:"seed"`
+	// TotalFiltered is the whole-program unit-of-work count.
+	TotalFiltered uint64 `json:"total_filtered_instructions"`
+	TotalRegions  int    `json:"total_regions"`
+	// Points are the selected looppoints.
+	Points []SelectionPoint `json:"looppoints"`
+}
+
+// SelectionPoint is one looppoint's portable description.
+type SelectionPoint struct {
+	Region      int        `json:"region"`
+	Start       MarkerJSON `json:"start"`
+	End         MarkerJSON `json:"end"`
+	Filtered    uint64     `json:"filtered_instructions"`
+	Multiplier  float64    `json:"multiplier"`
+	ClusterSize int        `json:"cluster_size"`
+	// Spread is the cluster's mean member-to-representative distance in
+	// the projected BBV space (confidence proxy; 0 = perfectly tight).
+	Spread float64 `json:"spread"`
+}
+
+// MarkerJSON is the JSON form of a (PC, count) marker.
+type MarkerJSON struct {
+	PC    uint64 `json:"pc,omitempty"`
+	Count uint64 `json:"count,omitempty"`
+	Kind  string `json:"kind,omitempty"` // "start", "end", "icount", or "" (pc marker)
+}
+
+func toMarkerJSON(m bbv.Marker) MarkerJSON {
+	switch {
+	case m.IsEnd:
+		return MarkerJSON{Kind: "end"}
+	case m.IsStart():
+		return MarkerJSON{Kind: "start"}
+	case m.IsICount():
+		return MarkerJSON{Kind: "icount", Count: m.Count}
+	default:
+		return MarkerJSON{PC: m.PC, Count: m.Count}
+	}
+}
+
+// Marker converts back to a bbv.Marker.
+func (m MarkerJSON) Marker() (bbv.Marker, error) {
+	switch m.Kind {
+	case "end":
+		return bbv.Marker{IsEnd: true}, nil
+	case "start":
+		return bbv.Marker{}, nil
+	case "icount":
+		return bbv.Marker{Count: m.Count}, nil
+	case "":
+		if m.PC == 0 {
+			return bbv.Marker{}, fmt.Errorf("core: pc marker without pc")
+		}
+		return bbv.Marker{PC: m.PC, Count: m.Count}, nil
+	}
+	return bbv.Marker{}, fmt.Errorf("core: unknown marker kind %q", m.Kind)
+}
+
+// File converts a selection to its portable form.
+func (s *Selection) File() *SelectionFile {
+	a := s.Analysis
+	f := &SelectionFile{
+		Program:       a.Prog.Name,
+		Threads:       a.Prog.NumThreads(),
+		SliceUnit:     a.Config.SliceUnit,
+		Seed:          a.Config.Seed,
+		TotalFiltered: a.Profile.TotalFiltered,
+		TotalRegions:  len(a.Profile.Regions),
+	}
+	for _, lp := range s.Points {
+		f.Points = append(f.Points, SelectionPoint{
+			Region:      lp.Region.Index,
+			Start:       toMarkerJSON(lp.Region.Start),
+			End:         toMarkerJSON(lp.Region.End),
+			Filtered:    lp.Region.Filtered,
+			Multiplier:  lp.Multiplier,
+			ClusterSize: lp.ClusterSize,
+			Spread:      lp.Spread,
+		})
+	}
+	return f
+}
+
+// WriteJSON writes the selection file.
+func (f *SelectionFile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// SaveJSON writes the selection file to path.
+func (f *SelectionFile) SaveJSON(path string) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSON(fd); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+// LoadSelectionFile reads and validates a selection file.
+func LoadSelectionFile(r io.Reader) (*SelectionFile, error) {
+	var f SelectionFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: selection file: %w", err)
+	}
+	if f.Program == "" || f.Threads < 1 || len(f.Points) == 0 {
+		return nil, fmt.Errorf("core: selection file incomplete (program %q, %d threads, %d points)",
+			f.Program, f.Threads, len(f.Points))
+	}
+	var mass float64
+	for i, p := range f.Points {
+		if _, err := p.Start.Marker(); err != nil {
+			return nil, fmt.Errorf("core: point %d start: %w", i, err)
+		}
+		if _, err := p.End.Marker(); err != nil {
+			return nil, fmt.Errorf("core: point %d end: %w", i, err)
+		}
+		if p.Multiplier < 1 {
+			return nil, fmt.Errorf("core: point %d multiplier %f < 1", i, p.Multiplier)
+		}
+		mass += p.Multiplier * float64(p.Filtered)
+	}
+	if f.TotalFiltered > 0 {
+		if ratio := mass / float64(f.TotalFiltered); ratio < 0.99 || ratio > 1.01 {
+			return nil, fmt.Errorf("core: selection file multiplier mass %.3f of total work (corrupted?)", ratio)
+		}
+	}
+	return &f, nil
+}

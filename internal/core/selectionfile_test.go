@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+func TestSelectionFileRoundTrip(t *testing.T) {
+	p := testprog.Phased(4, 10, 150, omp.Passive)
+	a, err := Analyze(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := sel.File()
+	if f.Program != p.Name || f.Threads != 4 || len(f.Points) != len(sel.Points) {
+		t.Fatalf("selection file header wrong: %+v", f)
+	}
+
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSelectionFile(&buf)
+	if err != nil {
+		t.Fatalf("LoadSelectionFile: %v", err)
+	}
+	if got.TotalFiltered != f.TotalFiltered || len(got.Points) != len(f.Points) {
+		t.Fatal("round trip lost data")
+	}
+	for i := range f.Points {
+		ms, err := got.Points[i].Start.Marker()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms != sel.Points[i].Region.Start {
+			t.Errorf("point %d start marker differs: %v vs %v", i, ms, sel.Points[i].Region.Start)
+		}
+	}
+}
+
+func TestLoadSelectionFileRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "nope",
+		"empty points":    `{"program":"x","threads":4,"looppoints":[]}`,
+		"bad multiplier":  `{"program":"x","threads":4,"looppoints":[{"region":0,"start":{"kind":"start"},"end":{"kind":"end"},"multiplier":0.5}]}`,
+		"unknown field":   `{"program":"x","threads":4,"bogus":1,"looppoints":[{"region":0,"start":{"kind":"start"},"end":{"kind":"end"},"multiplier":1}]}`,
+		"bad marker kind": `{"program":"x","threads":4,"looppoints":[{"region":0,"start":{"kind":"weird"},"end":{"kind":"end"},"multiplier":1}]}`,
+		"mass mismatch":   `{"program":"x","threads":4,"total_filtered_instructions":1000,"looppoints":[{"region":0,"start":{"kind":"start"},"end":{"kind":"end"},"filtered_instructions":10,"multiplier":1}]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadSelectionFile(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMarkerJSONKinds(t *testing.T) {
+	for _, mk := range []struct {
+		kind string
+		m    MarkerJSON
+	}{
+		{"start", MarkerJSON{Kind: "start"}},
+		{"end", MarkerJSON{Kind: "end"}},
+		{"icount", MarkerJSON{Kind: "icount", Count: 42}},
+		{"pc", MarkerJSON{PC: 0x100, Count: 7}},
+	} {
+		m, err := mk.m.Marker()
+		if err != nil {
+			t.Fatalf("%s: %v", mk.kind, err)
+		}
+		if back := toMarkerJSON(m); back != mk.m {
+			t.Errorf("%s: round trip %+v -> %+v", mk.kind, mk.m, back)
+		}
+	}
+}

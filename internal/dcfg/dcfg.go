@@ -1,0 +1,185 @@
+// Package dcfg builds Dynamic Control-Flow Graphs (paper Section III-D):
+// control-flow graphs recovered from an actual execution in which every
+// edge carries a trip count. Routine sub-graphs are analyzed with
+// immediate dominators to find natural loops; loop headers residing in
+// the program's main image become the candidate region markers used by
+// the BBV profiler ((PC, count) pairs, Section III-C).
+package dcfg
+
+import (
+	"fmt"
+	"sort"
+
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+)
+
+// EdgeKind classifies a dynamic edge.
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeBranch EdgeKind = iota // intra-routine control transfer
+	EdgeCall                   // call site block -> callee entry
+	EdgeReturn                 // callee exit block -> caller block
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeBranch:
+		return "branch"
+	case EdgeCall:
+		return "call"
+	case EdgeReturn:
+		return "return"
+	}
+	return "edge(?)"
+}
+
+// Edge is a dynamic control-flow edge with a trip count.
+type Edge struct {
+	From, To int // global block indices
+	Kind     EdgeKind
+	Count    uint64
+}
+
+// Node is a basic block observed during execution.
+type Node struct {
+	Block *isa.Block
+	Execs uint64 // times the block was entered (all threads)
+	// ThreadExecs is the per-thread entry count (index = thread ID).
+	ThreadExecs []uint64
+	Out         []*Edge
+	In          []*Edge
+}
+
+// Symmetric reports whether every one of nthreads threads entered the
+// block the same non-zero number of times — the signature of a worker
+// loop all threads execute in lockstep episodes (e.g. a timestep header
+// entered once per thread per step). Symmetric headers fire in N-hit
+// bursts under natural scheduling, so only episode-leader hit counts
+// (count ≡ 1 mod N) make stable (PC, count) region boundaries.
+func (n *Node) Symmetric(nthreads int) bool {
+	if len(n.ThreadExecs) < nthreads || nthreads < 2 {
+		return false
+	}
+	first := n.ThreadExecs[0]
+	if first == 0 {
+		return false
+	}
+	for _, c := range n.ThreadExecs[:nthreads] {
+		if c != first {
+			return false
+		}
+	}
+	return true
+}
+
+// Graph is the dynamic control-flow graph of one execution.
+type Graph struct {
+	Prog  *isa.Program
+	Nodes map[int]*Node // keyed by global block index
+	edges map[[2]int]*Edge
+}
+
+// Builder is an exec.Observer that constructs a Graph while a program
+// runs (typically during constrained pinball replay, so the graph is
+// reproducible).
+type Builder struct {
+	g   *Graph
+	cur []*isa.Block   // last block per thread, nil right after a call
+	stk [][]*isa.Block // per-thread caller-block stacks
+}
+
+// NewBuilder creates a DCFG builder for a machine with nthreads threads.
+func NewBuilder(p *isa.Program, nthreads int) *Builder {
+	return &Builder{
+		g:   &Graph{Prog: p, Nodes: make(map[int]*Node), edges: make(map[[2]int]*Edge)},
+		cur: make([]*isa.Block, nthreads),
+		stk: make([][]*isa.Block, nthreads),
+	}
+}
+
+// OnInstr implements exec.Observer.
+func (b *Builder) OnInstr(ev *exec.Event) {
+	tid := ev.Tid
+	if ev.BlockEntry {
+		n := b.g.node(ev.Block)
+		n.Execs++
+		for len(n.ThreadExecs) <= tid {
+			n.ThreadExecs = append(n.ThreadExecs, 0)
+		}
+		n.ThreadExecs[tid]++
+		if prev := b.cur[tid]; prev != nil && prev.Routine == ev.Block.Routine {
+			b.g.addEdge(prev, ev.Block, EdgeBranch)
+		}
+		b.cur[tid] = ev.Block
+	}
+	switch ev.Instr.Op {
+	case isa.OpCall:
+		caller := b.cur[tid]
+		callee := ev.Instr.Callee.Blocks[0]
+		b.g.addEdge(caller, callee, EdgeCall)
+		b.stk[tid] = append(b.stk[tid], caller)
+		b.cur[tid] = nil // callee entry must not become an intra-routine edge
+	case isa.OpRet:
+		n := len(b.stk[tid])
+		if n == 0 {
+			return
+		}
+		caller := b.stk[tid][n-1]
+		b.stk[tid] = b.stk[tid][:n-1]
+		if b.cur[tid] != nil {
+			b.g.addEdge(b.cur[tid], caller, EdgeReturn)
+		}
+		// Execution resumes mid-block in the caller; the next
+		// intra-routine edge hangs off the call-site block.
+		b.cur[tid] = caller
+	}
+}
+
+// Graph returns the constructed graph.
+func (b *Builder) Graph() *Graph { return b.g }
+
+func (g *Graph) node(blk *isa.Block) *Node {
+	n, ok := g.Nodes[blk.Global]
+	if !ok {
+		n = &Node{Block: blk}
+		g.Nodes[blk.Global] = n
+	}
+	return n
+}
+
+func (g *Graph) addEdge(from, to *isa.Block, kind EdgeKind) {
+	key := [2]int{from.Global, to.Global}
+	e, ok := g.edges[key]
+	if !ok {
+		e = &Edge{From: from.Global, To: to.Global, Kind: kind}
+		g.edges[key] = e
+		g.node(from).Out = append(g.node(from).Out, e)
+		g.node(to).In = append(g.node(to).In, e)
+	}
+	e.Count++
+}
+
+// Edges returns all edges sorted by (From, To) for stable iteration.
+func (g *Graph) Edges() []*Edge {
+	out := make([]*Edge, 0, len(g.edges))
+	for _, e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// NumNodes returns the number of executed basic blocks.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+func (g *Graph) String() string {
+	return fmt.Sprintf("dcfg{%d nodes, %d edges}", len(g.Nodes), len(g.edges))
+}

@@ -1,0 +1,73 @@
+package dcfg
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteDOT renders the dynamic control-flow graph in Graphviz DOT format:
+// nodes are executed basic blocks labeled with execution counts, edges
+// carry trip counts, loop headers are highlighted, and routines group
+// into clusters. Useful for inspecting why a loop was (or was not)
+// chosen as a region marker.
+func (g *Graph) WriteDOT(w io.Writer, lt *LoopTable) error {
+	if _, err := fmt.Fprintln(w, "digraph dcfg {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [shape=box, fontsize=10];")
+
+	// Group nodes by routine for clusters, deterministically.
+	type routineNodes struct {
+		name  string
+		sync  bool
+		nodes []*Node
+	}
+	byRoutine := map[string]*routineNodes{}
+	var keys []string
+	for _, n := range g.Nodes {
+		r := n.Block.Routine
+		key := r.Image.Name + "/" + r.Name
+		rn, ok := byRoutine[key]
+		if !ok {
+			rn = &routineNodes{name: key, sync: r.Image.Sync}
+			byRoutine[key] = rn
+			keys = append(keys, key)
+		}
+		rn.nodes = append(rn.nodes, n)
+	}
+	sort.Strings(keys)
+
+	cluster := 0
+	for _, key := range keys {
+		rn := byRoutine[key]
+		sort.Slice(rn.nodes, func(i, j int) bool { return rn.nodes[i].Block.Addr < rn.nodes[j].Block.Addr })
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=%q;\n", cluster, rn.name)
+		if rn.sync {
+			fmt.Fprintln(w, "    style=dashed;")
+		}
+		cluster++
+		for _, n := range rn.nodes {
+			attrs := ""
+			if lt != nil && lt.IsHeader(n.Block.Global) {
+				attrs = ", style=filled, fillcolor=lightblue"
+			}
+			fmt.Fprintf(w, "    n%d [label=\"%s\\nexecs=%d\"%s];\n",
+				n.Block.Global, n.Block.Label, n.Execs, attrs)
+		}
+		fmt.Fprintln(w, "  }")
+	}
+
+	for _, e := range g.Edges() {
+		style := ""
+		switch e.Kind {
+		case EdgeCall:
+			style = ", style=dashed, color=gray"
+		case EdgeReturn:
+			style = ", style=dotted, color=gray"
+		}
+		fmt.Fprintf(w, "  n%d -> n%d [label=\"%d\"%s];\n", e.From, e.To, e.Count, style)
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

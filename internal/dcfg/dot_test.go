@@ -1,0 +1,42 @@
+package dcfg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	p, oHead, _, _ := buildNestedLoops(t, 3, 4, 2)
+	g := runWithDCFG(t, p)
+	lt := g.FindLoops()
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, lt); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph dcfg {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT document")
+	}
+	if !strings.Contains(out, "cluster_") {
+		t.Error("no routine clusters")
+	}
+	if !strings.Contains(out, "lightblue") {
+		t.Error("loop headers not highlighted")
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Error("sync image / call edges not styled")
+	}
+	// The outer header node must be present with its execution count.
+	if !strings.Contains(out, "execs=") {
+		t.Error("execution counts missing")
+	}
+	_ = oHead
+	// Deterministic output.
+	var sb2 strings.Builder
+	if err := g.WriteDOT(&sb2, lt); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("DOT output not deterministic")
+	}
+}

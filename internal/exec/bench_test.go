@@ -1,0 +1,53 @@
+package exec
+
+import (
+	"testing"
+
+	"looppoint/internal/omp"
+)
+
+// BenchmarkInterpreter measures the functional interpreter's throughput
+// (instructions per second drive every analysis pass and fast-forward).
+func BenchmarkInterpreter(b *testing.B) {
+	p, _ := buildCounterProgram(b, 4, 1_000_000_000, omp.Passive)
+	m := NewMachine(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tid := 0; tid < 4; tid++ {
+			m.Step(tid)
+		}
+	}
+	b.ReportMetric(float64(m.TotalICount())/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkInterpreterWithObserver quantifies observer overhead.
+func BenchmarkInterpreterWithObserver(b *testing.B) {
+	p, _ := buildCounterProgram(b, 4, 1_000_000_000, omp.Passive)
+	m := NewMachine(p, 1)
+	var blocks uint64
+	m.AddObserver(ObserverFunc(func(ev *Event) {
+		if ev.BlockEntry {
+			blocks++
+		}
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tid := 0; tid < 4; tid++ {
+			m.Step(tid)
+		}
+	}
+	b.ReportMetric(float64(m.TotalICount())/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkSnapshot measures checkpoint capture cost (region extraction
+// takes one per looppoint).
+func BenchmarkSnapshot(b *testing.B) {
+	p, _ := buildCounterProgram(b, 8, 100, omp.Passive)
+	m := NewMachine(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := m.Snapshot(); s == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned when live threads exist but none can run.
+var ErrDeadlock = errors.New("exec: deadlock: all live threads blocked")
+
+// ErrMaxSteps is returned when a run exceeds its step budget.
+var ErrMaxSteps = errors.New("exec: maximum step budget exceeded")
+
+// ErrScheduleDiverged is returned by RunSchedule when the recorded
+// schedule asks a thread to run while it is blocked or halted — the
+// replayed execution no longer matches the recording.
+var ErrScheduleDiverged = errors.New("exec: constrained replay diverged from recorded schedule")
+
+// ScheduleEntry is one run segment of a recorded thread interleaving:
+// thread Tid retired N consecutive instructions.
+type ScheduleEntry struct {
+	Tid int
+	N   uint32
+}
+
+// Schedule is a recorded thread interleaving — the shared-memory
+// dependency (.race) component of a pinball. Replaying the same schedule
+// with the same syscall injections reproduces the execution exactly.
+type Schedule []ScheduleEntry
+
+// Steps returns the total retired instructions the schedule covers.
+func (s Schedule) Steps() uint64 {
+	var n uint64
+	for _, e := range s {
+		n += uint64(e.N)
+	}
+	return n
+}
+
+// Skip returns the schedule suffix after the first n steps.
+func (s Schedule) Skip(n uint64) Schedule {
+	var out Schedule
+	for i, e := range s {
+		if n == 0 {
+			return append(out, s[i:]...)
+		}
+		if uint64(e.N) <= n {
+			n -= uint64(e.N)
+			continue
+		}
+		out = append(out, ScheduleEntry{Tid: e.Tid, N: e.N - uint32(n)})
+		n = 0
+		out = append(out, s[i+1:]...)
+		return out
+	}
+	return out
+}
+
+// Take returns the schedule prefix covering the first n steps.
+func (s Schedule) Take(n uint64) Schedule {
+	var out Schedule
+	for _, e := range s {
+		if n == 0 {
+			return out
+		}
+		if uint64(e.N) <= n {
+			out = append(out, e)
+			n -= uint64(e.N)
+			continue
+		}
+		out = append(out, ScheduleEntry{Tid: e.Tid, N: uint32(n)})
+		return out
+	}
+	return out
+}
+
+// RunOpts configures a machine run.
+type RunOpts struct {
+	// Quantum is the number of instructions a thread retires before the
+	// scheduler rotates. Defaults to 64.
+	Quantum int
+	// FlowWindow, when non-zero, enables the paper's flow-control
+	// scheduler (Section III-B): a thread is descheduled while its
+	// retired-instruction count exceeds the minimum among running
+	// threads by more than the window. This enforces equal forward
+	// progress during analysis.
+	FlowWindow uint64
+	// MaxSteps aborts the run with ErrMaxSteps when exceeded (0 = no cap).
+	MaxSteps uint64
+	// Record, when non-nil, accumulates the thread interleaving.
+	Record *Schedule
+	// QuantumBias, when non-empty, multiplies each thread's scheduling
+	// quantum by the given per-thread factor. It emulates host-processor
+	// imbalance (external load, frequency differences) during recording —
+	// the skew the paper's flow-control mechanism exists to neutralize
+	// (Section III-B).
+	QuantumBias []int
+}
+
+// RequestStop asks the current Run/RunSchedule loop to return after the
+// instruction that set it. Observers use it to stop at region markers.
+func (m *Machine) RequestStop() { m.stopReq = true }
+
+// Run drives the machine with a deterministic round-robin scheduler until
+// every thread halts, an observer requests a stop, or an error occurs.
+func (m *Machine) Run(opts RunOpts) error {
+	q := opts.Quantum
+	if q <= 0 {
+		q = 64
+	}
+	m.stopReq = false
+	var steps uint64
+	for !m.Done() {
+		progressed := false
+		minIC := m.minRunningICount()
+		for tid := range m.Threads {
+			t := m.Threads[tid]
+			if t.State != StateRunning {
+				continue
+			}
+			if opts.FlowWindow > 0 && t.ICount > minIC+opts.FlowWindow {
+				continue // too far ahead; let the others catch up
+			}
+			quantum := q
+			if tid < len(opts.QuantumBias) && opts.QuantumBias[tid] > 0 {
+				quantum = q * opts.QuantumBias[tid]
+			}
+			ran := 0
+			for ran < quantum {
+				_, ok := m.Step(tid)
+				if !ok {
+					break
+				}
+				ran++
+				steps++
+				if m.stopReq {
+					break
+				}
+			}
+			if ran > 0 {
+				progressed = true
+				if opts.Record != nil {
+					appendRun(opts.Record, tid, ran)
+				}
+			}
+			if m.stopReq {
+				m.stopReq = false
+				return nil
+			}
+			if opts.MaxSteps > 0 && steps >= opts.MaxSteps {
+				return fmt.Errorf("%w (%d)", ErrMaxSteps, opts.MaxSteps)
+			}
+		}
+		if !progressed {
+			if m.Deadlocked() {
+				return ErrDeadlock
+			}
+			if !m.Done() {
+				// All running threads were outside the flow window
+				// with no minimum runner — cannot happen unless the
+				// window excluded the minimum thread, which it never
+				// does. Guard anyway.
+				return fmt.Errorf("exec: scheduler made no progress")
+			}
+		}
+	}
+	return nil
+}
+
+func (m *Machine) minRunningICount() uint64 {
+	min := ^uint64(0)
+	for _, t := range m.Threads {
+		if t.State == StateRunning && t.ICount < min {
+			min = t.ICount
+		}
+	}
+	return min
+}
+
+func appendRun(s *Schedule, tid, n int) {
+	if k := len(*s); k > 0 && (*s)[k-1].Tid == tid && uint64((*s)[k-1].N)+uint64(n) < 1<<32 {
+		(*s)[k-1].N += uint32(n)
+		return
+	}
+	*s = append(*s, ScheduleEntry{Tid: tid, N: uint32(n)})
+}
+
+// RunSchedule replays a recorded thread interleaving exactly (constrained
+// replay). It returns ErrScheduleDiverged if the schedule asks a thread to
+// run when it cannot, and stops early if an observer requests a stop.
+func (m *Machine) RunSchedule(sched Schedule) error {
+	m.stopReq = false
+	for _, e := range sched {
+		for i := uint32(0); i < e.N; i++ {
+			if _, ok := m.Step(e.Tid); !ok {
+				return fmt.Errorf("%w: thread %d is %s", ErrScheduleDiverged,
+					e.Tid, m.Threads[e.Tid].State)
+			}
+			if m.stopReq {
+				m.stopReq = false
+				return nil
+			}
+		}
+	}
+	return nil
+}

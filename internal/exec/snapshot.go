@@ -1,0 +1,79 @@
+package exec
+
+// Snapshot is a deep copy of a machine's architectural state: shared
+// memory plus every thread's registers, call stack, and position. It is
+// the memory/register portion of a pinball (paper Section IV-C).
+type Snapshot struct {
+	Mem     []uint64
+	Threads []ThreadSnapshot
+	Steps   uint64
+}
+
+// ThreadSnapshot captures one thread's context.
+type ThreadSnapshot struct {
+	R      [32]int64
+	F      [32]float64
+	State  ThreadState
+	Cur    FrameRef
+	Stack  []FrameRef
+	ICount uint64
+	Futex  uint64
+}
+
+// FrameRef names a code position by image/routine/block/index so that a
+// snapshot remains valid across machine instances of the same program.
+type FrameRef struct {
+	Image   int
+	Routine int
+	Block   int
+	Index   int
+}
+
+func (m *Machine) frameRef(f frame) FrameRef {
+	return FrameRef{Image: f.rt.Image.ID, Routine: f.rt.ID, Block: f.blk, Index: f.idx}
+}
+
+func (m *Machine) resolveFrame(r FrameRef) frame {
+	rt := m.Prog.Images[r.Image].Routines[r.Routine]
+	return frame{rt: rt, blk: r.Block, idx: r.Index}
+}
+
+// Snapshot captures the machine's current architectural state.
+func (m *Machine) Snapshot() *Snapshot {
+	s := &Snapshot{Mem: make([]uint64, len(m.Mem)), Steps: m.steps}
+	copy(s.Mem, m.Mem)
+	for _, t := range m.Threads {
+		ts := ThreadSnapshot{
+			R: t.R, F: t.F, State: t.State,
+			Cur: m.frameRef(t.cur), ICount: t.ICount, Futex: t.futexAddr,
+		}
+		for _, f := range t.stack {
+			ts.Stack = append(ts.Stack, m.frameRef(f))
+		}
+		s.Threads = append(s.Threads, ts)
+	}
+	return s
+}
+
+// Restore loads a snapshot into the machine, rebuilding futex wait queues
+// in thread-ID order (the queue order is part of the snapshot's semantics
+// only up to fairness; deterministic rebuild keeps replay deterministic).
+func (m *Machine) Restore(s *Snapshot) {
+	copy(m.Mem, s.Mem)
+	m.steps = s.Steps
+	m.futexQ = make(map[uint64][]int)
+	for i, ts := range s.Threads {
+		t := m.Threads[i]
+		t.R, t.F, t.State = ts.R, ts.F, ts.State
+		t.cur = m.resolveFrame(ts.Cur)
+		t.stack = t.stack[:0]
+		for _, fr := range ts.Stack {
+			t.stack = append(t.stack, m.resolveFrame(fr))
+		}
+		t.ICount = ts.ICount
+		t.futexAddr = ts.Futex
+		if t.State == StateBlocked {
+			m.futexQ[t.futexAddr] = append(m.futexQ[t.futexAddr], t.ID)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package harness drives the experiments that regenerate every table and
+// figure of the paper's evaluation (Section V). Each Fig*/Table*/
+// ablation function returns a typed result with a Render method; the
+// lpreport command and the repository's benchmarks are thin wrappers
+// around these entry points.
+//
+// Experiments are expensive (each application evaluation records,
+// profiles, clusters, simulates regions, and optionally simulates the
+// full application), so the Evaluator memoizes per-application reports
+// and the Options.Quick flag restricts suites to representative subsets.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"looppoint/internal/core"
+	"looppoint/internal/omp"
+	"looppoint/internal/timing"
+	"looppoint/internal/workloads"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Quick restricts suites to a representative subset so a full report
+	// finishes in minutes on a laptop; the complete suites are used when
+	// false.
+	Quick bool
+	// Threads is the SPEC thread count (paper: 8; 657.xz_s pins its own).
+	Threads int
+	// SliceUnit overrides the per-thread slice size (0 = default 100 K).
+	SliceUnit uint64
+	// Seed drives all randomized steps.
+	Seed uint64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+	// InputOverride, when set, replaces every experiment's input class
+	// (train, ref, C, D) with the given one — smoke-testing only; the
+	// figures are defined on their paper inputs.
+	InputOverride workloads.InputClass
+}
+
+// trainInput returns the SPEC accuracy-experiment input class.
+func (o Options) trainInput() workloads.InputClass {
+	if o.InputOverride != "" {
+		return o.InputOverride
+	}
+	return workloads.InputTrain
+}
+
+// refInput returns the SPEC speedup-study input class.
+func (o Options) refInput() workloads.InputClass {
+	if o.InputOverride != "" {
+		return o.InputOverride
+	}
+	return workloads.InputRef
+}
+
+// npbInput returns the NPB problem class.
+func (o Options) npbInput() workloads.InputClass {
+	if o.InputOverride != "" {
+		return o.InputOverride
+	}
+	return workloads.ClassC
+}
+
+// npbLargeInput returns the larger NPB class used by Figure 1.
+func (o Options) npbLargeInput() workloads.InputClass {
+	if o.InputOverride != "" {
+		return o.InputOverride
+	}
+	return workloads.ClassD
+}
+
+func (o Options) fill() Options {
+	if o.Threads == 0 {
+		o.Threads = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+func (o Options) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = o.Seed
+	if o.SliceUnit != 0 {
+		cfg.SliceUnit = o.SliceUnit
+	}
+	return cfg
+}
+
+func (o Options) logf(format string, args ...interface{}) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// SpecApps returns the SPEC CPU2017 workload names used by the run.
+func (o Options) SpecApps() []string {
+	if o.Quick {
+		return []string{"603.bwaves_s.1", "638.imagick_s.1", "644.nab_s.1", "657.xz_s.2"}
+	}
+	var names []string
+	for _, s := range workloads.SpecSuite() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// NPBApps returns the NPB workload names used by the run.
+func (o Options) NPBApps() []string {
+	if o.Quick {
+		return []string{"npb-cg", "npb-ep", "npb-is"}
+	}
+	var names []string
+	for _, s := range workloads.NPBSuite() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// Evaluator memoizes end-to-end application reports across experiments
+// (Figures 5a, 7, and 8 share the same underlying runs, as in the paper).
+type Evaluator struct {
+	Opts Options
+
+	mu         sync.Mutex
+	reports    map[string]*core.Report
+	apps       map[string]*workloads.App
+	selections map[string]*core.Selection
+}
+
+// NewEvaluator creates an evaluator.
+func NewEvaluator(opts Options) *Evaluator {
+	return &Evaluator{
+		Opts:       opts.fill(),
+		reports:    make(map[string]*core.Report),
+		apps:       make(map[string]*workloads.App),
+		selections: make(map[string]*core.Selection),
+	}
+}
+
+// BuildApp constructs (and caches) a workload instance.
+func (e *Evaluator) BuildApp(name string, policy omp.WaitPolicy, input workloads.InputClass, threads int) (*workloads.App, error) {
+	key := fmt.Sprintf("%s/%v/%s/%d", name, policy, input, threads)
+	e.mu.Lock()
+	app, ok := e.apps[key]
+	e.mu.Unlock()
+	if ok {
+		return app, nil
+	}
+	spec, ok2 := workloads.Lookup(name)
+	if !ok2 {
+		return nil, fmt.Errorf("harness: unknown workload %q", name)
+	}
+	app, err := spec.Build(workloads.BuildParams{Threads: threads, Input: input, Policy: policy})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.apps[key] = app
+	e.mu.Unlock()
+	return app, nil
+}
+
+// ReportKey identifies one memoized evaluation.
+type ReportKey struct {
+	App     string
+	Policy  omp.WaitPolicy
+	Input   workloads.InputClass
+	Threads int
+	Core    timing.CoreKind
+	Full    bool
+}
+
+// Report runs (or returns the cached) end-to-end LoopPoint evaluation.
+func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
+	key := fmt.Sprintf("%+v", k)
+	e.mu.Lock()
+	rep, ok := e.reports[key]
+	e.mu.Unlock()
+	if ok {
+		return rep, nil
+	}
+	app, err := e.BuildApp(k.App, k.Policy, k.Input, k.Threads)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := timing.Gainestown(app.Prog.NumThreads())
+	if k.Core == timing.InOrder {
+		simCfg = timing.InOrderConfig(app.Prog.NumThreads())
+	}
+	e.Opts.logf("evaluating %s (%v, %s, %d threads, %v core, full=%v)",
+		k.App, k.Policy, k.Input, app.Prog.NumThreads(), k.Core, k.Full)
+	rep, err = core.Run(app.Prog, e.Opts.config(), simCfg, core.RunOpts{
+		SimulateFull: k.Full, Parallel: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", k.App, err)
+	}
+	e.mu.Lock()
+	e.reports[key] = rep
+	e.mu.Unlock()
+	return rep, nil
+}
+
+// AnalyzeOnly runs analysis and selection without any timing simulation
+// (used for the ref-input speedup studies, where full simulation is the
+// very thing being avoided).
+func (e *Evaluator) AnalyzeOnly(name string, policy omp.WaitPolicy, input workloads.InputClass, threads int) (*core.Selection, *workloads.App, error) {
+	app, err := e.BuildApp(name, policy, input, threads)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := fmt.Sprintf("%s/%v/%s/%d", name, policy, input, threads)
+	e.mu.Lock()
+	sel, ok := e.selections[key]
+	e.mu.Unlock()
+	if ok {
+		return sel, app, nil
+	}
+	e.Opts.logf("analyzing %s (%v, %s)", name, policy, input)
+	a, err := core.Analyze(app.Prog, e.Opts.config())
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, err = core.Select(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.mu.Lock()
+	e.selections[key] = sel
+	e.mu.Unlock()
+	return sel, app, nil
+}

@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"looppoint/internal/workloads"
+)
+
+// smokeOpts shrinks every experiment to test-class inputs and a small
+// slice unit so the whole harness exercises in seconds.
+func smokeOpts() Options {
+	return Options{
+		Quick:         true,
+		SliceUnit:     2000,
+		InputOverride: workloads.InputTest,
+	}
+}
+
+func smokeEvaluator() *Evaluator { return NewEvaluator(smokeOpts()) }
+
+func TestTablesRender(t *testing.T) {
+	for name, s := range map[string]string{
+		"TableI": TableI(), "TableII": TableII(), "TableIII": TableIII(),
+	} {
+		if len(s) < 100 {
+			t.Errorf("%s suspiciously short:\n%s", name, s)
+		}
+	}
+	if !strings.Contains(TableI(), "2.66 GHz") {
+		t.Error("Table I missing frequency")
+	}
+	if !strings.Contains(TableII(), "657.xz_s") {
+		t.Error("Table II missing xz")
+	}
+	if !strings.Contains(TableIII(), "sta4") {
+		t.Error("Table III missing sync columns")
+	}
+	if strings.Count(TableII(), "\n") < 10 {
+		t.Error("Table II too few applications")
+	}
+}
+
+func TestAppLists(t *testing.T) {
+	full := Options{}.fill()
+	if len(full.SpecApps()) != 14 || len(full.NPBApps()) != 9 {
+		t.Errorf("full app lists: %d SPEC, %d NPB", len(full.SpecApps()), len(full.NPBApps()))
+	}
+	quick := Options{Quick: true}.fill()
+	if len(quick.SpecApps()) >= 14 || len(quick.NPBApps()) >= 9 {
+		t.Error("quick lists not smaller")
+	}
+	for _, name := range quick.SpecApps() {
+		if _, ok := workloads.Lookup(name); !ok {
+			t.Errorf("quick app %s unknown", name)
+		}
+	}
+}
+
+func TestFig5aSmoke(t *testing.T) {
+	e := smokeEvaluator()
+	res, err := e.Fig5a()
+	if err != nil {
+		t.Fatalf("Fig5a: %v", err)
+	}
+	if len(res.Rows) != len(e.Opts.SpecApps()) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(e.Opts.SpecApps()))
+	}
+	for _, r := range res.Rows {
+		if r.Active < 0 || r.Passive < 0 || r.Active > 100 || r.Passive > 100 {
+			t.Errorf("%s: implausible errors %+v", r.App, r)
+		}
+	}
+	out := res.Render()
+	if !strings.Contains(out, "AVERAGE") {
+		t.Errorf("render missing average:\n%s", out)
+	}
+	// Fig7 and Fig8 reuse the cached reports — must be fast and consistent.
+	f7, err := e.Fig7()
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	if len(f7.Rows) != 2*len(res.Rows) {
+		t.Errorf("Fig7 rows = %d, want %d", len(f7.Rows), 2*len(res.Rows))
+	}
+	if s := f7.Render(); !strings.Contains(s, "L2 MPKI") {
+		t.Error("Fig7 render incomplete")
+	}
+	f8, err := e.Fig8()
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	for _, r := range f8.Rows {
+		if r.TheoreticalParallel < r.TheoreticalSerial {
+			t.Errorf("%s: parallel < serial speedup", r.App)
+		}
+	}
+	if s := f8.Render(); !strings.Contains(s, "#") {
+		t.Error("Fig8 chart missing bars")
+	}
+}
+
+func TestFig6And10Smoke(t *testing.T) {
+	e := smokeEvaluator()
+	f6, err := e.Fig6()
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(f6.Rows) != len(e.Opts.NPBApps()) {
+		t.Fatalf("Fig6 rows = %d", len(f6.Rows))
+	}
+	if s := f6.Render(); !strings.Contains(s, "16 threads") {
+		t.Error("Fig6 render incomplete")
+	}
+	f10, err := e.Fig10()
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	for _, r := range f10.Rows {
+		if r.Parallel8 <= 0 || r.Parallel16 <= 0 {
+			t.Errorf("%s: zero actual speedups %+v", r.App, r)
+		}
+	}
+}
+
+func TestFig9Smoke(t *testing.T) {
+	e := smokeEvaluator()
+	res, err := e.Fig9()
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	sawInapplicable := false
+	for _, r := range res.Rows {
+		if r.App == "657.xz_s.2" && !r.BPApplicable {
+			sawInapplicable = true
+		}
+		if r.LPParallel <= 0 {
+			t.Errorf("%s: no LoopPoint speedup", r.App)
+		}
+	}
+	if !sawInapplicable {
+		t.Error("BarrierPoint unexpectedly applicable to 657.xz_s.2")
+	}
+	if s := res.Render(); !strings.Contains(s, "n/a (no barriers)") {
+		t.Errorf("render missing inapplicability:\n%s", s)
+	}
+}
+
+func TestFig1Smoke(t *testing.T) {
+	e := smokeEvaluator()
+	res, err := e.Fig1()
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("Fig1 rows = %d, want 4", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !(r.FullDetail > r.LoopPoint) {
+			t.Errorf("%s: full detail (%.0f) not slower than LoopPoint (%.0f)",
+				r.Label, r.FullDetail, r.LoopPoint)
+		}
+		if !(r.FullDetail > r.TimeBased) {
+			t.Errorf("%s: full detail not slower than time-based", r.Label)
+		}
+	}
+	if s := res.Render(); !strings.Contains(s, "LoopPoint") {
+		t.Error("Fig1 render incomplete")
+	}
+}
+
+func TestFig3And4Smoke(t *testing.T) {
+	e := smokeEvaluator()
+	f3, err := e.Fig3()
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	xz := f3.Shares["657.xz_s.2"]
+	if len(xz) != 4 {
+		t.Fatalf("xz thread share series = %d threads", len(xz))
+	}
+	if s := f3.Render(); !strings.Contains(s, "thread 0") {
+		t.Error("Fig3 render incomplete")
+	}
+	f4, err := e.Fig4()
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if len(f4.FullTrace) < 2 || len(f4.RegionTrace) < 1 {
+		t.Errorf("Fig4 traces too short: %d full, %d region", len(f4.FullTrace), len(f4.RegionTrace))
+	}
+	if s := f4.Render(); !strings.Contains(s, "full run") {
+		t.Error("Fig4 render incomplete")
+	}
+}
+
+func TestConstrainedSmoke(t *testing.T) {
+	e := smokeEvaluator()
+	res, err := e.Constrained()
+	if err != nil {
+		t.Fatalf("Constrained: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if s := res.Render(); !strings.Contains(s, "constrained") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestAblationsSmoke(t *testing.T) {
+	e := smokeEvaluator()
+	for name, fn := range map[string]func() (*AblationResult, error){
+		"spinfilter":  e.AblationSpinFilter,
+		"globalbbv":   e.AblationGlobalBBV,
+		"flowcontrol": e.AblationFlowControl,
+		"warmup":      e.AblationWarmup,
+	} {
+		res, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Rows) < 2 {
+			t.Errorf("%s: %d rows", name, len(res.Rows))
+		}
+		if res.Render() == "" {
+			t.Errorf("%s: empty render", name)
+		}
+	}
+}
+
+func TestHybridSmoke(t *testing.T) {
+	e := smokeEvaluator()
+	res, err := e.Hybrid()
+	if err != nil {
+		t.Fatalf("Hybrid: %v", err)
+	}
+	if len(res.Rows) != len(e.Opts.SpecApps()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.App == "657.xz_s.2" {
+			if r.Choice != "looppoint" || r.BPApplies {
+				t.Errorf("xz hybrid row wrong: %+v", r)
+			}
+		}
+	}
+	if s := res.Render(); !strings.Contains(s, "chosen") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestNewAblationsSmoke(t *testing.T) {
+	e := smokeEvaluator()
+	for name, fn := range map[string]func() (*AblationResult, error){
+		"prefetcher":     e.AblationPrefetcher,
+		"variableslices": e.AblationVariableSlices,
+	} {
+		res, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Rows) < 2 || res.Render() == "" {
+			t.Errorf("%s: bad result", name)
+		}
+	}
+}
+
+func TestNaiveSimPointSmoke(t *testing.T) {
+	e := smokeEvaluator()
+	res, err := e.NaiveSimPoint()
+	if err != nil {
+		t.Fatalf("NaiveSimPoint: %v", err)
+	}
+	if len(res.Rows) != 2*len(e.Opts.SpecApps()) {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if s := res.Render(); !strings.Contains(s, "naive") {
+		t.Error("render incomplete")
+	}
+}

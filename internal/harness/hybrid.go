@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+
+	"looppoint/internal/baselines"
+	"looppoint/internal/omp"
+	"looppoint/internal/results"
+)
+
+// HybridRow is one application's hybrid-methodology outcome.
+type HybridRow struct {
+	App       string
+	Choice    string
+	LPSerial  float64
+	BPSerial  float64
+	BPApplies bool
+}
+
+// HybridResult reproduces the Section V-B suggestion of a hybrid
+// approach: per application, use BarrierPoint when its many small
+// inter-barrier regions beat LoopPoint's sample, and LoopPoint otherwise
+// (always for barrier-free applications).
+type HybridResult struct {
+	Rows []HybridRow
+}
+
+// Hybrid runs the hybrid analysis over the SPEC subset on train inputs.
+func (e *Evaluator) Hybrid() (*HybridResult, error) {
+	res := &HybridResult{}
+	for _, name := range e.Opts.SpecApps() {
+		app, err := e.BuildApp(name, omp.Passive, e.Opts.trainInput(), e.Opts.Threads)
+		if err != nil {
+			return nil, err
+		}
+		e.Opts.logf("hybrid analysis of %s", name)
+		h, err := baselines.AnalyzeHybrid(app.Prog, app.Runtime.BarrierReleaseAddr(), e.Opts.config())
+		if err != nil {
+			return nil, fmt.Errorf("harness: hybrid %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, HybridRow{
+			App:       name,
+			Choice:    string(h.Choice),
+			LPSerial:  h.LoopPoint.TheoreticalSerial,
+			BPSerial:  h.BarrierPoint.TheoreticalSerial,
+			BPApplies: h.BarrierPointApplicable,
+		})
+	}
+	return res, nil
+}
+
+// Render formats the hybrid comparison.
+func (r *HybridResult) Render() string {
+	t := &results.Table{
+		Title:   "SecV-B hybrid: per-app methodology choice (train, passive)",
+		Headers: []string{"application", "LoopPoint serial x", "BarrierPoint serial x", "chosen"},
+	}
+	for _, row := range r.Rows {
+		bp := "n/a"
+		if row.BPApplies {
+			bp = fmt.Sprintf("%.2f", row.BPSerial)
+		}
+		t.AddRow(row.App, row.LPSerial, bp, row.Choice)
+	}
+	return t.String()
+}

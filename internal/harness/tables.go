@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"fmt"
+
+	"looppoint/internal/results"
+	"looppoint/internal/timing"
+	"looppoint/internal/workloads"
+)
+
+// TableI renders the simulated system configuration (paper Table I).
+func TableI() string {
+	cfg := timing.Gainestown(8)
+	t := &results.Table{
+		Title:   "Table I: primary characteristics of the simulated system",
+		Headers: []string{"component", "features"},
+	}
+	t.AddRow("Processor", fmt.Sprintf("8 & 16 cores, Gainestown-like microarch. (%s model)", cfg.Kind))
+	t.AddRow("Core", fmt.Sprintf("%.2f GHz, %d entry ROB, %d-wide", cfg.FreqGHz, cfg.ROB, cfg.Dispatch))
+	t.AddRow("Branch predictor", "Pentium M (bimodal + gshare + chooser)")
+	t.AddRow("L1-I cache", cfg.L1I.String())
+	t.AddRow("L1-D cache", cfg.L1D.String())
+	t.AddRow("L2 cache", cfg.L2.String())
+	t.AddRow("L3 cache", cfg.L3.String())
+	t.AddRow("DRAM", fmt.Sprintf("%d cycles beyond L3", cfg.MemLatency))
+	return t.String()
+}
+
+// TableII renders the SPEC CPU2017 speed application attributes
+// (paper Table II).
+func TableII() string {
+	t := &results.Table{
+		Title:   "Table II: SPEC CPU2017 speed application attributes",
+		Headers: []string{"application", "lang", "KLOC", "application area"},
+	}
+	seen := map[string]bool{}
+	for _, s := range workloads.SpecSuite() {
+		base := s.Name[:len(s.Name)-2] // strip .1/.2 input suffix
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		t.AddRow(base, s.Lang, s.KLOC, s.Area)
+	}
+	return t.String()
+}
+
+// TableIII renders the synchronization-primitive matrix (paper Table III).
+func TableIII() string {
+	t := &results.Table{
+		Title:   "Table III: SPEC CPU2017 speed synchronization primitives used",
+		Headers: []string{"application", "sta4", "dyn4", "bar", "ma", "si", "red", "at", "lck"},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "Y"
+		}
+		return ""
+	}
+	for _, s := range workloads.SpecSuite() {
+		t.AddRow(s.Name, yn(s.Sync.Sta4), yn(s.Sync.Dyn4), yn(s.Sync.Bar), yn(s.Sync.Ma),
+			yn(s.Sync.Si), yn(s.Sync.Red), yn(s.Sync.At), yn(s.Sync.Lck))
+	}
+	return t.String()
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"fmt"
+
+	"looppoint/internal/bbv"
+	"looppoint/internal/core"
+	"looppoint/internal/omp"
+	"looppoint/internal/results"
+	"looppoint/internal/timing"
+)
+
+// Fig3Result reproduces Figure 3: per-thread share of the per-slice
+// filtered instruction count as the application progresses, showing
+// homogeneous (imagick) versus non-homogeneous (657.xz_s.2) behaviour.
+type Fig3Result struct {
+	Apps   []string
+	Shares map[string][][]float64 // app -> [thread][slice]
+}
+
+// Fig3 profiles the two contrast applications.
+func (e *Evaluator) Fig3() (*Fig3Result, error) {
+	res := &Fig3Result{Shares: make(map[string][][]float64)}
+	for _, name := range []string{"638.imagick_s.1", "657.xz_s.2"} {
+		app, err := e.BuildApp(name, omp.Passive, e.Opts.trainInput(), e.Opts.Threads)
+		if err != nil {
+			return nil, err
+		}
+		a, err := core.Analyze(app.Prog, e.Opts.config())
+		if err != nil {
+			return nil, err
+		}
+		byRegion := a.Profile.ThreadShare() // [slice][thread]
+		nt := app.Prog.NumThreads()
+		byThread := make([][]float64, nt)
+		for t := 0; t < nt; t++ {
+			for _, shares := range byRegion {
+				byThread[t] = append(byThread[t], shares[t])
+			}
+		}
+		res.Apps = append(res.Apps, name)
+		res.Shares[name] = byThread
+	}
+	return res, nil
+}
+
+// Render formats Figure 3 as per-thread sparklines.
+func (r *Fig3Result) Render() string {
+	out := ""
+	for _, app := range r.Apps {
+		s := &results.Series{Title: fmt.Sprintf("Fig3: per-thread instruction share per slice — %s", app)}
+		for t, data := range r.Shares[app] {
+			s.Names = append(s.Names, fmt.Sprintf("thread %d", t))
+			s.Data = append(s.Data, data)
+		}
+		out += s.String() + "\n"
+	}
+	return out
+}
+
+// Fig4Result reproduces Figure 4: the IPC-over-time trace of a full
+// application run next to the trace of one representative region chosen
+// by LoopPoint, with its (PC, count) boundaries.
+type Fig4Result struct {
+	App          string
+	FullTrace    []timing.IPCSample
+	RegionTrace  []timing.IPCSample
+	RegionStart  bbv.Marker
+	RegionEnd    bbv.Marker
+	RegionWeight float64
+}
+
+// Fig4 traces 638.imagick_s.1 (train) and its heaviest looppoint.
+func (e *Evaluator) Fig4() (*Fig4Result, error) {
+	const name = "638.imagick_s.1"
+	app, err := e.BuildApp(name, omp.Passive, e.Opts.trainInput(), e.Opts.Threads)
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(app.Prog, e.Opts.config())
+	if err != nil {
+		return nil, err
+	}
+	sel, err := core.Select(a)
+	if err != nil {
+		return nil, err
+	}
+	// Heaviest looppoint (largest multiplier × size).
+	best := sel.Points[0]
+	for _, lp := range sel.Points {
+		if lp.Multiplier*float64(lp.Region.Filtered) > best.Multiplier*float64(best.Region.Filtered) {
+			best = lp
+		}
+	}
+
+	sim, err := timing.New(timing.Gainestown(app.Prog.NumThreads()), app.Prog)
+	if err != nil {
+		return nil, err
+	}
+	interval := a.Profile.TotalICount / 400
+	if interval == 0 {
+		interval = 1
+	}
+	sim.Trace = timing.NewIPCTrace(interval)
+	if _, err := sim.SimulateFull(); err != nil {
+		return nil, err
+	}
+	full := sim.Trace.Samples
+
+	sim2, err := timing.New(timing.Gainestown(app.Prog.NumThreads()), app.Prog)
+	if err != nil {
+		return nil, err
+	}
+	sim2.Trace = timing.NewIPCTrace(best.Region.UnfilteredLen() / 60)
+	if _, err := sim2.SimulateRegion(best.Region.Start, best.Region.End, timing.WarmupFunctional); err != nil {
+		return nil, err
+	}
+	return &Fig4Result{
+		App:          name,
+		FullTrace:    full,
+		RegionTrace:  sim2.Trace.Samples,
+		RegionStart:  best.Region.Start,
+		RegionEnd:    best.Region.End,
+		RegionWeight: best.Multiplier,
+	}, nil
+}
+
+// Render formats Figure 4.
+func (r *Fig4Result) Render() string {
+	toSeries := func(samples []timing.IPCSample) []float64 {
+		var out []float64
+		for _, s := range samples {
+			out = append(out, s.IPC)
+		}
+		return out
+	}
+	s := &results.Series{
+		Title: fmt.Sprintf("Fig4: IPC over time — %s (full run vs. region %v..%v, multiplier %.1f)",
+			r.App, r.RegionStart, r.RegionEnd, r.RegionWeight),
+		Names: []string{"full run", "region"},
+		Data:  [][]float64{toSeries(r.FullTrace), toSeries(r.RegionTrace)},
+	}
+	return s.String()
+}

@@ -1,0 +1,137 @@
+package isa
+
+// Emission helpers. Each method appends one instruction to the block and
+// returns the block so short straight-line sequences can be chained.
+
+func (b *Block) emit(in Instr) *Block {
+	b.Instrs = append(b.Instrs, in)
+	return b
+}
+
+// Nop appends a no-op.
+func (b *Block) Nop() *Block { return b.emit(Instr{Op: OpNop}) }
+
+// IOp appends an integer ALU op: dst = a op rb.
+func (b *Block) IOp(op Op, dst, a, rb Reg) *Block {
+	return b.emit(Instr{Op: op, Dst: dst, A: a, B: rb})
+}
+
+// IOpI appends an integer ALU op with immediate: dst = a op imm.
+func (b *Block) IOpI(op Op, dst, a Reg, imm int64) *Block {
+	return b.emit(Instr{Op: op, Dst: dst, A: a, UseImm: true, Imm: imm})
+}
+
+// IMov appends dst = a.
+func (b *Block) IMov(dst, a Reg) *Block { return b.emit(Instr{Op: OpIMov, Dst: dst, A: a}) }
+
+// IMovI appends dst = imm.
+func (b *Block) IMovI(dst Reg, imm int64) *Block {
+	return b.emit(Instr{Op: OpIMov, Dst: dst, UseImm: true, Imm: imm})
+}
+
+// FOp appends a float ALU op: fdst = fa op fb.
+func (b *Block) FOp(op Op, dst, a, rb Reg) *Block {
+	return b.emit(Instr{Op: op, Dst: dst, A: a, B: rb})
+}
+
+// FMovI appends fdst = fimm.
+func (b *Block) FMovI(dst Reg, imm float64) *Block {
+	return b.emit(Instr{Op: OpFMov, Dst: dst, UseImm: true, FImm: imm})
+}
+
+// FMA appends fdst = fa*fb + fdst.
+func (b *Block) FMA(dst, a, rb Reg) *Block {
+	return b.emit(Instr{Op: OpFMA, Dst: dst, A: a, B: rb})
+}
+
+// FCmp appends dst = (fa cond fb) ? 1 : 0 into the integer file.
+func (b *Block) FCmp(cond Cond, dst, a, rb Reg) *Block {
+	return b.emit(Instr{Op: OpFCmp, Cond: cond, Dst: dst, A: a, B: rb})
+}
+
+// ICvtF appends fdst = float(ra).
+func (b *Block) ICvtF(dst, a Reg) *Block { return b.emit(Instr{Op: OpICvtF, Dst: dst, A: a}) }
+
+// FCvtI appends dst = int(fa).
+func (b *Block) FCvtI(dst, a Reg) *Block { return b.emit(Instr{Op: OpFCvtI, Dst: dst, A: a}) }
+
+// ILoad appends dst = mem[ra+off] (as int64).
+func (b *Block) ILoad(dst, addr Reg, off int64) *Block {
+	return b.emit(Instr{Op: OpILoad, Dst: dst, A: addr, Imm: off})
+}
+
+// IStore appends mem[ra+off] = rb.
+func (b *Block) IStore(addr Reg, off int64, src Reg) *Block {
+	return b.emit(Instr{Op: OpIStore, A: addr, Imm: off, B: src})
+}
+
+// FLoad appends fdst = mem[ra+off] (as float64).
+func (b *Block) FLoad(dst, addr Reg, off int64) *Block {
+	return b.emit(Instr{Op: OpFLoad, Dst: dst, A: addr, Imm: off})
+}
+
+// FStore appends mem[ra+off] = fb.
+func (b *Block) FStore(addr Reg, off int64, src Reg) *Block {
+	return b.emit(Instr{Op: OpFStore, A: addr, Imm: off, B: src})
+}
+
+// AtomicAdd appends dst = fetch-and-add(mem[ra+off], rb).
+func (b *Block) AtomicAdd(dst, addr Reg, off int64, src Reg) *Block {
+	return b.emit(Instr{Op: OpAtomicAdd, Dst: dst, A: addr, Imm: off, B: src})
+}
+
+// CmpXchg appends a compare-and-swap: if mem[ra+off] == rb then
+// mem = rnew and dst = 1 else dst = 0. The new value is taken from
+// register dst before the operation (dst doubles as the value operand).
+func (b *Block) CmpXchg(dst, addr Reg, off int64, expect Reg) *Block {
+	return b.emit(Instr{Op: OpCmpXchg, Dst: dst, A: addr, Imm: off, B: expect})
+}
+
+// Xchg appends dst = swap(mem[ra+off], rb).
+func (b *Block) Xchg(dst, addr Reg, off int64, src Reg) *Block {
+	return b.emit(Instr{Op: OpXchg, Dst: dst, A: addr, Imm: off, B: src})
+}
+
+// Br appends an unconditional branch to the target block.
+func (b *Block) Br(target *Block) *Block {
+	return b.emit(Instr{Op: OpBr, Target: target.ID})
+}
+
+// BrCond appends a conditional branch: if ra cond rb goto target else els.
+func (b *Block) BrCond(cond Cond, a, rb Reg, target, els *Block) *Block {
+	return b.emit(Instr{Op: OpBrCond, Cond: cond, A: a, B: rb, Target: target.ID, Else: els.ID})
+}
+
+// BrCondI appends a conditional branch against an immediate.
+func (b *Block) BrCondI(cond Cond, a Reg, imm int64, target, els *Block) *Block {
+	return b.emit(Instr{Op: OpBrCond, Cond: cond, A: a, UseImm: true, Imm: imm, Target: target.ID, Else: els.ID})
+}
+
+// Call appends a call to the routine's entry block.
+func (b *Block) Call(callee *Routine) *Block {
+	return b.emit(Instr{Op: OpCall, Callee: callee})
+}
+
+// Ret appends a return.
+func (b *Block) Ret() *Block { return b.emit(Instr{Op: OpRet}) }
+
+// Halt appends a thread-halt.
+func (b *Block) Halt() *Block { return b.emit(Instr{Op: OpHalt}) }
+
+// FutexWait appends: if mem[ra+off] == rb, block until woken.
+func (b *Block) FutexWait(addr Reg, off int64, expect Reg) *Block {
+	return b.emit(Instr{Op: OpFutexWait, A: addr, Imm: off, B: expect})
+}
+
+// FutexWake appends: wake up to rb waiters on mem[ra+off]; dst = #woken.
+func (b *Block) FutexWake(dst, addr Reg, off int64, n Reg) *Block {
+	return b.emit(Instr{Op: OpFutexWake, Dst: dst, A: addr, Imm: off, B: n})
+}
+
+// Pause appends a spin-loop hint.
+func (b *Block) Pause() *Block { return b.emit(Instr{Op: OpPause}) }
+
+// Syscall appends dst = syscall(no, ra).
+func (b *Block) Syscall(dst Reg, no SyscallNo, arg Reg) *Block {
+	return b.emit(Instr{Op: OpSyscall, Dst: dst, A: arg, Imm: int64(no)})
+}

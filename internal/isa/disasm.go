@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Disassemble writes a human-readable listing of the program: every
+// image, routine, and block with addresses, instructions, and branch
+// targets. It is the debugging view of generated workloads (the
+// lpprofile -disasm flag).
+func (p *Program) Disassemble(w io.Writer) error {
+	for _, img := range p.Images {
+		kind := "main"
+		if img.Sync {
+			kind = "sync library"
+		}
+		if _, err := fmt.Fprintf(w, "image %s (%s)\n", img.Name, kind); err != nil {
+			return err
+		}
+		for _, r := range img.Routines {
+			if _, err := fmt.Fprintf(w, "  routine %s\n", r.Name); err != nil {
+				return err
+			}
+			for _, b := range r.Blocks {
+				if _, err := fmt.Fprintf(w, "    b%-3d %s @%#x\n", b.ID, b.Label, b.Addr); err != nil {
+					return err
+				}
+				for i := range b.Instrs {
+					in := &b.Instrs[i]
+					if _, err := fmt.Fprintf(w, "      %#08x  %s\n", in.Addr, disasmInstr(in)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func disasmInstr(in *Instr) string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OpNop, OpPause, OpRet, OpHalt:
+	case OpBr:
+		fmt.Fprintf(&b, " b%d", in.Target)
+	case OpBrCond:
+		if in.UseImm {
+			fmt.Fprintf(&b, ".%s r%d, %d -> b%d / b%d", in.Cond, in.A, in.Imm, in.Target, in.Else)
+		} else {
+			fmt.Fprintf(&b, ".%s r%d, r%d -> b%d / b%d", in.Cond, in.A, in.B, in.Target, in.Else)
+		}
+	case OpCall:
+		fmt.Fprintf(&b, " %s", in.Callee.Name)
+	case OpILoad, OpFLoad:
+		fmt.Fprintf(&b, " r%d, [r%d%+d]", in.Dst, in.A, in.Imm)
+	case OpIStore, OpFStore:
+		fmt.Fprintf(&b, " [r%d%+d], r%d", in.A, in.Imm, in.B)
+	case OpAtomicAdd, OpCmpXchg, OpXchg:
+		fmt.Fprintf(&b, " r%d, [r%d%+d], r%d", in.Dst, in.A, in.Imm, in.B)
+	case OpFutexWait:
+		fmt.Fprintf(&b, " [r%d%+d], r%d", in.A, in.Imm, in.B)
+	case OpFutexWake:
+		fmt.Fprintf(&b, " r%d, [r%d%+d], n=r%d", in.Dst, in.A, in.Imm, in.B)
+	case OpSyscall:
+		fmt.Fprintf(&b, " r%d, #%d(r%d)", in.Dst, in.Imm, in.A)
+	case OpFMov:
+		if in.UseImm {
+			fmt.Fprintf(&b, " f%d, %g", in.Dst, in.FImm)
+		} else {
+			fmt.Fprintf(&b, " f%d, f%d", in.Dst, in.A)
+		}
+	case OpIMov:
+		if in.UseImm {
+			fmt.Fprintf(&b, " r%d, %d", in.Dst, in.Imm)
+		} else {
+			fmt.Fprintf(&b, " r%d, r%d", in.Dst, in.A)
+		}
+	case OpFCmp:
+		fmt.Fprintf(&b, ".%s r%d, f%d, f%d", in.Cond, in.Dst, in.A, in.B)
+	default:
+		if in.UseImm {
+			fmt.Fprintf(&b, " r%d, r%d, %d", in.Dst, in.A, in.Imm)
+		} else {
+			fmt.Fprintf(&b, " r%d, r%d, r%d", in.Dst, in.A, in.B)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassembleCoversEveryOpcode(t *testing.T) {
+	p := NewProgram("dis", 1)
+	arr := p.Alloc("arr", 16)
+	img := p.AddImage("main", false)
+	lib := p.AddImage("libsync", true)
+	callee := lib.NewRoutine("leaf")
+	callee.NewBlock("entry").Nop().Ret()
+
+	r := img.NewRoutine("main")
+	b0 := r.NewBlock("entry")
+	b1 := r.NewBlock("next")
+	b2 := r.NewBlock("done")
+	b0.IMovI(1, int64(arr))
+	b0.IMov(2, 1)
+	b0.IOpI(OpIAdd, 3, 1, 5)
+	b0.IOp(OpIXor, 3, 3, 2)
+	b0.FMovI(0, 2.5)
+	b0.FOp(OpFAdd, 1, 0, 0)
+	b0.FMA(1, 0, 0)
+	b0.FCmp(CondLT, 4, 0, 1)
+	b0.ICvtF(2, 3)
+	b0.FCvtI(5, 2)
+	b0.ILoad(6, 1, 0)
+	b0.IStore(1, 1, 6)
+	b0.FLoad(3, 1, 2)
+	b0.FStore(1, 3, 3)
+	b0.AtomicAdd(7, 1, 0, 6)
+	b0.CmpXchg(8, 1, 0, 6)
+	b0.Xchg(9, 1, 0, 6)
+	b0.FutexWait(1, 0, 6)
+	b0.FutexWake(10, 1, 0, 6)
+	b0.Pause()
+	b0.Syscall(11, SysRand, 0)
+	b0.Call(callee)
+	b0.BrCondI(CondEQ, 3, 0, b1, b2)
+	b1.Nop()
+	b1.Br(b2)
+	b2.Halt()
+	p.SetEntry(0, r)
+	if err := p.Link(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := p.Disassemble(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"image main (main)", "image libsync (sync library)",
+		"routine main", "routine leaf",
+		"imov r1,", "iadd", "fma", "fcmp.lt",
+		"ild r6, [r1+0]", "ist [r1+1], r6",
+		"xadd", "cmpxchg", "xchg",
+		"futexwait", "futexwake", "pause",
+		"syscall r11, #1(r0)", "call leaf",
+		"brc.eq r3, 0 -> b1 / b2", "br b2", "halt", "ret",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+	// Every instruction line carries an address.
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "0x") && !strings.Contains(trimmed, "  ") {
+			t.Errorf("malformed instruction line %q", line)
+		}
+	}
+}

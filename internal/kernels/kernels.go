@@ -1,0 +1,352 @@
+// Package kernels provides reusable loop-kernel emitters for building
+// synthetic workloads in the mini-ISA. Each kernel emits a self-contained
+// loop nest into the routine under construction, partitioned across
+// threads via the tid register, with memory-access patterns chosen to
+// exercise the cache hierarchy and branch predictor in characteristic
+// ways (streaming, stencil, random access, histogram, data-dependent
+// branches). Workload definitions in internal/workloads compose kernels
+// into phase structures that mirror the benchmarks the paper evaluates.
+package kernels
+
+import (
+	"fmt"
+
+	"looppoint/internal/isa"
+)
+
+// Emitter tracks the current block while kernels append control flow to a
+// routine. Kernels use scratch registers R0–R7 and F0–F7 and leave
+// R8–R15/F8–F15 untouched for the surrounding driver code.
+type Emitter struct {
+	P   *isa.Program
+	R   *isa.Routine
+	Cur *isa.Block
+	n   int
+}
+
+// NewEmitter starts emitting into routine r from block entry.
+func NewEmitter(p *isa.Program, r *isa.Routine, entry *isa.Block) *Emitter {
+	return &Emitter{P: p, R: r, Cur: entry}
+}
+
+// NewBlock appends a fresh block without linking it; callers branch to it.
+func (e *Emitter) NewBlock(label string) *isa.Block {
+	e.n++
+	return e.R.NewBlock(fmt.Sprintf("%s_%d", label, e.n))
+}
+
+// continueIn switches emission to a new block that the caller has already
+// branched to.
+func (e *Emitter) continueIn(b *isa.Block) { e.Cur = b }
+
+// Partition describes how loop iterations split across threads.
+type Partition struct {
+	// Chunk is the per-thread iteration count for thread 0.
+	Chunk int64
+	// SkewChunk adds SkewChunk×tid iterations per thread, producing the
+	// heterogeneous behaviour of workloads like 657.xz_s.2 (Figure 3).
+	SkewChunk int64
+}
+
+// Equal splits n iterations per thread evenly.
+func Equal(n int64) Partition { return Partition{Chunk: n} }
+
+// Skewed gives thread t base + t×skew iterations.
+func Skewed(base, skew int64) Partition { return Partition{Chunk: base, SkewChunk: skew} }
+
+// Max returns the largest per-thread count across nthreads.
+func (p Partition) Max(nthreads int) int64 {
+	return p.Chunk + p.SkewChunk*int64(nthreads-1)
+}
+
+// ArrayWords returns the number of words an array must hold for every
+// thread's slice (plus guard words for stencil halos).
+func (p Partition) ArrayWords(nthreads int) uint64 {
+	return uint64(p.Max(nthreads))*uint64(nthreads) + 2
+}
+
+// emitCount computes the thread's iteration count into reg (clobbers rTmp).
+func (p Partition) emitCount(b *isa.Block, reg, rTmp isa.Reg) {
+	b.IMovI(reg, p.Chunk)
+	if p.SkewChunk != 0 {
+		b.IMovI(rTmp, p.SkewChunk)
+		b.IOp(isa.OpIMul, rTmp, isa.RegTid, rTmp)
+		b.IOp(isa.OpIAdd, reg, reg, rTmp)
+	}
+}
+
+// emitThreadBase computes base + tid*stridePerThread into reg.
+func emitThreadBase(b *isa.Block, reg isa.Reg, base uint64, stridePerThread int64) {
+	b.IMovI(reg, stridePerThread)
+	b.IOp(isa.OpIMul, reg, isa.RegTid, reg)
+	b.IOpI(isa.OpIAdd, reg, reg, int64(base))
+}
+
+// Scratch register roles shared by the kernels below.
+const (
+	rBase  isa.Reg = 0 // thread-local array base
+	rIdx   isa.Reg = 1 // loop induction variable
+	rCount isa.Reg = 2 // iteration bound
+	rAddr  isa.Reg = 3 // effective address
+	rVal   isa.Reg = 4
+	rTmp   isa.Reg = 5
+	rTmp2  isa.Reg = 6
+	rTmp3  isa.Reg = 7
+)
+
+// StreamFMA emits a streaming triad: for i in thread-slice:
+// a[i] = a[i]*scale + add. Unit stride; floating point.
+func (e *Emitter) StreamFMA(arr uint64, part Partition, scale, add float64) {
+	b := e.Cur
+	emitThreadBase(b, rBase, arr, part.Max(e.P.NumThreads()))
+	part.emitCount(b, rCount, rTmp)
+	b.IMovI(rIdx, 0)
+	b.FMovI(1, scale)
+	loop := e.NewBlock("stream")
+	cont := e.NewBlock("stream_done")
+	b.BrCondI(isa.CondGT, rCount, 0, loop, cont)
+
+	loop.IOp(isa.OpIAdd, rAddr, rBase, rIdx)
+	loop.FLoad(0, rAddr, 0)
+	loop.FMovI(2, add)
+	loop.FMA(2, 0, 1) // f2 = add + a[i]*scale
+	loop.FStore(rAddr, 0, 2)
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCond(isa.CondLT, rIdx, rCount, loop, cont)
+	e.continueIn(cont)
+}
+
+// Stencil3 emits a 3-point stencil: dst[i] = (src[i-1]+src[i]+src[i+1])/3
+// over the thread's slice (offset by one to stay in bounds).
+func (e *Emitter) Stencil3(src, dst uint64, part Partition) {
+	b := e.Cur
+	emitThreadBase(b, rBase, src+1, part.Max(e.P.NumThreads()))
+	part.emitCount(b, rCount, rTmp)
+	b.IMovI(rIdx, 0)
+	b.IMovI(rTmp3, int64(dst)-int64(src)) // dst offset from src
+	b.FMovI(3, 1.0/3.0)
+	loop := e.NewBlock("stencil")
+	cont := e.NewBlock("stencil_done")
+	b.BrCondI(isa.CondGT, rCount, 0, loop, cont)
+
+	loop.IOp(isa.OpIAdd, rAddr, rBase, rIdx)
+	loop.FLoad(0, rAddr, -1)
+	loop.FLoad(1, rAddr, 0)
+	loop.FLoad(2, rAddr, 1)
+	loop.FOp(isa.OpFAdd, 0, 0, 1)
+	loop.FOp(isa.OpFAdd, 0, 0, 2)
+	loop.FOp(isa.OpFMul, 0, 0, 3)
+	loop.IOp(isa.OpIAdd, rTmp, rAddr, rTmp3)
+	loop.FStore(rTmp, 0, 0)
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCond(isa.CondLT, rIdx, rCount, loop, cont)
+	e.continueIn(cont)
+}
+
+// StridedLoad emits an FFT-like strided sweep: for i in slice:
+// acc += a[(i*stride) mod span]; the stride defeats spatial locality.
+func (e *Emitter) StridedLoad(arr uint64, span int64, stride int64, part Partition) {
+	b := e.Cur
+	part.emitCount(b, rCount, rTmp)
+	b.IMovI(rIdx, 0)
+	b.IMovI(rTmp2, stride)
+	loop := e.NewBlock("strided")
+	cont := e.NewBlock("strided_done")
+	b.BrCondI(isa.CondGT, rCount, 0, loop, cont)
+
+	loop.IOp(isa.OpIMul, rAddr, rIdx, rTmp2)
+	loop.IOpI(isa.OpIRem, rAddr, rAddr, span)
+	loop.IOpI(isa.OpIAdd, rAddr, rAddr, int64(arr))
+	loop.FLoad(0, rAddr, 0)
+	loop.FOp(isa.OpFAdd, 7, 7, 0)
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCond(isa.CondLT, rIdx, rCount, loop, cont)
+	e.continueIn(cont)
+}
+
+// RandomWalk emits a cache-hostile random-access loop using an LCG:
+// idx = (idx*a + c) mod span; v = mem[arr+idx]; mem[arr+idx] = v+1.
+func (e *Emitter) RandomWalk(arr uint64, span int64, part Partition) {
+	b := e.Cur
+	part.emitCount(b, rCount, rTmp)
+	b.IMovI(rIdx, 0)
+	b.IOpI(isa.OpIAdd, rVal, isa.RegTid, 12345) // per-thread LCG state
+	loop := e.NewBlock("rwalk")
+	cont := e.NewBlock("rwalk_done")
+	b.BrCondI(isa.CondGT, rCount, 0, loop, cont)
+
+	loop.IOpI(isa.OpIMul, rVal, rVal, 1103515245)
+	loop.IOpI(isa.OpIAdd, rVal, rVal, 12345)
+	loop.IOpI(isa.OpIAnd, rVal, rVal, (1<<31)-1)
+	loop.IOpI(isa.OpIRem, rAddr, rVal, span)
+	loop.IOpI(isa.OpIAdd, rAddr, rAddr, int64(arr))
+	loop.ILoad(rTmp, rAddr, 0)
+	loop.IOpI(isa.OpIAdd, rTmp, rTmp, 1)
+	loop.IStore(rAddr, 0, rTmp)
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCond(isa.CondLT, rIdx, rCount, loop, cont)
+	e.continueIn(cont)
+}
+
+// ReduceSum emits a thread-local floating-point reduction over the
+// thread's slice into F6 (callers combine across threads with
+// omp.EmitReduceF afterwards).
+func (e *Emitter) ReduceSum(arr uint64, part Partition) {
+	b := e.Cur
+	emitThreadBase(b, rBase, arr, part.Max(e.P.NumThreads()))
+	part.emitCount(b, rCount, rTmp)
+	b.IMovI(rIdx, 0)
+	b.FMovI(6, 0)
+	loop := e.NewBlock("reduce")
+	cont := e.NewBlock("reduce_done")
+	b.BrCondI(isa.CondGT, rCount, 0, loop, cont)
+
+	loop.IOp(isa.OpIAdd, rAddr, rBase, rIdx)
+	loop.FLoad(0, rAddr, 0)
+	loop.FOp(isa.OpFAdd, 6, 6, 0)
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCond(isa.CondLT, rIdx, rCount, loop, cont)
+	e.continueIn(cont)
+}
+
+// Histogram emits an integer-sort-style histogram: for i in slice:
+// bucket = a[i] mod buckets; hist[bucket]++ — with atomic increments when
+// shared is true (NPB is-style) or plain stores into per-thread bins.
+func (e *Emitter) Histogram(arr, hist uint64, buckets int64, shared bool, part Partition) {
+	b := e.Cur
+	emitThreadBase(b, rBase, arr, part.Max(e.P.NumThreads()))
+	part.emitCount(b, rCount, rTmp)
+	b.IMovI(rIdx, 0)
+	if !shared {
+		b.IMovI(rTmp3, buckets)
+		b.IOp(isa.OpIMul, rTmp3, isa.RegTid, rTmp3)
+		b.IOpI(isa.OpIAdd, rTmp3, rTmp3, int64(hist)) // per-thread bins
+	} else {
+		b.IMovI(rTmp3, int64(hist))
+	}
+	loop := e.NewBlock("hist")
+	cont := e.NewBlock("hist_done")
+	b.BrCondI(isa.CondGT, rCount, 0, loop, cont)
+
+	loop.IOp(isa.OpIAdd, rAddr, rBase, rIdx)
+	loop.ILoad(rVal, rAddr, 0)
+	loop.IOpI(isa.OpIAnd, rVal, rVal, (1<<31)-1) // clamp sign before mod
+	loop.IOpI(isa.OpIRem, rVal, rVal, buckets)
+	loop.IOp(isa.OpIAdd, rVal, rVal, rTmp3)
+	if shared {
+		loop.IMovI(rTmp, 1)
+		loop.AtomicAdd(rTmp2, rVal, 0, rTmp)
+	} else {
+		loop.ILoad(rTmp, rVal, 0)
+		loop.IOpI(isa.OpIAdd, rTmp, rTmp, 1)
+		loop.IStore(rVal, 0, rTmp)
+	}
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCond(isa.CondLT, rIdx, rCount, loop, cont)
+	e.continueIn(cont)
+}
+
+// BranchyCompress emits an xz-like data-dependent loop: load a byte-ish
+// value, branch on its low bits down two different paths (defeating the
+// branch predictor on incompressible data), and accumulate a rolling
+// checksum with a serial dependency.
+func (e *Emitter) BranchyCompress(arr uint64, part Partition) {
+	b := e.Cur
+	emitThreadBase(b, rBase, arr, part.Max(e.P.NumThreads()))
+	part.emitCount(b, rCount, rTmp)
+	b.IMovI(rIdx, 0)
+	b.IMovI(rVal, 0) // checksum
+	loop := e.NewBlock("compress")
+	lit := e.NewBlock("literal")
+	match := e.NewBlock("match")
+	latch := e.NewBlock("compress_latch")
+	cont := e.NewBlock("compress_done")
+	b.BrCondI(isa.CondGT, rCount, 0, loop, cont)
+
+	loop.IOp(isa.OpIAdd, rAddr, rBase, rIdx)
+	loop.ILoad(rTmp, rAddr, 0)
+	loop.IOpI(isa.OpIAnd, rTmp2, rTmp, 3)
+	loop.BrCondI(isa.CondEQ, rTmp2, 0, match, lit)
+	// Literal path: cheap.
+	lit.IOpI(isa.OpIMul, rVal, rVal, 31)
+	lit.IOp(isa.OpIAdd, rVal, rVal, rTmp)
+	lit.Br(latch)
+	// Match path: extra dependent lookup (match table).
+	match.IOpI(isa.OpIAnd, rTmp3, rTmp, 255)
+	match.IOpI(isa.OpIAdd, rTmp3, rTmp3, int64(arr))
+	match.ILoad(rTmp3, rTmp3, 0)
+	match.IOp(isa.OpIXor, rVal, rVal, rTmp3)
+	match.IOpI(isa.OpIShr, rTmp3, rVal, 7)
+	match.IOp(isa.OpIAdd, rVal, rVal, rTmp3)
+	match.Br(latch)
+	// Store the input byte back unchanged: compression reads its input
+	// and emits to a stream; the input block is not mutated, so repeated
+	// passes see the same data (stable phase behaviour across steps).
+	latch.IStore(rAddr, 0, rTmp)
+	latch.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	latch.BrCond(isa.CondLT, rIdx, rCount, loop, cont)
+	e.continueIn(cont)
+}
+
+// DynamicFor wraps a body emitter in a dynamic-scheduling chunk-grab
+// loop: threads repeatedly fetch-add the shared counter for the next
+// chunk until total iterations are exhausted. body receives the emitter
+// positioned in the chunk body with the chunk start index in R8.
+func (e *Emitter) DynamicFor(counter uint64, total, chunk int64, emitDynNext func(b *isa.Block, dst isa.Reg), body func(e *Emitter)) {
+	head := e.NewBlock("dyn_head")
+	bodyBlk := e.NewBlock("dyn_body")
+	cont := e.NewBlock("dyn_done")
+	e.Cur.Br(head)
+	// R8 = chunk start (from the runtime's fetch-add).
+	emitDynNext(head, 8)
+	head.BrCondI(isa.CondGE, 8, total, cont, bodyBlk)
+	e.continueIn(bodyBlk)
+	body(e)
+	e.Cur.Br(head)
+	e.continueIn(cont)
+}
+
+// ChunkStream emits a streaming FMA over [start, start+chunk) of arr,
+// where the start index is provided at run time in startReg (used as the
+// body of dynamically scheduled loops). Clobbers R0–R3 and F0–F2.
+func (e *Emitter) ChunkStream(arr uint64, chunk int64, startReg isa.Reg) {
+	b := e.Cur
+	b.IOpI(isa.OpIAdd, rBase, startReg, int64(arr))
+	b.IMovI(rIdx, 0)
+	b.FMovI(1, 1.000001)
+	loop := e.NewBlock("chunk")
+	cont := e.NewBlock("chunk_done")
+	b.Br(loop)
+	loop.IOp(isa.OpIAdd, rAddr, rBase, rIdx)
+	loop.FLoad(0, rAddr, 0)
+	loop.FMovI(2, 0.5)
+	loop.FMA(2, 0, 1)
+	loop.FStore(rAddr, 0, 2)
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCondI(isa.CondLT, rIdx, chunk, loop, cont)
+	e.continueIn(cont)
+}
+
+// SeededInit emits a one-time data initialization loop executed by thread
+// 0 only (others skip): mem[arr+i] = (i*mult) mod modv + addv.
+func (e *Emitter) SeededInit(arr uint64, n, mult, modv, addv int64) {
+	b := e.Cur
+	initB := e.NewBlock("init")
+	loop := e.NewBlock("init_loop")
+	cont := e.NewBlock("init_done")
+	b.BrCondI(isa.CondEQ, isa.RegTid, 0, initB, cont)
+	initB.IMovI(rIdx, 0)
+	if n > 0 {
+		initB.Br(loop)
+	} else {
+		initB.Br(cont)
+	}
+	loop.IOpI(isa.OpIMul, rVal, rIdx, mult)
+	loop.IOpI(isa.OpIRem, rVal, rVal, modv)
+	loop.IOpI(isa.OpIAdd, rVal, rVal, addv)
+	loop.IOpI(isa.OpIAdd, rAddr, rIdx, int64(arr))
+	loop.IStore(rAddr, 0, rVal)
+	loop.IOpI(isa.OpIAdd, rIdx, rIdx, 1)
+	loop.BrCondI(isa.CondLT, rIdx, n, loop, cont)
+	e.continueIn(cont)
+}

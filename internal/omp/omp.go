@@ -1,0 +1,347 @@
+// Package omp provides an OpenMP-like threading runtime written in the
+// mini-ISA itself, inside a dedicated "libomp" image flagged as a
+// synchronization library. Barriers, locks, reductions, and dynamic
+// work-sharing counters are real loops and atomics executing from library
+// code, so the paper's synchronization handling applies unchanged:
+// spin-loops under the active wait policy are genuine loops whose
+// instructions the BBV profiler filters by image (Section IV-F), and the
+// passive policy parks threads on futexes.
+package omp
+
+import (
+	"fmt"
+
+	"looppoint/internal/isa"
+)
+
+// WaitPolicy mirrors OMP_WAIT_POLICY.
+type WaitPolicy int
+
+// Wait policies.
+const (
+	// Passive parks waiting threads on a futex (no cycles consumed).
+	Passive WaitPolicy = iota
+	// Active busy-waits in a spin-loop (cycles consumed, instructions
+	// retired, but no useful work done).
+	Active
+)
+
+func (w WaitPolicy) String() string {
+	if w == Active {
+		return "active"
+	}
+	return "passive"
+}
+
+// ParseWaitPolicy converts "active"/"passive" to a WaitPolicy.
+func ParseWaitPolicy(s string) (WaitPolicy, error) {
+	switch s {
+	case "active":
+		return Active, nil
+	case "passive":
+		return Passive, nil
+	}
+	return Passive, fmt.Errorf("omp: unknown wait policy %q", s)
+}
+
+// Runtime is the generated library: one image with barrier, lock, unlock,
+// dynamic-chunk, and float-reduction routines, plus allocators for the
+// shared synchronization objects they operate on.
+type Runtime struct {
+	Policy   WaitPolicy
+	Image    *isa.Image
+	Barrier  *isa.Routine // arg R16 = barrier base address
+	Lock     *isa.Routine // arg R16 = lock address
+	Unlock   *isa.Routine // arg R16 = lock address
+	DynNext  *isa.Routine // args R16 = counter address, R17 = chunk; returns R16 = start
+	ReduceF  *isa.Routine // args R16 = lock address, R17 = accumulator address, F16 = value
+	GateWait *isa.Routine // arg R16 = gate address
+	GateOpen *isa.Routine // arg R16 = gate address
+	prog     *isa.Program
+	nthreads int
+	nbar     int
+	nlock    int
+	lastBlk  *isa.Block
+}
+
+// BarrierReleaseAddr returns the address of the barrier-release block —
+// the block the last-arriving thread executes exactly once per barrier
+// episode. BarrierPoint uses it as its region marker, the way the paper's
+// implementation hooks the OpenMP runtime's barrier callback. Valid only
+// after the program has been linked.
+func (rt *Runtime) BarrierReleaseAddr() uint64 { return rt.lastBlk.Addr }
+
+// Runtime register allocation: the runtime clobbers R16–R30 and F16–F17.
+const (
+	rArg  = isa.RegArg0 // R16
+	rArg1 = isa.RegArg1 // R17
+	rT0   = isa.RegRT0  // R24
+	rT1   = isa.RegRT1
+	rT2   = isa.RegRT2
+	rT3   = isa.RegRT3
+	rTid  = isa.RegTid
+)
+
+// New generates the runtime image for the program's thread count.
+func New(p *isa.Program, policy WaitPolicy) *Runtime {
+	rt := &Runtime{
+		Policy:   policy,
+		Image:    p.AddImage("libomp", true),
+		prog:     p,
+		nthreads: p.NumThreads(),
+	}
+	rt.buildBarrier()
+	rt.buildLock()
+	rt.buildUnlock()
+	rt.buildDynNext()
+	rt.buildReduceF()
+	rt.buildGate()
+	return rt
+}
+
+// buildGate creates a one-shot start gate (the moral equivalent of
+// pthread_create synchronization): GateWait parks until the flag word is
+// set, GateOpen sets it and wakes everyone. Unlike the barrier, the gate
+// never recycles, so barrier-based samplers see no episodes from it.
+func (rt *Runtime) buildGate() {
+	w := rt.Image.NewRoutine("omp_gate_wait")
+	check := w.NewBlock("check")
+	park := w.NewBlock("park")
+	done := w.NewBlock("done")
+	check.ILoad(rT0, rArg, 0)
+	check.BrCondI(isa.CondNE, rT0, 0, done, park)
+	switch rt.Policy {
+	case Active:
+		park.Pause()
+		park.Br(check)
+	case Passive:
+		park.IMovI(rT1, 0)
+		park.FutexWait(rArg, 0, rT1)
+		park.Br(check)
+	}
+	done.Ret()
+	rt.GateWait = w
+
+	o := rt.Image.NewRoutine("omp_gate_open")
+	b := o.NewBlock("entry")
+	b.IMovI(rT0, 1)
+	b.IStore(rArg, 0, rT0)
+	if rt.Policy == Passive {
+		b.IMovI(rT1, int64(rt.nthreads))
+		b.FutexWake(rT2, rArg, 0, rT1)
+	}
+	b.Ret()
+	rt.GateOpen = o
+}
+
+// NewGate allocates a gate flag word.
+func (rt *Runtime) NewGate(name string) uint64 {
+	return rt.prog.Alloc("omp.gate."+name, 1)
+}
+
+// EmitGateWait emits a wait on the gate at addr.
+func (rt *Runtime) EmitGateWait(b *isa.Block, addr uint64) {
+	b.IMovI(rArg, int64(addr))
+	b.Call(rt.GateWait)
+}
+
+// EmitGateOpen emits an open of the gate at addr.
+func (rt *Runtime) EmitGateOpen(b *isa.Block, addr uint64) {
+	b.IMovI(rArg, int64(addr))
+	b.Call(rt.GateOpen)
+}
+
+// Barrier memory layout: word 0 = arrival count, word 1 = global sense,
+// words 2..2+N-1 = per-thread local sense.
+
+// NewBarrier allocates a barrier object and returns its base address.
+func (rt *Runtime) NewBarrier(name string) uint64 {
+	rt.nbar++
+	return rt.prog.Alloc(fmt.Sprintf("omp.bar.%s.%d", name, rt.nbar), uint64(2+rt.nthreads))
+}
+
+// NewLock allocates a lock word (0 = free, 1 = held) and returns its address.
+func (rt *Runtime) NewLock(name string) uint64 {
+	rt.nlock++
+	return rt.prog.Alloc(fmt.Sprintf("omp.lock.%s.%d", name, rt.nlock), 1)
+}
+
+// NewCounter allocates a shared counter word (dynamic scheduling, etc.).
+func (rt *Runtime) NewCounter(name string) uint64 {
+	return rt.prog.Alloc("omp.ctr."+name, 1)
+}
+
+func (rt *Runtime) buildBarrier() {
+	r := rt.Image.NewRoutine("omp_barrier")
+	entry := r.NewBlock("entry")
+	wait := r.NewBlock("wait")
+	spin := r.NewBlock("spin")
+	last := r.NewBlock("last")
+	done := r.NewBlock("done")
+
+	// rT0 = &localSense[tid]; rT1 = new sense = 1 - old
+	entry.IOpI(isa.OpIAdd, rT0, rArg, 2)
+	entry.IOp(isa.OpIAdd, rT0, rT0, rTid)
+	entry.ILoad(rT1, rT0, 0)
+	entry.IOpI(isa.OpIXor, rT1, rT1, 1)
+	entry.IStore(rT0, 0, rT1)
+	// rT2 = fetch-add(arrivals, 1)
+	entry.IMovI(rT3, 1)
+	entry.AtomicAdd(rT2, rArg, 0, rT3)
+	entry.BrCondI(isa.CondEQ, rT2, int64(rt.nthreads-1), last, wait)
+
+	// Waiters: wait until global sense == new sense.
+	wait.ILoad(rT2, rArg, 1)
+	wait.BrCond(isa.CondEQ, rT2, rT1, done, spin)
+	switch rt.Policy {
+	case Active:
+		spin.Pause()
+		spin.Br(wait)
+	case Passive:
+		// Park while the sense word still holds the value we read.
+		spin.FutexWait(rArg, 1, rT2)
+		spin.Br(wait)
+	}
+
+	// Last arriver: reset count, flip global sense, wake everyone.
+	rt.lastBlk = last
+	last.IMovI(rT2, 0)
+	last.IStore(rArg, 0, rT2)
+	last.IStore(rArg, 1, rT1)
+	if rt.Policy == Passive {
+		last.IMovI(rT2, int64(rt.nthreads))
+		last.FutexWake(rT3, rArg, 1, rT2)
+	}
+	last.Br(done)
+
+	done.Ret()
+	rt.Barrier = r
+}
+
+func (rt *Runtime) buildLock() {
+	r := rt.Image.NewRoutine("omp_lock")
+	try := r.NewBlock("try")
+	acq := r.NewBlock("acquire")
+	wait := r.NewBlock("wait")
+	done := r.NewBlock("done")
+
+	// Test...
+	try.ILoad(rT0, rArg, 0)
+	try.BrCondI(isa.CondNE, rT0, 0, wait, acq)
+	// ...and test-and-set.
+	acq.IMovI(rT1, 1) // new value (CmpXchg takes it from Dst)
+	acq.IMovI(rT2, 0) // expected
+	acq.CmpXchg(rT1, rArg, 0, rT2)
+	acq.BrCondI(isa.CondEQ, rT1, 1, done, wait)
+	switch rt.Policy {
+	case Active:
+		wait.Pause()
+		wait.Br(try)
+	case Passive:
+		wait.IMovI(rT3, 1)
+		wait.FutexWait(rArg, 0, rT3) // park while lock word == 1
+		wait.Br(try)
+	}
+	done.Ret()
+	rt.Lock = r
+}
+
+func (rt *Runtime) buildUnlock() {
+	r := rt.Image.NewRoutine("omp_unlock")
+	b := r.NewBlock("entry")
+	b.IMovI(rT0, 0)
+	b.IStore(rArg, 0, rT0)
+	if rt.Policy == Passive {
+		b.IMovI(rT1, 1)
+		b.FutexWake(rT2, rArg, 0, rT1)
+	}
+	b.Ret()
+	rt.Unlock = r
+}
+
+func (rt *Runtime) buildDynNext() {
+	r := rt.Image.NewRoutine("omp_dyn_next")
+	b := r.NewBlock("entry")
+	b.AtomicAdd(rArg, rArg, 0, rArg1) // R16 = old counter; counter += chunk
+	b.Ret()
+	rt.DynNext = r
+}
+
+func (rt *Runtime) buildReduceF() {
+	r := rt.Image.NewRoutine("omp_reduce_fadd")
+	b := r.NewBlock("entry")
+	// Serialize on the lock, accumulate F16 into *R17.
+	b.IMov(rT3, rArg) // save lock address across the flow below
+	lockLoop := r.NewBlock("lock_try")
+	lockWait := r.NewBlock("lock_wait")
+	crit := r.NewBlock("crit")
+	b.Br(lockLoop)
+	lockLoop.ILoad(rT0, rT3, 0)
+	lockLoop.BrCondI(isa.CondNE, rT0, 0, lockWait, crit)
+	switch rt.Policy {
+	case Active:
+		lockWait.Pause()
+		lockWait.Br(lockLoop)
+	case Passive:
+		lockWait.IMovI(rT1, 1)
+		lockWait.FutexWait(rT3, 0, rT1)
+		lockWait.Br(lockLoop)
+	}
+	crit.IMovI(rT1, 1)
+	crit.IMovI(rT2, 0)
+	crit.CmpXchg(rT1, rT3, 0, rT2)
+	retry := crit
+	after := r.NewBlock("acquired")
+	retry.BrCondI(isa.CondNE, rT1, 1, lockLoop, after)
+	after.FLoad(17, rArg1, 0)
+	after.FOp(isa.OpFAdd, 17, 17, 16)
+	after.FStore(rArg1, 0, 17)
+	// Release.
+	after.IMovI(rT0, 0)
+	after.IStore(rT3, 0, rT0)
+	if rt.Policy == Passive {
+		after.IMovI(rT1, 1)
+		after.FutexWake(rT2, rT3, 0, rT1)
+	}
+	after.Ret()
+	rt.ReduceF = r
+}
+
+// EmitBarrier emits a barrier call on block b for the barrier at addr.
+func (rt *Runtime) EmitBarrier(b *isa.Block, addr uint64) {
+	b.IMovI(rArg, int64(addr))
+	b.Call(rt.Barrier)
+}
+
+// EmitLock emits a lock-acquire call for the lock at addr.
+func (rt *Runtime) EmitLock(b *isa.Block, addr uint64) {
+	b.IMovI(rArg, int64(addr))
+	b.Call(rt.Lock)
+}
+
+// EmitUnlock emits a lock-release call for the lock at addr.
+func (rt *Runtime) EmitUnlock(b *isa.Block, addr uint64) {
+	b.IMovI(rArg, int64(addr))
+	b.Call(rt.Unlock)
+}
+
+// EmitDynNext emits a dynamic-chunk grab: dst = fetch-add(counter, chunk).
+func (rt *Runtime) EmitDynNext(b *isa.Block, counterAddr uint64, chunk int64, dst isa.Reg) {
+	b.IMovI(rArg, int64(counterAddr))
+	b.IMovI(rArg1, chunk)
+	b.Call(rt.DynNext)
+	if dst != rArg {
+		b.IMov(dst, rArg)
+	}
+}
+
+// EmitReduceF emits a locked floating-point accumulation of F-register
+// src into the accumulator word at accAddr, serialized by lockAddr.
+func (rt *Runtime) EmitReduceF(b *isa.Block, lockAddr, accAddr uint64, src isa.Reg) {
+	if src != 16 {
+		b.FOp(isa.OpFMov, 16, src, 0)
+	}
+	b.IMovI(rArg, int64(lockAddr))
+	b.IMovI(rArg1, int64(accAddr))
+	b.Call(rt.ReduceF)
+}

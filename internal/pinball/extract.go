@@ -1,0 +1,134 @@
+package pinball
+
+import (
+	"fmt"
+	"sort"
+
+	"looppoint/internal/bbv"
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+)
+
+// RegionSpec names a region to extract from a whole-program pinball by
+// its global step offsets in the recorded schedule (known exactly from
+// the BBV profile collected on the same replay) plus the (PC, count)
+// markers that delimit it for unconstrained simulation.
+type RegionSpec struct {
+	Name string
+	// Step offsets into the recorded execution (0 = first instruction).
+	WarmupStartStep uint64 // where the snapshot is taken
+	StartStep       uint64 // where the region of interest begins
+	EndStep         uint64 // where it ends
+	// Markers for locating the region under a different interleaving.
+	Start, End bbv.Marker
+}
+
+// ExtractRegions slices a whole-program pinball into region pinballs in a
+// single replay pass: the machine replays the recorded schedule once and
+// a snapshot is taken at each requested warmup-start offset. This is how
+// all of an application's looppoint checkpoints are generated with one
+// sweep over the recording (the paper's region-pinball generation).
+func (pb *Pinball) ExtractRegions(p *isa.Program, specs []RegionSpec) ([]*Pinball, error) {
+	if err := pb.Verify(); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	order := make([]int, len(specs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return specs[order[a]].WarmupStartStep < specs[order[b]].WarmupStartStep
+	})
+	for _, i := range order {
+		s := specs[i]
+		if s.WarmupStartStep > s.StartStep || s.StartStep >= s.EndStep {
+			return nil, fmt.Errorf("pinball: region %s has invalid steps (%d, %d, %d)",
+				s.Name, s.WarmupStartStep, s.StartStep, s.EndStep)
+		}
+	}
+
+	m := exec.NewMachine(p, 0)
+	m.Restore(pb.Start)
+	replay := exec.NewReplayOS(pb.Syscalls)
+	m.OS = replay
+
+	// Track global hit counts of every marker PC of interest.
+	hits := make(map[uint64]uint64)
+	for _, s := range specs {
+		if !s.Start.IsStart() && !s.Start.IsICount() {
+			hits[s.Start.PC] = 0
+		}
+		if !s.End.IsEnd && !s.End.IsICount() {
+			hits[s.End.PC] = 0
+		}
+	}
+	m.AddObserver(exec.ObserverFunc(func(ev *exec.Event) {
+		if !ev.BlockEntry {
+			return
+		}
+		if _, ok := hits[ev.Block.Addr]; ok {
+			hits[ev.Block.Addr]++
+		}
+	}))
+
+	out := make([]*Pinball, len(specs))
+	next := 0 // index into order
+	var steps uint64
+
+	capture := func() {
+		for next < len(order) && specs[order[next]].WarmupStartStep == steps {
+			i := order[next]
+			s := specs[i]
+			snap := m.Snapshot()
+			rp := &Pinball{
+				Name:                s.Name,
+				NumThreads:          pb.NumThreads,
+				Start:               snap,
+				Region:              RegionBounds{Start: s.Start, End: s.End, WarmupStart: s.Start},
+				WarmupSteps:         s.StartStep - s.WarmupStartStep,
+				StartHitsAtSnapshot: markerHits(hits, s.Start),
+				EndHitsAtSnapshot:   markerHits(hits, s.End),
+			}
+			rp.Syscalls = sliceSyscalls(pb.Syscalls, replay.Positions(), nil)
+			rp.Schedule = pb.Schedule.Skip(steps).Take(s.EndStep - s.WarmupStartStep)
+			rp.MemChecksum = fnv1a(snap.Mem)
+			out[i] = rp
+			next++
+		}
+	}
+
+	capture() // regions starting at step 0
+	for _, e := range pb.Schedule {
+		for k := uint32(0); k < e.N; k++ {
+			if next >= len(order) {
+				break
+			}
+			if _, ok := m.Step(e.Tid); !ok {
+				return nil, fmt.Errorf("pinball: extraction replay diverged at step %d", steps)
+			}
+			steps++
+			capture()
+		}
+		if next >= len(order) {
+			break
+		}
+	}
+	if next < len(order) {
+		return nil, fmt.Errorf("pinball: %d region snapshots not reached (recording has %d steps)",
+			len(order)-next, pb.Schedule.Steps())
+	}
+	// Trim each region's syscall log to its own span: the logs currently
+	// run to the end of the recording, which is harmless for replay but
+	// wasteful; leave them intact (slices share backing arrays).
+	return out, nil
+}
+
+func markerHits(hits map[uint64]uint64, mk bbv.Marker) uint64 {
+	if mk.IsStart() || mk.IsEnd || mk.IsICount() {
+		return 0
+	}
+	return hits[mk.PC]
+}

@@ -1,0 +1,41 @@
+package pinball
+
+import (
+	"bytes"
+	"testing"
+
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+// FuzzReadFrom hardens the pinball decoder against corrupted or
+// adversarial files: it must return an error or a verified pinball, never
+// panic or allocate unboundedly.
+func FuzzReadFrom(f *testing.F) {
+	p := testprog.Phased(2, 2, 30, omp.Passive)
+	pb, err := Record(p, 5, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pb.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("LOOPPINB"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrom(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil pinball without error")
+		}
+		if err == nil {
+			// A successfully decoded pinball must re-verify.
+			if verr := got.Verify(); verr != nil {
+				t.Fatalf("decoded pinball fails verification: %v", verr)
+			}
+		}
+	})
+}

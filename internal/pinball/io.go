@@ -1,0 +1,339 @@
+package pinball
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"looppoint/internal/bbv"
+	"looppoint/internal/exec"
+)
+
+// Pinballs are "portable and shareable user-level checkpoints" (the
+// paper's pinball citation): this file gives them a versioned on-disk
+// format so checkpoints can be archived and simulated by other users
+// without rebuilding the workload state. The format is a simple
+// little-endian binary layout with a magic header and the snapshot
+// checksum; Load verifies integrity before returning.
+
+const (
+	magic   = "LOOPPINB"
+	version = uint32(1)
+)
+
+type writer struct {
+	w   *bufio.Writer
+	sum uint64 // running FNV-1a over every payload byte
+	err error
+}
+
+func (w *writer) raw(b []byte) {
+	if w.err != nil {
+		return
+	}
+	for _, c := range b {
+		w.sum ^= uint64(c)
+		w.sum *= 1099511628211
+	}
+	_, w.err = w.w.Write(b)
+}
+
+func (w *writer) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.raw(buf[:])
+}
+
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) u32(v uint32) { w.u64(uint64(v)) }
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.raw([]byte(s))
+}
+
+type reader struct {
+	r   *bufio.Reader
+	sum uint64
+	err error
+}
+
+func (r *reader) raw(b []byte) {
+	if r.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		r.err = err
+		return
+	}
+	for _, c := range b {
+		r.sum ^= uint64(c)
+		r.sum *= 1099511628211
+	}
+}
+
+func (r *reader) u64() uint64 {
+	var buf [8]byte
+	r.raw(buf[:])
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (r *reader) i64() int64  { return int64(r.u64()) }
+func (r *reader) u32() uint32 { return uint32(r.u64()) }
+
+func (r *reader) str() string {
+	n := r.u64()
+	if r.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		r.err = fmt.Errorf("pinball: implausible string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	r.raw(buf)
+	if r.err != nil {
+		return ""
+	}
+	return string(buf)
+}
+
+// Write serializes the pinball.
+func (pb *Pinball) Write(dst io.Writer) error {
+	w := &writer{w: bufio.NewWriter(dst), sum: 14695981039346656037}
+	if _, err := w.w.WriteString(magic); err != nil {
+		return err
+	}
+	w.u32(version)
+	w.str(pb.Name)
+	w.u64(uint64(pb.NumThreads))
+	w.u64(pb.MemChecksum)
+	w.u64(pb.FinalChecksum)
+	w.u64(pb.WarmupSteps)
+	w.u64(pb.StartHitsAtSnapshot)
+	w.u64(pb.EndHitsAtSnapshot)
+	writeMarker(w, pb.Region.Start)
+	writeMarker(w, pb.Region.End)
+	writeMarker(w, pb.Region.WarmupStart)
+
+	// Snapshot.
+	s := pb.Start
+	w.u64(s.Steps)
+	w.u64(uint64(len(s.Mem)))
+	for _, word := range s.Mem {
+		w.u64(word)
+	}
+	w.u64(uint64(len(s.Threads)))
+	for _, t := range s.Threads {
+		for _, r := range t.R {
+			w.i64(r)
+		}
+		for _, f := range t.F {
+			w.u64(floatBits(f))
+		}
+		w.u64(uint64(t.State))
+		writeFrame(w, t.Cur)
+		w.u64(uint64(len(t.Stack)))
+		for _, fr := range t.Stack {
+			writeFrame(w, fr)
+		}
+		w.u64(t.ICount)
+		w.u64(t.Futex)
+	}
+
+	// Syscall logs.
+	w.u64(uint64(len(pb.Syscalls)))
+	for _, log := range pb.Syscalls {
+		w.u64(uint64(len(log)))
+		for _, v := range log {
+			w.i64(v)
+		}
+	}
+
+	// Schedule.
+	w.u64(uint64(len(pb.Schedule)))
+	for _, e := range pb.Schedule {
+		w.u64(uint64(e.Tid))
+		w.u64(uint64(e.N))
+	}
+	if w.err != nil {
+		return w.err
+	}
+	// Trailing whole-file integrity hash (covers every payload byte).
+	final := w.sum
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], final)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// ReadFrom deserializes a pinball and verifies its snapshot checksum.
+func ReadFrom(src io.Reader) (*Pinball, error) {
+	r := &reader{r: bufio.NewReader(src), sum: 14695981039346656037}
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r.r, head); err != nil {
+		return nil, fmt.Errorf("pinball: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("pinball: bad magic %q", head)
+	}
+	if v := r.u32(); v != version {
+		return nil, fmt.Errorf("pinball: unsupported version %d", v)
+	}
+	pb := &Pinball{}
+	pb.Name = r.str()
+	pb.NumThreads = int(r.u64())
+	pb.MemChecksum = r.u64()
+	pb.FinalChecksum = r.u64()
+	pb.WarmupSteps = r.u64()
+	pb.StartHitsAtSnapshot = r.u64()
+	pb.EndHitsAtSnapshot = r.u64()
+	pb.Region.Start = readMarker(r)
+	pb.Region.End = readMarker(r)
+	pb.Region.WarmupStart = readMarker(r)
+
+	s := &exec.Snapshot{}
+	s.Steps = r.u64()
+	memLen := r.u64()
+	if r.err == nil && memLen > 1<<32 {
+		return nil, fmt.Errorf("pinball: implausible memory size %d", memLen)
+	}
+	s.Mem = make([]uint64, memLen)
+	for i := range s.Mem {
+		s.Mem[i] = r.u64()
+	}
+	nThreads := r.u64()
+	if r.err == nil && nThreads > 1<<16 {
+		return nil, fmt.Errorf("pinball: implausible thread count %d", nThreads)
+	}
+	for i := uint64(0); i < nThreads && r.err == nil; i++ {
+		var t exec.ThreadSnapshot
+		for j := range t.R {
+			t.R[j] = r.i64()
+		}
+		for j := range t.F {
+			t.F[j] = floatFromBits(r.u64())
+		}
+		t.State = exec.ThreadState(r.u64())
+		t.Cur = readFrame(r)
+		stackLen := r.u64()
+		if r.err == nil && stackLen > 1<<20 {
+			return nil, fmt.Errorf("pinball: implausible stack depth %d", stackLen)
+		}
+		for j := uint64(0); j < stackLen && r.err == nil; j++ {
+			t.Stack = append(t.Stack, readFrame(r))
+		}
+		t.ICount = r.u64()
+		t.Futex = r.u64()
+		s.Threads = append(s.Threads, t)
+	}
+	pb.Start = s
+
+	nLogs := r.u64()
+	if r.err == nil && nLogs > 1<<16 {
+		return nil, fmt.Errorf("pinball: implausible syscall log count %d", nLogs)
+	}
+	for i := uint64(0); i < nLogs && r.err == nil; i++ {
+		n := r.u64()
+		if r.err == nil && n > 1<<32 {
+			return nil, fmt.Errorf("pinball: implausible syscall log length %d", n)
+		}
+		log := make([]int64, n)
+		for j := range log {
+			log[j] = r.i64()
+		}
+		pb.Syscalls = append(pb.Syscalls, log)
+	}
+
+	nSched := r.u64()
+	if r.err == nil && nSched > 1<<32 {
+		return nil, fmt.Errorf("pinball: implausible schedule length %d", nSched)
+	}
+	for i := uint64(0); i < nSched && r.err == nil; i++ {
+		tid := int(r.u64())
+		n := uint32(r.u64())
+		pb.Schedule = append(pb.Schedule, exec.ScheduleEntry{Tid: tid, N: n})
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("pinball: decode: %w", r.err)
+	}
+	// Verify the trailing whole-file hash (read raw, not through raw()).
+	want := r.sum
+	var tail [8]byte
+	if _, err := io.ReadFull(r.r, tail[:]); err != nil {
+		return nil, fmt.Errorf("pinball: reading integrity hash: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(tail[:]); got != want {
+		return nil, fmt.Errorf("pinball: file integrity hash mismatch (file %#x, computed %#x)", got, want)
+	}
+	if err := pb.Verify(); err != nil {
+		return nil, err
+	}
+	return pb, nil
+}
+
+// Save writes the pinball to a file.
+func (pb *Pinball) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pb.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a pinball from a file and verifies it.
+func Load(path string) (*Pinball, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+func writeMarker(w *writer, m bbv.Marker) {
+	w.u64(m.PC)
+	w.u64(m.Count)
+	if m.IsEnd {
+		w.u64(1)
+	} else {
+		w.u64(0)
+	}
+}
+
+func readMarker(r *reader) bbv.Marker {
+	m := bbv.Marker{PC: r.u64(), Count: r.u64()}
+	m.IsEnd = r.u64() == 1
+	return m
+}
+
+func writeFrame(w *writer, f exec.FrameRef) {
+	w.u64(uint64(f.Image))
+	w.u64(uint64(f.Routine))
+	w.u64(uint64(f.Block))
+	w.u64(uint64(f.Index))
+}
+
+func readFrame(r *reader) exec.FrameRef {
+	return exec.FrameRef{
+		Image:   int(r.u64()),
+		Routine: int(r.u64()),
+		Block:   int(r.u64()),
+		Index:   int(r.u64()),
+	}
+}
+
+func floatBits(f float64) uint64     { return math.Float64bits(f) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,284 @@
+// Package pinball implements user-level checkpoints for reproducible
+// analysis, modeled on PinPlay pinballs (paper Sections III-H and IV-C).
+//
+// A pinball bundles everything needed to re-execute a program region
+// deterministically without the original binary inputs:
+//
+//   - a memory/register snapshot at the region start (the .text/.reg files);
+//   - the per-thread syscall side-effect injection log (the .sel files);
+//   - the recorded thread interleaving (our equivalent of the .race
+//     shared-memory dependency files): replaying the same interleaving
+//     with the same injections reproduces shared-memory access order.
+//
+// Constrained replay follows the recorded interleaving exactly — which is
+// what makes analysis reproducible, and also what introduces the
+// artificial thread stalls that make constrained *timing* simulation
+// unreliable (Section V-A1).
+package pinball
+
+import (
+	"fmt"
+
+	"looppoint/internal/bbv"
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+)
+
+// Pinball is a recorded, replayable execution region.
+type Pinball struct {
+	Name       string
+	NumThreads int
+	// Start is the architectural state at the beginning of the region.
+	Start *exec.Snapshot
+	// Syscalls is the per-thread injection log covering the region.
+	Syscalls [][]int64
+	// Schedule is the recorded thread interleaving covering the region.
+	Schedule exec.Schedule
+	// Region identifies the covered region; whole-program pinballs span
+	// <start>..<end>.
+	Region RegionBounds
+	// WarmupSteps is the number of leading schedule steps that belong to
+	// the warmup prefix rather than the region of interest; a constrained
+	// simulation warms microarchitectural state over them and measures
+	// only the remainder.
+	WarmupSteps uint64
+	// StartHitsAtSnapshot and EndHitsAtSnapshot rebase the region's
+	// global (PC, count) markers for simulations that begin at the
+	// snapshot instead of the program start (ELFie-style unconstrained
+	// checkpoint simulation).
+	StartHitsAtSnapshot uint64
+	EndHitsAtSnapshot   uint64
+	// MemChecksum guards the snapshot against corruption.
+	MemChecksum uint64
+	// FinalChecksum is the memory checksum after a faithful replay.
+	FinalChecksum uint64
+}
+
+// RegionBounds names the pinball's extent in (PC, count) markers.
+type RegionBounds struct {
+	Start, End bbv.Marker
+	// WarmupStart, when different from Start, marks where the snapshot
+	// was taken so that the simulated region carries warmup prefix
+	// instructions before the region of interest begins.
+	WarmupStart bbv.Marker
+}
+
+func fnv1a(words []uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			h ^= (w >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// Record executes the whole program from its initial state, recording a
+// whole-program pinball. seed seeds the OS model (the source of
+// non-determinism being captured). flowWindow, when non-zero, applies the
+// flow-control scheduler during recording so the captured trace is not
+// skewed by scheduler imbalance (Section III-B).
+func Record(p *isa.Program, seed uint64, flowWindow uint64) (*Pinball, error) {
+	return RecordWithOptions(p, seed, exec.RunOpts{FlowWindow: flowWindow})
+}
+
+// RecordWithOptions is Record with full scheduler control — most notably
+// exec.RunOpts.QuantumBias, which emulates host imbalance during the
+// recording so the flow-control ablation can show what the paper's
+// equal-progress mechanism protects against.
+func RecordWithOptions(p *isa.Program, seed uint64, opts exec.RunOpts) (*Pinball, error) {
+	m := exec.NewMachine(p, seed)
+	rec := exec.NewRecordingOS(m.OS, p.NumThreads())
+	m.OS = rec
+	start := m.Snapshot()
+	var sched exec.Schedule
+	opts.Record = &sched
+	if err := m.Run(opts); err != nil {
+		return nil, fmt.Errorf("pinball: record: %w", err)
+	}
+	pb := &Pinball{
+		Name:       p.Name,
+		NumThreads: p.NumThreads(),
+		Start:      start,
+		Syscalls:   rec.Log,
+		Schedule:   sched,
+		Region: RegionBounds{
+			Start: bbv.Marker{}, End: bbv.Marker{IsEnd: true},
+			WarmupStart: bbv.Marker{},
+		},
+	}
+	pb.MemChecksum = fnv1a(start.Mem)
+	pb.FinalChecksum = fnv1a(m.Mem)
+	return pb, nil
+}
+
+// Verify checks the snapshot checksum.
+func (pb *Pinball) Verify() error {
+	if got := fnv1a(pb.Start.Mem); got != pb.MemChecksum {
+		return fmt.Errorf("pinball %s: snapshot checksum mismatch (got %#x, want %#x)",
+			pb.Name, got, pb.MemChecksum)
+	}
+	return nil
+}
+
+// Replay performs a constrained replay of the pinball on a fresh machine
+// for the same program, attaching the given observers first. The returned
+// machine holds the final state. Replay verifies the snapshot checksum
+// before starting and the final memory checksum afterwards.
+func (pb *Pinball) Replay(p *isa.Program, observers ...exec.Observer) (*exec.Machine, error) {
+	if err := pb.Verify(); err != nil {
+		return nil, err
+	}
+	m := exec.NewMachine(p, 0)
+	m.Restore(pb.Start)
+	replay := exec.NewReplayOS(pb.Syscalls)
+	m.OS = replay
+	for _, o := range observers {
+		m.AddObserver(o)
+	}
+	if err := m.RunSchedule(pb.Schedule); err != nil {
+		return nil, fmt.Errorf("pinball %s: %w", pb.Name, err)
+	}
+	if replay.Diverged {
+		return nil, fmt.Errorf("pinball %s: syscall injection log exhausted (replay diverged)", pb.Name)
+	}
+	if pb.FinalChecksum != 0 {
+		if got := fnv1a(m.Mem); got != pb.FinalChecksum {
+			return nil, fmt.Errorf("pinball %s: final state checksum mismatch (got %#x, want %#x)",
+				pb.Name, got, pb.FinalChecksum)
+		}
+	}
+	return m, nil
+}
+
+// ReplayUntil replays the pinball until the given marker fires (or to the
+// end if it never does) and returns the machine positioned there, the
+// number of schedule steps consumed, and the per-thread syscall positions
+// consumed. It does not check the final checksum (the replay is partial).
+func (pb *Pinball) ReplayUntil(p *isa.Program, marker bbv.Marker, observers ...exec.Observer) (*exec.Machine, uint64, []int, error) {
+	if err := pb.Verify(); err != nil {
+		return nil, 0, nil, err
+	}
+	m := exec.NewMachine(p, 0)
+	m.Restore(pb.Start)
+	replay := exec.NewReplayOS(pb.Syscalls)
+	m.OS = replay
+	w := bbv.NewWatcher(m, marker)
+	m.AddObserver(w)
+	for _, o := range observers {
+		m.AddObserver(o)
+	}
+	startIC := m.TotalICount()
+	if err := m.RunSchedule(pb.Schedule); err != nil {
+		return nil, 0, nil, fmt.Errorf("pinball %s: %w", pb.Name, err)
+	}
+	if replay.Diverged {
+		return nil, 0, nil, fmt.Errorf("pinball %s: syscall log exhausted during partial replay", pb.Name)
+	}
+	steps := m.TotalICount() - startIC
+	return m, steps, replay.Positions(), nil
+}
+
+// RecordRegion extracts a region pinball from a whole-program pinball:
+// the snapshot is taken at the warmup-start marker (equal to the region
+// start when no warmup prefix is requested), and the schedule and syscall
+// logs cover warmup start through region end. The resulting pinball can
+// be simulated in isolation — and in parallel with other regions.
+func (pb *Pinball) RecordRegion(p *isa.Program, name string, bounds RegionBounds) (*Pinball, error) {
+	if err := pb.Verify(); err != nil {
+		return nil, fmt.Errorf("pinball: record region %s: %w", name, err)
+	}
+	m := exec.NewMachine(p, 0)
+	m.Restore(pb.Start)
+	replay := exec.NewReplayOS(pb.Syscalls)
+	m.OS = replay
+
+	// Marker counts are global since program start; count start- and
+	// end-marker PC hits consumed during positioning so the watchers used
+	// after the snapshot can be rebased.
+	var endHits, startHits uint64
+	if !bounds.End.IsEnd && !bounds.End.IsStart() {
+		m.AddObserver(exec.ObserverFunc(func(ev *exec.Event) {
+			if ev.BlockEntry && ev.Block.Addr == bounds.End.PC {
+				endHits++
+			}
+		}))
+	}
+	trackStart := bounds.Start != bounds.WarmupStart && !bounds.Start.IsStart()
+	if trackStart {
+		m.AddObserver(exec.ObserverFunc(func(ev *exec.Event) {
+			if ev.BlockEntry && ev.Block.Addr == bounds.Start.PC {
+				startHits++
+			}
+		}))
+	}
+
+	// Position the replay at the warmup start.
+	var steps0 uint64
+	base := m.TotalICount()
+	if !bounds.WarmupStart.IsStart() {
+		w := bbv.NewWatcher(m, bounds.WarmupStart)
+		m.AddObserver(w)
+		if err := m.RunSchedule(pb.Schedule); err != nil {
+			return nil, fmt.Errorf("pinball: record region %s: %w", name, err)
+		}
+		if !w.Fired {
+			return nil, fmt.Errorf("pinball: record region %s: warmup-start marker %v not reached",
+				name, bounds.WarmupStart)
+		}
+		steps0 = m.TotalICount() - base
+	}
+	snap := m.Snapshot()
+	sys0 := replay.Positions()
+
+	// Continue to the region end, noting where the warmup prefix ends.
+	var warmupSteps uint64
+	if trackStart {
+		sw := bbv.NewWatcher(m, bounds.Start)
+		sw.SkipCounted(startHits)
+		sw.StopOnFire = false
+		sw.OnFire = func() { warmupSteps = m.TotalICount() - base - steps0 }
+		m.AddObserver(sw)
+	}
+	ew := bbv.NewWatcher(m, bounds.End)
+	ew.SkipCounted(endHits)
+	m.AddObserver(ew)
+	rest := pb.Schedule.Skip(steps0)
+	if err := m.RunSchedule(rest); err != nil {
+		return nil, fmt.Errorf("pinball: record region %s: %w", name, err)
+	}
+	if !bounds.End.IsEnd && !ew.Fired {
+		return nil, fmt.Errorf("pinball: record region %s: end marker %v not reached", name, bounds.End)
+	}
+	steps1 := m.TotalICount() - base - steps0
+	sys1 := replay.Positions()
+
+	region := &Pinball{
+		Name:        name,
+		NumThreads:  pb.NumThreads,
+		Start:       snap,
+		Syscalls:    sliceSyscalls(pb.Syscalls, sys0, sys1),
+		Schedule:    rest.Take(steps1),
+		Region:      bounds,
+		WarmupSteps: warmupSteps,
+	}
+	region.MemChecksum = fnv1a(snap.Mem)
+	region.FinalChecksum = fnv1a(m.Mem)
+	return region, nil
+}
+
+func sliceSyscalls(log [][]int64, from, to []int) [][]int64 {
+	out := make([][]int64, len(log))
+	for t := range log {
+		f, e := 0, len(log[t])
+		if t < len(from) {
+			f = from[t]
+		}
+		if t < len(to) {
+			e = to[t]
+		}
+		out[t] = append([]int64(nil), log[t][f:e]...)
+	}
+	return out
+}

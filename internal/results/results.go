@@ -1,0 +1,240 @@
+// Package results renders experiment outcomes as aligned text tables,
+// ASCII bar charts (linear or logarithmic), line series, and CSV — the
+// formats the benchmark harness and the lpreport tool use to regenerate
+// the paper's tables and figures on a terminal.
+package results
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned-column text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == math.Trunc(v) && av < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(esc(h))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BarChart renders labeled horizontal bars, optionally on a log10 scale
+// (the paper's speedup figures span 1–30,000×).
+type BarChart struct {
+	Title string
+	Log   bool
+	Width int // bar width in characters (default 50)
+	bars  []bar
+}
+
+type bar struct {
+	label string
+	value float64
+}
+
+// Add appends one bar.
+func (c *BarChart) Add(label string, value float64) {
+	c.bars = append(c.bars, bar{label, value})
+}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	var maxV float64
+	var maxLabel int
+	for _, b := range c.bars {
+		if b.value > maxV {
+			maxV = b.value
+		}
+		if len(b.label) > maxLabel {
+			maxLabel = len(b.label)
+		}
+	}
+	scale := func(v float64) int {
+		if maxV <= 0 || v <= 0 {
+			return 0
+		}
+		if c.Log {
+			lm := math.Log10(maxV + 1)
+			if lm == 0 {
+				return 0
+			}
+			return int(math.Log10(v+1) / lm * float64(width))
+		}
+		return int(v / maxV * float64(width))
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, b := range c.bars {
+		n := scale(b.value)
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", maxLabel, b.label,
+			strings.Repeat("#", n), formatFloat(b.value))
+	}
+	return sb.String()
+}
+
+// Series renders one or more named numeric series as rows of sparkline
+// characters (used for Figure 3's per-thread shares and Figure 4's IPC
+// traces).
+type Series struct {
+	Title string
+	Names []string
+	Data  [][]float64
+}
+
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// String renders each series as a sparkline with min/max annotations.
+func (s *Series) String() string {
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	maxName := 0
+	for _, n := range s.Names {
+		if len(n) > maxName {
+			maxName = len(n)
+		}
+	}
+	for i, data := range s.Data {
+		name := ""
+		if i < len(s.Names) {
+			name = s.Names[i]
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range data {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		fmt.Fprintf(&b, "%-*s ", maxName, name)
+		for _, v := range data {
+			idx := 0
+			if hi > lo {
+				idx = int((v - lo) / (hi - lo) * float64(len(sparks)-1))
+			}
+			b.WriteRune(sparks[idx])
+		}
+		if len(data) > 0 {
+			fmt.Fprintf(&b, "  [%.3g .. %.3g]", lo, hi)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Seconds formats a duration in seconds with human units (the Figure 1
+// y-axis runs from hours to years).
+func Seconds(s float64) string {
+	switch {
+	case s < 120:
+		return fmt.Sprintf("%.3gs", s)
+	case s < 2*3600:
+		return fmt.Sprintf("%.3gmin", s/60)
+	case s < 2*86400:
+		return fmt.Sprintf("%.3gh", s/3600)
+	case s < 2*31557600:
+		return fmt.Sprintf("%.3gd", s/86400)
+	default:
+		return fmt.Sprintf("%.3gyr", s/31557600)
+	}
+}

@@ -1,0 +1,120 @@
+package results
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tab.AddRow("alpha", 3.14159)
+	tab.AddRow("beta-longer-name", 42)
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "alpha") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("table has %d lines, want 5:\n%s", len(lines), s)
+	}
+	if !strings.Contains(s, "3.14") {
+		t.Errorf("float not formatted: %s", s)
+	}
+	if !strings.Contains(s, "42") {
+		t.Errorf("int not formatted: %s", s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Headers: []string{"a", "b"}}
+	tab.AddRow("x,y", `quo"te`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Errorf("comma not escaped: %q", csv)
+	}
+	if !strings.Contains(csv, `"quo""te"`) {
+		t.Errorf("quote not escaped: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header wrong: %q", csv)
+	}
+}
+
+func TestBarChartLinearAndLog(t *testing.T) {
+	for _, logScale := range []bool{false, true} {
+		c := &BarChart{Title: "speedup", Log: logScale, Width: 20}
+		c.Add("small", 1)
+		c.Add("big", 1000)
+		s := c.String()
+		smallLine, bigLine := "", ""
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "small") {
+				smallLine = line
+			}
+			if strings.HasPrefix(line, "big") {
+				bigLine = line
+			}
+		}
+		if strings.Count(bigLine, "#") <= strings.Count(smallLine, "#") {
+			t.Errorf("log=%v: larger value has shorter bar:\n%s", logScale, s)
+		}
+		if strings.Count(bigLine, "#") > 20 {
+			t.Errorf("log=%v: bar exceeds width", logScale)
+		}
+	}
+}
+
+func TestBarChartZeroAndNegativeSafe(t *testing.T) {
+	c := &BarChart{}
+	c.Add("zero", 0)
+	c.Add("neg", -5)
+	if s := c.String(); s == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSeriesSparkline(t *testing.T) {
+	s := &Series{
+		Title: "ipc",
+		Names: []string{"t0", "t1"},
+		Data:  [][]float64{{0, 0.5, 1}, {1, 1, 1}},
+	}
+	out := s.String()
+	if !strings.Contains(out, "t0") || !strings.Contains(out, "t1") {
+		t.Fatalf("missing names: %s", out)
+	}
+	if !strings.ContainsRune(out, '▁') || !strings.ContainsRune(out, '█') {
+		t.Errorf("sparkline range not used: %s", out)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want string
+	}{
+		{30, "s"},
+		{600, "min"},
+		{3600 * 10, "h"},
+		{86400 * 30, "d"},
+		{31557600 * 3, "yr"},
+	}
+	for _, c := range cases {
+		got := Seconds(c.s)
+		if !strings.HasSuffix(got, c.want) {
+			t.Errorf("Seconds(%g) = %q, want suffix %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(12345.6); got != "12346" {
+		t.Errorf("large float: %q", got)
+	}
+	if got := formatFloat(0.00123); got != "0.0012" {
+		t.Errorf("small float: %q", got)
+	}
+	if got := formatFloat(7); got != "7" {
+		t.Errorf("integral float: %q", got)
+	}
+}

@@ -1,0 +1,39 @@
+package simpoint
+
+import (
+	"testing"
+
+	"looppoint/internal/bbv"
+)
+
+// BenchmarkProjectRegions measures BBV projection cost (dominated by the
+// on-the-fly projection-matrix hashing).
+func BenchmarkProjectRegions(b *testing.B) {
+	var regions []*bbv.Region
+	for i := 0; i < 64; i++ {
+		vecs := make([]map[int]float64, 8)
+		for t := range vecs {
+			vecs[t] = map[int]float64{}
+			for k := 0; k < 40; k++ {
+				vecs[t][(i*7+k*13)%500] = float64(k + 1)
+			}
+		}
+		regions = append(regions, &bbv.Region{Index: i, Vectors: vecs})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProjectRegions(regions, 500, DefaultDims, 42)
+	}
+}
+
+// BenchmarkCluster measures the full k-means + BIC sweep.
+func BenchmarkCluster(b *testing.B) {
+	vecs, _ := blobs(200, 6, DefaultDims, 3)
+	w := ones(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cluster(vecs, w, Options{MaxK: DefaultMaxK, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package simpoint implements SimPoint-style phase clustering (paper
+// Section III-E): per-thread BBVs are concatenated into one global vector
+// per region, normalized, projected to a low dimension by a deterministic
+// random linear projection, and clustered with k-means; the number of
+// clusters is chosen with the Bayesian Information Criterion up to maxK.
+// One representative region per cluster (the one nearest the centroid) is
+// selected, weighted by the work its cluster represents.
+package simpoint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"looppoint/internal/bbv"
+)
+
+// DefaultDims is the projected dimensionality used by the paper.
+const DefaultDims = 100
+
+// DefaultMaxK is the paper's maximum cluster count.
+const DefaultMaxK = 50
+
+// DefaultBICThreshold selects the smallest k scoring at least this
+// fraction of the best BIC range (the standard SimPoint heuristic).
+const DefaultBICThreshold = 0.9
+
+// splitmix64 is the deterministic hash behind the projection matrix and
+// the k-means seeding.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// projEntry returns the pseudo-random projection matrix entry in [-1, 1)
+// for (row, col) under the given seed, without materializing the matrix.
+func projEntry(seed uint64, row, col int) float64 {
+	h := splitmix64(seed ^ splitmix64(uint64(row)*0x100000001B3+uint64(col)))
+	return float64(h>>11)/float64(1<<53)*2 - 1
+}
+
+// ProjectRegions concatenates each region's per-thread BBVs into one
+// global sparse vector (thread t's block b maps to row t*nblocks+b),
+// normalizes it to unit L1 mass, and projects it to dims dimensions.
+// The concatenation preserves per-thread behaviour so heterogeneous
+// regions cluster apart (Section III-B).
+func ProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) [][]float64 {
+	out := make([][]float64, len(regions))
+	for i, r := range regions {
+		v := make([]float64, dims)
+		total := 0.0
+		for _, tv := range r.Vectors {
+			for _, w := range tv {
+				total += w
+			}
+		}
+		if total == 0 {
+			out[i] = v
+			continue
+		}
+		for t, tv := range r.Vectors {
+			base := t * nblocks
+			for blk, w := range tv {
+				row := base + blk
+				nw := w / total
+				for d := 0; d < dims; d++ {
+					v[d] += nw * projEntry(seed, row, d)
+				}
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SumProjectRegions is the naive alternative used by the baseline
+// multi-threaded SimPoint adaptation: per-thread vectors are summed
+// instead of concatenated, losing thread-heterogeneity information.
+func SumProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) [][]float64 {
+	out := make([][]float64, len(regions))
+	for i, r := range regions {
+		v := make([]float64, dims)
+		total := 0.0
+		for _, tv := range r.Vectors {
+			for _, w := range tv {
+				total += w
+			}
+		}
+		if total == 0 {
+			out[i] = v
+			continue
+		}
+		for _, tv := range r.Vectors {
+			for blk, w := range tv {
+				nw := w / total
+				for d := 0; d < dims; d++ {
+					v[d] += nw * projEntry(seed, blk, d)
+				}
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Result describes a clustering outcome.
+type Result struct {
+	K         int
+	Assign    []int       // cluster per region
+	Centroids [][]float64 // K centroids
+	// Reps holds, per cluster, the index of the region closest to the
+	// centroid — the cluster's representative (the looppoint).
+	Reps []int
+	// ClusterWeight is the summed region weight per cluster, normalized
+	// to 1 across clusters.
+	ClusterWeight []float64
+	// BICByK records the BIC score for each k evaluated (index k-1).
+	BICByK []float64
+	// Distortion is the final sum of squared distances.
+	Distortion float64
+}
+
+// Options configures clustering.
+type Options struct {
+	MaxK         int     // maximum clusters (default DefaultMaxK)
+	Seed         uint64  // deterministic seeding
+	BICThreshold float64 // default DefaultBICThreshold
+	MaxIter      int     // Lloyd iterations per k (default 100)
+}
+
+func (o *Options) fill() {
+	if o.MaxK <= 0 {
+		o.MaxK = DefaultMaxK
+	}
+	if o.BICThreshold <= 0 {
+		o.BICThreshold = DefaultBICThreshold
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+}
+
+// Cluster clusters the projected vectors. weights give each region's work
+// (filtered instruction count); they drive representative weighting only,
+// not the geometry.
+func Cluster(vectors [][]float64, weights []float64, opts Options) (*Result, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("simpoint: no regions to cluster")
+	}
+	if len(weights) != len(vectors) {
+		return nil, fmt.Errorf("simpoint: %d weights for %d vectors", len(weights), len(vectors))
+	}
+	opts.fill()
+	n := len(vectors)
+	maxK := opts.MaxK
+	if maxK > n {
+		maxK = n
+	}
+
+	// Variance floor: synthetic or extremely regular workloads can have
+	// regions that are near-duplicates, driving within-cluster variance
+	// toward zero and making the spherical-Gaussian log-likelihood grow
+	// without bound as k increases — the classic X-means failure mode
+	// when the dimensionality (100) exceeds the number of regions (often
+	// a few dozen here, versus thousands of slices at paper scale).
+	// Real BBVs carry measurement noise that bounds this; we emulate that
+	// noise floor as a fraction of the data's total variance so the
+	// likelihood saturates once genuine cluster structure is captured and
+	// the parameter penalty can select a parsimonious k. The 5% setting
+	// means structure explaining at least ~95% of the variance is
+	// resolvable and residual jitter is not chased.
+	varFloor := dataVariance(vectors) * 0.05
+	if varFloor < 1e-12 {
+		varFloor = 1e-12
+	}
+
+	type attempt struct {
+		k      int
+		assign []int
+		cents  [][]float64
+		bic    float64
+		dist   float64
+	}
+	var attempts []attempt
+	best := math.Inf(-1)
+	for k := 1; k <= maxK; k++ {
+		assign, cents, dist := kmeans(vectors, k, opts.Seed+uint64(k), opts.MaxIter)
+		b := bic(vectors, assign, cents, dist, varFloor)
+		attempts = append(attempts, attempt{k, assign, cents, b, dist})
+		if b > best {
+			best = b
+		}
+	}
+	worst := math.Inf(1)
+	for _, a := range attempts {
+		if a.bic < worst {
+			worst = a.bic
+		}
+	}
+	// Smallest k whose BIC reaches the threshold fraction of the range.
+	cut := worst + opts.BICThreshold*(best-worst)
+	chosen := attempts[len(attempts)-1]
+	for _, a := range attempts {
+		if a.bic >= cut {
+			chosen = a
+			break
+		}
+	}
+
+	res := &Result{
+		K:          chosen.k,
+		Assign:     chosen.assign,
+		Centroids:  chosen.cents,
+		Distortion: chosen.dist,
+	}
+	for _, a := range attempts {
+		res.BICByK = append(res.BICByK, a.bic)
+	}
+
+	// Representatives and weights.
+	res.Reps = make([]int, chosen.k)
+	res.ClusterWeight = make([]float64, chosen.k)
+	bestDist := make([]float64, chosen.k)
+	for j := range res.Reps {
+		res.Reps[j] = -1
+		bestDist[j] = math.Inf(1)
+	}
+	var totalW float64
+	for i, v := range vectors {
+		j := chosen.assign[i]
+		d := sqDist(v, chosen.cents[j])
+		if d < bestDist[j] {
+			bestDist[j], res.Reps[j] = d, i
+		}
+		res.ClusterWeight[j] += weights[i]
+		totalW += weights[i]
+	}
+	if totalW > 0 {
+		for j := range res.ClusterWeight {
+			res.ClusterWeight[j] /= totalW
+		}
+	}
+	// Drop empty clusters (possible when k-means loses a centroid).
+	res.compact()
+	return res, nil
+}
+
+func (r *Result) compact() {
+	remap := make([]int, len(r.Reps))
+	var reps []int
+	var ws []float64
+	var cents [][]float64
+	for j, rep := range r.Reps {
+		if rep < 0 {
+			remap[j] = -1
+			continue
+		}
+		remap[j] = len(reps)
+		reps = append(reps, rep)
+		ws = append(ws, r.ClusterWeight[j])
+		cents = append(cents, r.Centroids[j])
+	}
+	for i, a := range r.Assign {
+		if remap[a] >= 0 {
+			r.Assign[i] = remap[a]
+		}
+	}
+	r.Reps, r.ClusterWeight, r.Centroids = reps, ws, cents
+	r.K = len(reps)
+}
+
+// kmeans runs k-means++ seeding followed by Lloyd iterations.
+func kmeans(vectors [][]float64, k int, seed uint64, maxIter int) ([]int, [][]float64, float64) {
+	n := len(vectors)
+	dims := len(vectors[0])
+	rng := seed | 1
+
+	next := func() uint64 {
+		rng = splitmix64(rng)
+		return rng
+	}
+
+	// k-means++ seeding.
+	cents := make([][]float64, 0, k)
+	first := int(next() % uint64(n))
+	cents = append(cents, append([]float64(nil), vectors[first]...))
+	d2 := make([]float64, n)
+	for len(cents) < k {
+		var sum float64
+		for i, v := range vectors {
+			d := sqDist(v, cents[0])
+			for _, c := range cents[1:] {
+				if dd := sqDist(v, c); dd < d {
+					d = dd
+				}
+			}
+			d2[i] = d
+			sum += d
+		}
+		var pick int
+		if sum == 0 {
+			pick = int(next() % uint64(n))
+		} else {
+			target := float64(next()>>11) / float64(1<<53) * sum
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		cents = append(cents, append([]float64(nil), vectors[pick]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, v := range vectors {
+			bestJ, bestD := 0, math.Inf(1)
+			for j, c := range cents {
+				if d := sqDist(v, c); d < bestD {
+					bestJ, bestD = j, d
+				}
+			}
+			if assign[i] != bestJ {
+				assign[i] = bestJ
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		for j := range cents {
+			for d := 0; d < dims; d++ {
+				cents[j][d] = 0
+			}
+		}
+		for i, v := range vectors {
+			j := assign[i]
+			counts[j]++
+			for d, x := range v {
+				cents[j][d] += x
+			}
+		}
+		for j := range cents {
+			if counts[j] == 0 {
+				continue // dead centroid; stays at origin, compacted later
+			}
+			for d := 0; d < dims; d++ {
+				cents[j][d] /= float64(counts[j])
+			}
+		}
+	}
+	var dist float64
+	for i, v := range vectors {
+		dist += sqDist(v, cents[assign[i]])
+	}
+	return assign, cents, dist
+}
+
+// dataVariance returns the average squared distance of the vectors from
+// their global mean.
+func dataVariance(vectors [][]float64) float64 {
+	if len(vectors) == 0 {
+		return 0
+	}
+	dims := len(vectors[0])
+	mean := make([]float64, dims)
+	for _, v := range vectors {
+		for d, x := range v {
+			mean[d] += x
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(len(vectors))
+	}
+	var sum float64
+	for _, v := range vectors {
+		sum += sqDist(v, mean)
+	}
+	return sum / float64(len(vectors))
+}
+
+// bic computes the Bayesian Information Criterion of a clustering under
+// the identical-spherical-Gaussian model (Pelleg & Moore's X-means
+// formulation, as used by SimPoint).
+func bic(vectors [][]float64, assign []int, cents [][]float64, distortion, varFloor float64) float64 {
+	r := float64(len(vectors))
+	k := float64(len(cents))
+	m := float64(len(vectors[0]))
+	variance := distortion / math.Max(r-k, 1)
+	if variance < varFloor {
+		variance = varFloor
+	}
+	counts := make([]float64, len(cents))
+	for _, a := range assign {
+		counts[a]++
+	}
+	var llh float64
+	for _, rn := range counts {
+		if rn <= 0 {
+			continue
+		}
+		llh += rn*math.Log(rn) - rn*math.Log(r) -
+			rn*m/2*math.Log(2*math.Pi*variance) - (rn-1)*m/2
+	}
+	params := k * (m + 1)
+	return llh - params/2*math.Log(r)
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// NearestCentroid returns the centroid index closest to v (exported for
+// invariant checking in tests).
+func NearestCentroid(v []float64, cents [][]float64) int {
+	bestJ, bestD := 0, math.Inf(1)
+	for j, c := range cents {
+		if d := sqDist(v, c); d < bestD {
+			bestJ, bestD = j, d
+		}
+	}
+	return bestJ
+}
+
+// SortedClusterSizes returns the cluster occupancy counts in descending
+// order (diagnostics).
+func (r *Result) SortedClusterSizes() []int {
+	counts := make([]int, r.K)
+	for _, a := range r.Assign {
+		counts[a]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	return counts
+}

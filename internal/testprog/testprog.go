@@ -1,0 +1,166 @@
+// Package testprog builds small mini-ISA programs used by tests across
+// the repository: multi-phase OpenMP-style kernels with barriers, locks,
+// and heterogeneous thread behaviour. Production workloads live in
+// internal/workloads; these are deliberately tiny.
+package testprog
+
+import (
+	"fmt"
+
+	"looppoint/internal/isa"
+	"looppoint/internal/omp"
+)
+
+// Phased builds an nthreads-thread program with two distinct compute
+// phases separated by barriers, repeated for timesteps iterations. All
+// threads run the same routine (as compiled OpenMP code would),
+// parameterized by the tid register, so loop-header PCs are shared.
+// Phase 1 is integer stores, phase 2 float FMAs; the outer timestep loop
+// header is a natural region marker.
+func Phased(nthreads int, timesteps, iters int64, policy omp.WaitPolicy) *isa.Program {
+	p, _ := PhasedWithRuntime(nthreads, timesteps, iters, policy)
+	return p
+}
+
+// PhasedWithRuntime is Phased, also returning the threading runtime so
+// callers can reach runtime metadata such as the barrier-release marker.
+func PhasedWithRuntime(nthreads int, timesteps, iters int64, policy omp.WaitPolicy) (*isa.Program, *omp.Runtime) {
+	p := isa.NewProgram(fmt.Sprintf("phased-%dt", nthreads), nthreads)
+	arr := p.Alloc("arr", uint64(nthreads)*uint64(iters))
+	main := p.AddImage("main", false)
+	rt := omp.New(p, policy)
+	bar := rt.NewBarrier("step")
+
+	r := main.NewRoutine("thread_main")
+	entry := r.NewBlock("entry")
+	step := r.NewBlock("timestep")
+	l1 := r.NewBlock("phase1_loop")
+	mid := r.NewBlock("mid")
+	l2 := r.NewBlock("phase2_loop")
+	latch := r.NewBlock("latch")
+	done := r.NewBlock("done")
+
+	entry.IMovI(5, iters)
+	entry.IOp(isa.OpIMul, 5, isa.RegTid, 5)
+	entry.IOpI(isa.OpIAdd, 5, 5, int64(arr))
+	entry.IMovI(0, 0)
+	entry.Br(step)
+	step.IMovI(1, 0)
+	step.IMov(2, 5)
+	step.Br(l1)
+	l1.IOp(isa.OpIAdd, 3, 1, 1)
+	l1.IOp(isa.OpIAdd, 4, 2, 1)
+	l1.IStore(4, 0, 3)
+	l1.IOpI(isa.OpIAdd, 1, 1, 1)
+	l1.BrCondI(isa.CondLT, 1, iters, l1, mid)
+	rt.EmitBarrier(mid, bar)
+	mid.IMovI(1, 0)
+	mid.Br(l2)
+	l2.IOp(isa.OpIAdd, 4, 2, 1)
+	l2.FLoad(0, 4, 0)
+	l2.FMA(1, 0, 0)
+	l2.IOpI(isa.OpIAdd, 1, 1, 1)
+	l2.BrCondI(isa.CondLT, 1, iters, l2, latch)
+	rt.EmitBarrier(latch, bar)
+	latch.IOpI(isa.OpIAdd, 0, 0, 1)
+	latch.BrCondI(isa.CondLT, 0, timesteps, step, done)
+	done.Halt()
+	for tid := 0; tid < nthreads; tid++ {
+		p.SetEntry(tid, r)
+	}
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p, rt
+}
+
+// WithSyscalls builds a single-routine multi-threaded program in which
+// every thread mixes compute with SysRand syscalls whose results feed the
+// computation — replay only reproduces it with injection.
+func WithSyscalls(nthreads int, iters int64, policy omp.WaitPolicy) *isa.Program {
+	p := isa.NewProgram(fmt.Sprintf("sys-%dt", nthreads), nthreads)
+	out := p.Alloc("out", uint64(nthreads))
+	main := p.AddImage("main", false)
+	rt := omp.New(p, policy)
+	bar := rt.NewBarrier("join")
+
+	r := main.NewRoutine("thread_main")
+	entry := r.NewBlock("entry")
+	loop := r.NewBlock("loop")
+	done := r.NewBlock("done")
+	entry.IMovI(0, 0)
+	entry.IMovI(1, 0) // accumulator
+	entry.Br(loop)
+	loop.Syscall(2, isa.SysRand, 0)
+	loop.IOpI(isa.OpIRem, 2, 2, 97)
+	loop.IOp(isa.OpIAdd, 1, 1, 2)
+	loop.IOpI(isa.OpIAdd, 0, 0, 1)
+	loop.BrCondI(isa.CondLT, 0, iters, loop, done)
+	done.IOpI(isa.OpIAdd, 3, isa.RegTid, int64(out))
+	done.IStore(3, 0, 1)
+	rt.EmitBarrier(done, bar)
+	done.Halt()
+	for tid := 0; tid < nthreads; tid++ {
+		p.SetEntry(tid, r)
+	}
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// OutAddr returns the per-thread output cell address of WithSyscalls.
+func OutAddr(p *isa.Program, tid int) uint64 {
+	a, ok := p.Symbol("out")
+	if !ok {
+		panic("testprog: program has no out symbol")
+	}
+	return a + uint64(tid)
+}
+
+// Heterogeneous builds a program where thread workloads are deliberately
+// unbalanced (thread t executes (t+1)× the inner iterations), mimicking
+// 657.xz_s.2's non-homogeneous behaviour (paper Figure 3).
+func Heterogeneous(nthreads int, timesteps, iters int64, policy omp.WaitPolicy) *isa.Program {
+	p := isa.NewProgram(fmt.Sprintf("hetero-%dt", nthreads), nthreads)
+	arr := p.Alloc("arr", uint64(nthreads)*uint64(iters)*uint64(nthreads))
+	main := p.AddImage("main", false)
+	rt := omp.New(p, policy)
+	bar := rt.NewBarrier("step")
+
+	r := main.NewRoutine("thread_main")
+	entry := r.NewBlock("entry")
+	step := r.NewBlock("timestep")
+	loop := r.NewBlock("work_loop")
+	latch := r.NewBlock("latch")
+	done := r.NewBlock("done")
+
+	// bound = (tid+1) * iters ; base = arr + tid*iters*nthreads
+	entry.IOpI(isa.OpIAdd, 6, isa.RegTid, 1)
+	entry.IMovI(7, iters)
+	entry.IOp(isa.OpIMul, 6, 6, 7)
+	entry.IMovI(7, iters*int64(nthreads))
+	entry.IOp(isa.OpIMul, 5, isa.RegTid, 7)
+	entry.IOpI(isa.OpIAdd, 5, 5, int64(arr))
+	entry.IMovI(0, 0)
+	entry.Br(step)
+	step.IMovI(1, 0)
+	step.Br(loop)
+	loop.IOp(isa.OpIAdd, 4, 5, 1)
+	loop.ILoad(3, 4, 0)
+	loop.IOpI(isa.OpIAdd, 3, 3, 7)
+	loop.IStore(4, 0, 3)
+	loop.IOpI(isa.OpIAdd, 1, 1, 1)
+	loop.BrCond(isa.CondLT, 1, 6, loop, latch)
+	rt.EmitBarrier(latch, bar)
+	latch.IOpI(isa.OpIAdd, 0, 0, 1)
+	latch.BrCondI(isa.CondLT, 0, timesteps, step, done)
+	done.Halt()
+	for tid := 0; tid < nthreads; tid++ {
+		p.SetEntry(tid, r)
+	}
+	if err := p.Link(); err != nil {
+		panic(err)
+	}
+	return p
+}

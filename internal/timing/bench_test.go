@@ -1,0 +1,51 @@
+package timing
+
+import (
+	"testing"
+
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+// BenchmarkCacheAccess measures the hierarchy walk on a mixed hit/miss
+// address stream.
+func BenchmarkCacheAccess(b *testing.B) {
+	cfg := Gainestown(1)
+	l3 := NewCache(cfg.L3, nil)
+	l2 := NewCache(cfg.L2, l3)
+	l1 := NewCache(cfg.L1D, l2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.Access(uint64(i*89)&0xFFFFF, uint64(i))
+	}
+}
+
+// BenchmarkBranchPredictor measures predictor update throughput.
+func BenchmarkBranchPredictor(b *testing.B) {
+	bp := NewBranchPredictor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp.Predict(uint64(i&1023)<<2, i%7 != 0)
+	}
+}
+
+// BenchmarkDetailedSimulation measures end-to-end detailed-simulation
+// speed in simulated instructions per host second (the paper's baseline
+// assumption is ~100 KIPS for industrial simulators; this approximate
+// model runs far faster, which only rescales Figure 1's absolute axis).
+func BenchmarkDetailedSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := testprog.Phased(4, 4, 300, omp.Passive)
+		sim, err := New(Gainestown(4), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		st, err := sim.SimulateFull()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.Instructions)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	}
+}

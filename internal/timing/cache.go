@@ -1,0 +1,155 @@
+package timing
+
+// Cache is a set-associative LRU cache. Caches form a linear hierarchy
+// via the next pointer; Access walks down on miss and fills on the way
+// back, returning the level that hit (1-based; levels+1 = memory).
+type Cache struct {
+	cfg   CacheConfig
+	sets  [][]cacheLine
+	next  *Cache
+	level int
+
+	Accesses uint64
+	Misses   uint64
+
+	lineShift uint
+	warming   bool
+}
+
+type cacheLine struct {
+	tag   uint64
+	valid bool
+	lru   uint64
+}
+
+// NewCache builds one cache level chained above next (nil = memory).
+func NewCache(cfg CacheConfig, next *Cache) *Cache {
+	c := &Cache{cfg: cfg, next: next}
+	if next != nil {
+		c.level = 1 // recomputed by callers; informational only
+	}
+	sets := cfg.Sets()
+	c.sets = make([][]cacheLine, sets)
+	backing := make([]cacheLine, sets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
+	}
+	for ls, v := uint(0), cfg.LineBytes; v > 1; v >>= 1 {
+		ls++
+		c.lineShift = ls
+	}
+	return c
+}
+
+// SetWarming toggles warming mode: state updates happen but statistics do
+// not accumulate (functional warmup, paper Section III-F).
+func (c *Cache) SetWarming(w bool) {
+	c.warming = w
+	if c.next != nil {
+		c.next.SetWarming(w)
+	}
+}
+
+// Access looks up the byte address, filling lines on a miss. It returns
+// the 1-based level at which the access hit; if no level hits, it returns
+// number-of-levels + 1 (memory). clock provides LRU ordering.
+func (c *Cache) Access(addr uint64, clock uint64) int {
+	line := addr >> c.lineShift
+	set := int(line % uint64(len(c.sets)))
+	tag := line / uint64(len(c.sets))
+	if !c.warming {
+		c.Accesses++
+	}
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = clock
+			return 1
+		}
+	}
+	if !c.warming {
+		c.Misses++
+	}
+	below := 1
+	if c.next != nil {
+		below = c.next.Access(addr, clock)
+	}
+	// Fill, evicting the LRU way.
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, lru: clock}
+	return below + 1
+}
+
+// FillQuiet inserts the line holding addr at this level and below without
+// touching demand-access statistics (hardware prefetch fills).
+func (c *Cache) FillQuiet(addr uint64, clock uint64) {
+	line := addr >> c.lineShift
+	set := int(line % uint64(len(c.sets)))
+	tag := line / uint64(len(c.sets))
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = clock
+			if c.next != nil {
+				c.next.FillQuiet(addr, clock)
+			}
+			return
+		}
+	}
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	ways[victim] = cacheLine{tag: tag, valid: true, lru: clock}
+	if c.next != nil {
+		c.next.FillQuiet(addr, clock)
+	}
+}
+
+// Contains reports whether the address is resident at this level.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line % uint64(len(c.sets)))
+	tag := line / uint64(len(c.sets))
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line holding addr from this level only (coherence).
+func (c *Cache) Invalidate(addr uint64) {
+	line := addr >> c.lineShift
+	set := int(line % uint64(len(c.sets)))
+	tag := line / uint64(len(c.sets))
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			c.sets[set][i].valid = false
+		}
+	}
+}
+
+// MissRatio returns misses/accesses (0 when idle).
+func (c *Cache) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}

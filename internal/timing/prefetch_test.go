@@ -1,0 +1,51 @@
+package timing
+
+import (
+	"testing"
+
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+func TestPrefetcherReducesMisses(t *testing.T) {
+	run := func(lines int) *Stats {
+		p := testprog.Phased(4, 3, 400, omp.Passive)
+		cfg := Gainestown(4)
+		cfg.PrefetchNextLines = lines
+		sim, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sim.SimulateFull()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	off := run(0)
+	on := run(2)
+	if on.L1DMisses >= off.L1DMisses {
+		t.Errorf("prefetcher did not reduce L1D misses: %d -> %d", off.L1DMisses, on.L1DMisses)
+	}
+	if on.Instructions != off.Instructions {
+		t.Errorf("prefetcher changed functional behaviour: %d vs %d instructions",
+			on.Instructions, off.Instructions)
+	}
+	if on.Cycles > off.Cycles {
+		t.Errorf("prefetcher slowed the streaming workload: %.0f -> %.0f cycles", off.Cycles, on.Cycles)
+	}
+}
+
+func TestFillQuietDoesNotCountStats(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "c", SizeBytes: 1024, Assoc: 2, LineBytes: 64, Latency: 1}, nil)
+	c.FillQuiet(256, 1)
+	if c.Accesses != 0 || c.Misses != 0 {
+		t.Fatal("quiet fill counted in demand statistics")
+	}
+	if !c.Contains(256) {
+		t.Fatal("quiet fill did not insert the line")
+	}
+	if lvl := c.Access(256, 2); lvl != 1 {
+		t.Fatalf("prefetched line missed (level %d)", lvl)
+	}
+}

@@ -1,0 +1,362 @@
+package timing
+
+import (
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+)
+
+// coreState holds one core's timing state.
+type coreState struct {
+	cycle        float64
+	l1i, l1d, l2 *Cache
+	bp           *BranchPredictor
+	instrs       uint64 // retired in detail mode
+	filtered     uint64
+	lastMissEnd  float64 // completion time of the most recent long miss
+	stack        CPIStack
+}
+
+// system wires a functional machine to the timing model. One thread is
+// pinned per core (the paper simulates N-threaded applications on N-core
+// systems).
+type system struct {
+	cfg    Config
+	m      *exec.Machine
+	cores  []*coreState
+	l3     *Cache
+	dir    map[uint64]uint64 // cache line -> bitmask of cores holding it
+	clock  uint64            // LRU clock: total accesses
+	detail bool
+	trace  *IPCTrace
+
+	// constrained-mode shared-order enforcement
+	constrained bool
+	lineLast    map[uint64]lineAccess
+
+	coherenceInv uint64
+	futexWaits   uint64
+}
+
+type lineAccess struct {
+	tid   int
+	cycle float64
+}
+
+func newSystem(cfg Config, m *exec.Machine) *system {
+	s := &system{
+		cfg:      cfg,
+		m:        m,
+		dir:      make(map[uint64]uint64),
+		lineLast: make(map[uint64]lineAccess),
+	}
+	s.l3 = NewCache(cfg.L3, nil)
+	for i := 0; i < cfg.Cores; i++ {
+		l2 := NewCache(cfg.L2, s.l3)
+		c := &coreState{
+			l1i: NewCache(cfg.L1I, l2),
+			l1d: NewCache(cfg.L1D, l2),
+			l2:  l2,
+			bp:  NewBranchPredictor(),
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s
+}
+
+// setDetail flips between functional-warming and detailed mode.
+func (s *system) setDetail(detail bool) {
+	s.detail = detail
+	for _, c := range s.cores {
+		c.l1i.SetWarming(!detail)
+		c.l1d.SetWarming(!detail)
+		c.l2.SetWarming(!detail)
+		c.bp.SetWarming(!detail)
+	}
+	s.l3.SetWarming(!detail)
+}
+
+// dLatency maps the hit level of a data access (1=L1D) to total latency.
+func (s *system) dLatency(level int) float64 {
+	switch level {
+	case 1:
+		return float64(s.cfg.L1D.Latency)
+	case 2:
+		return float64(s.cfg.L2.Latency)
+	case 3:
+		return float64(s.cfg.L3.Latency)
+	default:
+		return float64(s.cfg.L3.Latency + s.cfg.MemLatency)
+	}
+}
+
+// hideWindow is how many cycles of memory latency the core hides.
+func (s *system) hideWindow() float64 {
+	if s.cfg.Kind == OOO {
+		return float64(s.cfg.ROB) / float64(2*s.cfg.Dispatch)
+	}
+	return 2
+}
+
+// memStall charges a load-class stall with MLP overlap.
+func (s *system) memStall(c *coreState, lat float64) float64 {
+	stall := lat - s.hideWindow()
+	if stall <= 0 {
+		return 0
+	}
+	now := c.cycle
+	if now < c.lastMissEnd {
+		// Overlaps an outstanding miss: only the serialization share.
+		if now+lat > c.lastMissEnd {
+			c.lastMissEnd = now + lat
+		}
+		return stall / s.cfg.MLP
+	}
+	c.lastMissEnd = now + lat
+	return stall
+}
+
+// costInput is the microarchitecture-relevant slice of one executed
+// instruction — everything the timing model needs, whether the source is
+// a live functional execution (exec.Event) or a recorded trace.
+type costInput struct {
+	Op         isa.Op
+	PC         uint64 // instruction address (branch prediction index)
+	BlockAddr  uint64 // owning block address (instruction fetch)
+	BlockEntry bool
+	MemAddr    uint64
+	Taken      bool
+	Blocked    bool
+	Sync       bool // instruction belongs to a synchronization image
+}
+
+func inputFromEvent(ev *exec.Event) costInput {
+	return costInput{
+		Op:         ev.Instr.Op,
+		PC:         ev.Instr.Addr,
+		BlockAddr:  ev.Block.Addr,
+		BlockEntry: ev.BlockEntry,
+		MemAddr:    ev.MemAddr,
+		Taken:      ev.Taken,
+		Blocked:    ev.Blocked,
+		Sync:       ev.Block.Routine.Image.Sync,
+	}
+}
+
+// cost computes the cycle cost of one executed instruction on core tid
+// and updates all microarchitectural state.
+func (s *system) cost(tid int, ev *exec.Event) float64 {
+	return s.costOf(tid, inputFromEvent(ev))
+}
+
+// costOf is cost on the flat representation.
+func (s *system) costOf(tid int, in costInput) float64 {
+	c := s.cores[tid]
+	s.clock++
+	cycles := 1.0 / float64(s.cfg.Dispatch)
+	var ifetchCycles float64
+
+	// Instruction fetch: charge on block entry when the line misses L1I.
+	if in.BlockEntry {
+		lvl := c.l1i.Access(in.BlockAddr*8, s.clock)
+		if lvl > 1 {
+			pen := s.dLatency(lvl)
+			if s.cfg.Kind == OOO {
+				pen /= 2 // decoupled front end hides part of it
+			}
+			ifetchCycles = pen
+			cycles += pen
+		}
+	}
+
+	base := cycles
+	var memCycles, syncCycles, computeCycles, branchCycles float64
+
+	switch {
+	case in.Op == isa.OpILoad || in.Op == isa.OpFLoad:
+		lvl := c.l1d.Access(in.MemAddr, s.clock)
+		s.noteFill(tid, in.MemAddr)
+		memCycles += s.memStall(c, s.dLatency(lvl))
+		if lvl > 1 && s.cfg.PrefetchNextLines > 0 {
+			for n := 1; n <= s.cfg.PrefetchNextLines; n++ {
+				pf := in.MemAddr + uint64(n*64)
+				c.l1d.FillQuiet(pf, s.clock)
+				s.noteFill(tid, pf)
+			}
+		}
+	case in.Op == isa.OpIStore || in.Op == isa.OpFStore:
+		lvl := c.l1d.Access(in.MemAddr, s.clock)
+		s.noteFill(tid, in.MemAddr)
+		memCycles += s.memStall(c, s.dLatency(lvl)) / 2 // store buffer
+		memCycles += s.coherence(tid, in.MemAddr)
+		if lvl > 1 && s.cfg.PrefetchNextLines > 0 {
+			for n := 1; n <= s.cfg.PrefetchNextLines; n++ {
+				pf := in.MemAddr + uint64(n*64)
+				c.l1d.FillQuiet(pf, s.clock)
+				s.noteFill(tid, pf)
+			}
+		}
+	case in.Op.IsAtomic():
+		lvl := c.l1d.Access(in.MemAddr, s.clock)
+		s.noteFill(tid, in.MemAddr)
+		// Atomics serialize: full latency, no ROB hiding.
+		syncCycles += s.dLatency(lvl) + float64(s.cfg.AtomicCycles)
+		syncCycles += s.coherence(tid, in.MemAddr)
+	case in.Op == isa.OpFutexWait:
+		syncCycles += float64(s.cfg.FutexCycles)
+		if in.Blocked && s.detail {
+			s.futexWaits++
+		}
+	case in.Op == isa.OpFutexWake:
+		syncCycles += float64(s.cfg.FutexCycles)
+	case in.Op == isa.OpIDiv || in.Op == isa.OpIRem || in.Op == isa.OpFDiv:
+		pen := float64(s.cfg.DivCycles)
+		if s.cfg.Kind == OOO {
+			pen /= 2
+		}
+		computeCycles += pen
+	case in.Op == isa.OpFSqrt:
+		pen := float64(s.cfg.SqrtCycles)
+		if s.cfg.Kind == OOO {
+			pen /= 2
+		}
+		computeCycles += pen
+	case in.Op == isa.OpPause:
+		syncCycles += float64(s.cfg.PauseCycles)
+	case in.Op == isa.OpSyscall:
+		syncCycles += float64(s.cfg.FutexCycles)
+	}
+
+	// Branch prediction: conditional branches consult the predictor;
+	// unconditional transfers are free beyond the base cost.
+	if in.Op == isa.OpBrCond {
+		if !c.bp.Predict(in.PC*8, in.Taken) {
+			branchCycles += float64(s.cfg.MispredictPenalty)
+		}
+	}
+
+	cycles = base + memCycles + syncCycles + computeCycles + branchCycles
+	if s.detail {
+		c.instrs++
+		if !in.Sync {
+			c.filtered++
+		}
+		c.stack.Base += base - ifetchCycles
+		c.stack.Ifetch += ifetchCycles
+		c.stack.Memory += memCycles
+		c.stack.Sync += syncCycles
+		c.stack.Compute += computeCycles
+		c.stack.Branch += branchCycles
+	}
+	return cycles
+}
+
+// noteFill records private-cache residency for the coherence directory.
+func (s *system) noteFill(tid int, addr uint64) {
+	line := addr >> 6
+	s.dir[line] |= 1 << uint(tid)
+}
+
+// coherence invalidates remote copies on a write and charges the penalty.
+func (s *system) coherence(tid int, addr uint64) float64 {
+	line := addr >> 6
+	others := s.dir[line] &^ (1 << uint(tid))
+	if others == 0 {
+		return 0
+	}
+	for t := 0; t < s.cfg.Cores; t++ {
+		if others&(1<<uint(t)) != 0 {
+			s.cores[t].l1d.Invalidate(addr)
+			s.cores[t].l2.Invalidate(addr)
+		}
+	}
+	s.dir[line] = 1 << uint(tid)
+	if s.detail {
+		s.coherenceInv++
+	}
+	return float64(s.cfg.CoherenceCycles)
+}
+
+// constrainedOrderStall enforces the recorded shared-memory dependency
+// order: a synchronization access (atomic or futex word) to a line last
+// touched by another thread may not begin before that access completed —
+// the artificial delay PinPlay replay inserts to reproduce the recorded
+// interleaving. Plain loads/stores are not constrained (the race log
+// covers logged dependencies, which concentrate on sync variables), yet
+// the recorded *schedule* still forces every thread to the recorded
+// pace, which is what makes constrained timing misleading for
+// applications whose natural thread progress differs from the recording
+// (Section V-A1: worst for low-synchronization apps like 657.xz_s.2).
+func (s *system) constrainedOrderStall(tid int, ev *exec.Event) {
+	if !ev.IsMem {
+		return
+	}
+	op := ev.Instr.Op
+	if !op.IsAtomic() && op != isa.OpFutexWait && op != isa.OpFutexWake {
+		return
+	}
+	line := ev.MemAddr >> 6
+	c := s.cores[tid]
+	if last, ok := s.lineLast[line]; ok && last.tid != tid && last.cycle > c.cycle {
+		c.cycle = last.cycle
+	}
+	s.lineLast[line] = lineAccess{tid: tid, cycle: c.cycle}
+}
+
+// wake propagates wake-up timing: woken threads resume no earlier than
+// the waker plus the wake latency.
+func (s *system) wake(wakerCycle float64, woken []int) {
+	for _, w := range woken {
+		if resume := wakerCycle + float64(s.cfg.WakeCycles); resume > s.cores[w].cycle {
+			s.cores[w].cycle = resume
+		}
+	}
+}
+
+// totalInstrs returns instructions retired in detail mode.
+func (s *system) totalInstrs() uint64 {
+	var n uint64
+	for _, c := range s.cores {
+		n += c.instrs
+	}
+	return n
+}
+
+// wallCycle is the simulated wall clock: the maximum core cycle.
+func (s *system) wallCycle() float64 {
+	var w float64
+	for _, c := range s.cores {
+		if c.cycle > w {
+			w = c.cycle
+		}
+	}
+	return w
+}
+
+// stats snapshots the counters into a Stats value. baseCycles is the wall
+// cycle at the start of the detailed window.
+func (s *system) stats(baseCycles float64) *Stats {
+	st := &Stats{Config: s.cfg}
+	st.Cycles = s.wallCycle() - baseCycles
+	if st.Cycles < 0 {
+		st.Cycles = 0
+	}
+	for _, c := range s.cores {
+		st.CoreInstr = append(st.CoreInstr, c.instrs)
+		st.Instructions += c.instrs
+		st.FilteredInstructions += c.filtered
+		st.Stack.Add(c.stack)
+		st.Branches += c.bp.Lookups
+		st.BranchMisses += c.bp.Mispredict
+		st.L1IAccesses += c.l1i.Accesses
+		st.L1IMisses += c.l1i.Misses
+		st.L1DAccesses += c.l1d.Accesses
+		st.L1DMisses += c.l1d.Misses
+		st.L2Accesses += c.l2.Accesses
+		st.L2Misses += c.l2.Misses
+	}
+	st.L3Accesses = s.l3.Accesses
+	st.L3Misses = s.l3.Misses
+	st.CoherenceInvalidations = s.coherenceInv
+	st.FutexWaits = s.futexWaits
+	return st
+}

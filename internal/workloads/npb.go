@@ -1,0 +1,244 @@
+package workloads
+
+import (
+	"looppoint/internal/isa"
+	"looppoint/internal/kernels"
+)
+
+// The NAS Parallel Benchmarks (OpenMP, version 3.3 shapes; paper
+// Section IV-B). The suite runs with the passive wait policy and class C
+// inputs in the paper's evaluation; npb-dc is excluded there and here.
+// NPB kernels are more regular and repetitive than SPEC CPU2017, which is
+// why the paper sees lower errors and higher speedups on them.
+func registerNPB() {
+	register(Spec{
+		Name: "npb-bt", Suite: "npb", Lang: "F", KLOC: 11, Area: "Block tri-diagonal solver",
+		Sync: SyncSet{Sta4: true, Bar: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-bt", par, 5*sm)
+			part := f.equal(260 * zm)
+			u := f.p.Alloc("u", part.ArrayWords(par.Threads))
+			rhs := f.p.Alloc("rhs", part.ArrayWords(par.Threads))
+			f.initArray(u, int64(part.ArrayWords(par.Threads)), 62989, 1<<24, 3)
+			f.beginSteps()
+			// x-, y-, z-sweeps.
+			f.e.Stencil3(u, rhs, part)
+			f.barrier()
+			f.e.Stencil3(rhs, u, part)
+			f.barrier()
+			f.e.Stencil3(u, rhs, part)
+			f.barrier()
+			f.e.StreamFMA(u, part, 1.0000015, 0.5)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-cg", Suite: "npb", Lang: "F", KLOC: 2, Area: "Conjugate gradient",
+		Sync: SyncSet{Sta4: true, Bar: true, Red: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-cg", par, 5*sm)
+			part := f.equal(200 * zm)
+			x := f.p.Alloc("x", part.ArrayWords(par.Threads))
+			mat := f.p.Alloc("mat", uint64(4096*zm))
+			lock := f.rt.NewLock("dot")
+			acc := f.p.Alloc("dot", 1)
+			f.initArray(mat, 4096*zm, 48271, 1<<22, 7)
+			f.beginSteps()
+			// Sparse matvec stand-in: random gathers.
+			f.e.RandomWalk(mat, 4096*zm, part)
+			f.barrier()
+			f.e.StreamFMA(x, part, 1.0000021, 0.25)
+			f.barrier()
+			f.reducePhase(x, part, lock, acc) // dot products
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-ep", Suite: "npb", Lang: "F", KLOC: 1, Area: "Embarrassingly parallel",
+		Sync: SyncSet{Sta4: true, Red: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-ep", par, 3*sm)
+			part := f.equal(900 * zm)
+			gauss := f.p.Alloc("gauss", part.ArrayWords(par.Threads))
+			lock := f.rt.NewLock("tally")
+			acc := f.p.Alloc("tally", 1)
+			f.initArray(gauss, int64(part.ArrayWords(par.Threads)), 1299709, 1<<20, 11)
+			f.beginSteps()
+			// Long independent random-number generation, one reduction.
+			f.e.StreamFMA(gauss, part, 1.0000012, 0.125)
+			f.e.StreamFMA(gauss, part, 0.9999988, 0.0625)
+			f.reducePhase(gauss, part, lock, acc)
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-ft", Suite: "npb", Lang: "F", KLOC: 2, Area: "3-D FFT",
+		Sync: SyncSet{Sta4: true, Bar: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-ft", par, 4*sm)
+			part := f.equal(280 * zm)
+			spec := f.p.Alloc("spec", part.ArrayWords(par.Threads))
+			f.initArray(spec, int64(part.ArrayWords(par.Threads)), 69497, 1<<23, 13)
+			f.beginSteps()
+			// Butterfly passes at growing strides.
+			f.e.StridedLoad(spec, int64(part.ArrayWords(par.Threads)-2), 3, part)
+			f.barrier()
+			f.e.StridedLoad(spec, int64(part.ArrayWords(par.Threads)-2), 19, part)
+			f.barrier()
+			f.e.StreamFMA(spec, part, 1.0000017, 0.5)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-is", Suite: "npb", Lang: "C", KLOC: 1, Area: "Integer sort",
+		Sync: SyncSet{Sta4: true, Bar: true, At: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-is", par, 4*sm)
+			part := f.equal(320 * zm)
+			keys := f.p.Alloc("keys", part.ArrayWords(par.Threads))
+			hist := f.p.Alloc("hist", uint64(512*int64(par.Threads))+64)
+			f.initArray(keys, int64(part.ArrayWords(par.Threads)), 1327144003, 1<<18, 17)
+			f.beginSteps()
+			// Shared atomic histogram then local re-rank.
+			f.e.Histogram(keys, hist, 512, true, part)
+			f.barrier()
+			f.e.StreamFMA(keys, part, 1.0, 0.0)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-lu", Suite: "npb", Lang: "F", KLOC: 6, Area: "LU solver",
+		Sync: SyncSet{Sta4: true, Bar: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-lu", par, 5*sm)
+			// Wavefront pipelining leaves threads mildly imbalanced.
+			part := f.skewed(220*zm, 12*zm)
+			u := f.p.Alloc("u", part.ArrayWords(par.Threads))
+			r := f.p.Alloc("r", part.ArrayWords(par.Threads))
+			f.initArray(u, int64(part.ArrayWords(par.Threads)), 16807, 1<<22, 19)
+			f.beginSteps()
+			f.e.Stencil3(u, r, part)
+			f.barrier()
+			f.e.Stencil3(r, u, part)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-mg", Suite: "npb", Lang: "F", KLOC: 1, Area: "Multigrid",
+		Sync: SyncSet{Sta4: true, Bar: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-mg", par, 4*sm)
+			fine := f.equal(360 * zm)
+			mid := f.equal(120 * zm)
+			coarse := f.equal(40 * zm)
+			g0 := f.p.Alloc("g0", fine.ArrayWords(par.Threads))
+			g1 := f.p.Alloc("g1", mid.ArrayWords(par.Threads))
+			g2 := f.p.Alloc("g2", coarse.ArrayWords(par.Threads))
+			f.initArray(g0, int64(fine.ArrayWords(par.Threads)), 7368787, 1<<23, 23)
+			f.beginSteps()
+			// V-cycle: restrict down, smooth, prolong up.
+			f.e.Stencil3(g0, g0, fine)
+			f.barrier()
+			f.e.Stencil3(g1, g1, mid)
+			f.barrier()
+			f.e.Stencil3(g2, g2, coarse)
+			f.barrier()
+			f.e.Stencil3(g1, g1, mid)
+			f.barrier()
+			f.e.Stencil3(g0, g0, fine)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-sp", Suite: "npb", Lang: "F", KLOC: 5, Area: "Scalar penta-diagonal solver",
+		Sync: SyncSet{Sta4: true, Bar: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-sp", par, 5*sm)
+			part := f.equal(240 * zm)
+			u := f.p.Alloc("u", part.ArrayWords(par.Threads))
+			lhs := f.p.Alloc("lhs", part.ArrayWords(par.Threads))
+			f.initArray(u, int64(part.ArrayWords(par.Threads)), 2147483629, 1<<24, 29)
+			f.beginSteps()
+			f.e.StreamFMA(lhs, part, 1.0000013, 0.25)
+			f.barrier()
+			f.e.Stencil3(u, lhs, part)
+			f.barrier()
+			f.e.Stencil3(lhs, u, part)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "npb-ua", Suite: "npb", Lang: "F", KLOC: 10, Area: "Unstructured adaptive mesh",
+		Sync: SyncSet{Sta4: true, Dyn4: true, Bar: true, Lck: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("npb-ua", par, 4*sm)
+			part := f.equal(180 * zm)
+			mesh := f.p.Alloc("mesh", uint64(3000*zm))
+			elems := f.p.Alloc("elems", part.ArrayWords(par.Threads))
+			dynArr := f.p.Alloc("dyn", uint64(120*zm*8)+64)
+			ctr := f.rt.NewCounter("ua")
+			lock := f.rt.NewLock("mesh")
+			shared := f.p.Alloc("shared", 1)
+			f.initArray(mesh, 3000*zm, 514229, 1<<21, 31)
+			f.beginSteps()
+			f.e.RandomWalk(mesh, 3000*zm, part)
+			f.barrier()
+			f.dynamicPhase(ctr, 120*zm*8, 16, func(e *kernels.Emitter) {
+				e.ChunkStream(dynArr, 16, 8)
+			})
+			// Lock-guarded mesh refinement tick.
+			f.rt.EmitLock(f.e.Cur, lock)
+			b := f.e.Cur
+			b.IMovI(9, int64(shared))
+			b.ILoad(10, 9, 0)
+			b.IOpI(isa.OpIAdd, 10, 10, 1)
+			b.IStore(9, 0, 10)
+			f.rt.EmitUnlock(f.e.Cur, lock)
+			f.e.StreamFMA(elems, part, 1.0000019, 0.5)
+			f.barrier()
+			return f.finish()
+		},
+	})
+}
+
+// registerDemo adds the matrix-omp demo application from the paper's
+// artifact (the quick end-to-end smoke test).
+func registerDemo() {
+	for i, size := range []int64{60, 120, 200} {
+		name := []string{"demo-matrix-1", "demo-matrix-2", "demo-matrix-3"}[i]
+		sz := size
+		register(Spec{
+			Name: name, Suite: "demo", Lang: "C", KLOC: 1, Area: "Matrix demo",
+			Sync: SyncSet{Sta4: true, Bar: true},
+			build: func(par BuildParams) *App {
+				sm, zm := par.Input.scale()
+				f := newFrame(name, par, 3*sm)
+				part := f.equal(sz * zm)
+				a := f.p.Alloc("a", part.ArrayWords(par.Threads))
+				b := f.p.Alloc("b", part.ArrayWords(par.Threads))
+				f.initArray(a, int64(part.ArrayWords(par.Threads)), 1103515245, 1<<20, 1)
+				f.beginSteps()
+				f.e.StreamFMA(a, part, 1.000003, 0.5)
+				f.barrier()
+				f.e.Stencil3(a, b, part)
+				f.barrier()
+				return f.finish()
+			},
+		})
+	}
+}

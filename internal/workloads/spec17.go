@@ -1,0 +1,392 @@
+package workloads
+
+import (
+	"looppoint/internal/isa"
+	"looppoint/internal/kernels"
+)
+
+// dynamicPhase emits a dynamically scheduled work-sharing phase: barrier,
+// master resets the shared chunk counter, barrier, chunk-grab loop, barrier.
+func (f *frame) dynamicPhase(counter uint64, total, chunk int64, body func(e *kernels.Emitter)) {
+	f.barrier()
+	f.masterOnly(func() {
+		f.e.Cur.IMovI(9, 0)
+		f.e.Cur.IMovI(10, int64(counter))
+		f.e.Cur.IStore(10, 0, 9)
+	})
+	f.barrier()
+	f.e.DynamicFor(counter, total, chunk, func(b *isa.Block, dst isa.Reg) {
+		f.rt.EmitDynNext(b, counter, chunk, dst)
+	}, body)
+	f.barrier()
+}
+
+// reducePhase emits a thread-local reduction over arr followed by a
+// lock-serialized global accumulation (OpenMP reduction clause).
+func (f *frame) reducePhase(arr uint64, part kernels.Partition, lock, acc uint64) {
+	f.e.ReduceSum(arr, part)
+	f.rt.EmitReduceF(f.e.Cur, lock, acc, 6)
+	f.barrier()
+}
+
+// atomicTick emits an inline atomic increment of a shared counter in the
+// main image (an OpenMP `atomic` construct compiles to an inline
+// lock-prefixed instruction, not a runtime call).
+func (f *frame) atomicTick(counter uint64) {
+	b := f.e.Cur
+	b.IMovI(9, int64(counter))
+	b.IMovI(10, 1)
+	b.AtomicAdd(11, 9, 0, 10)
+}
+
+func init() {
+	registerSpec17()
+	registerNPB()
+	registerDemo()
+}
+
+func registerSpec17() {
+	register(Spec{
+		Name: "603.bwaves_s.1", Suite: "spec17", Lang: "F", KLOC: 1, Area: "Explosion modeling",
+		Sync: SyncSet{Sta4: true, Red: true, At: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("603.bwaves_s.1", par, 5*sm)
+			part := f.equal(420 * zm)
+			a := f.p.Alloc("a", part.ArrayWords(par.Threads))
+			b := f.p.Alloc("b", part.ArrayWords(par.Threads))
+			lock := f.rt.NewLock("red")
+			acc := f.p.Alloc("acc", 1)
+			tick := f.p.Alloc("tick", 1)
+			f.initArray(a, int64(part.ArrayWords(par.Threads)), 2654435761, 1<<30, 1)
+			f.beginSteps()
+			f.e.Stencil3(a, b, part)
+			f.barrier()
+			f.e.Stencil3(b, a, part)
+			f.atomicTick(tick)
+			f.barrier()
+			f.reducePhase(a, part, lock, acc)
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "603.bwaves_s.2", Suite: "spec17", Lang: "F", KLOC: 1, Area: "Explosion modeling",
+		Sync: SyncSet{Sta4: true, Red: true, At: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("603.bwaves_s.2", par, 4*sm)
+			part := f.equal(640 * zm)
+			a := f.p.Alloc("a", part.ArrayWords(par.Threads))
+			b := f.p.Alloc("b", part.ArrayWords(par.Threads))
+			lock := f.rt.NewLock("red")
+			acc := f.p.Alloc("acc", 1)
+			f.initArray(a, int64(part.ArrayWords(par.Threads)), 40503, 1<<29, 7)
+			f.beginSteps()
+			f.e.Stencil3(a, b, part)
+			f.barrier()
+			f.e.StreamFMA(b, part, 1.0001, 0.25)
+			f.barrier()
+			f.reducePhase(b, part, lock, acc)
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "607.cactuBSSN_s.1", Suite: "spec17", Lang: "F, C++", KLOC: 257, Area: "Physics: relativity",
+		Sync: SyncSet{Sta4: true, Dyn4: true, Bar: true, Red: true, At: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("607.cactuBSSN_s.1", par, 4*sm)
+			part := f.equal(300 * zm)
+			grid := f.p.Alloc("grid", part.ArrayWords(par.Threads))
+			rhs := f.p.Alloc("rhs", part.ArrayWords(par.Threads))
+			dynArr := f.p.Alloc("dyn", uint64(300*zm*8)+64)
+			ctr := f.rt.NewCounter("cactu")
+			lock := f.rt.NewLock("red")
+			acc := f.p.Alloc("acc", 1)
+			tick := f.p.Alloc("tick", 1)
+			f.initArray(grid, int64(part.ArrayWords(par.Threads)), 7919, 1<<28, 3)
+			f.beginSteps()
+			f.e.Stencil3(grid, rhs, part)
+			f.barrier()
+			f.dynamicPhase(ctr, 300*zm*8, 64, func(e *kernels.Emitter) {
+				e.ChunkStream(dynArr, 64, 8)
+			})
+			f.e.Stencil3(rhs, grid, part)
+			f.atomicTick(tick)
+			f.barrier()
+			f.reducePhase(grid, part, lock, acc)
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "619.lbm_s.1", Suite: "spec17", Lang: "C", KLOC: 1, Area: "Fluid dynamics",
+		Sync: SyncSet{Sta4: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("619.lbm_s.1", par, 3*sm)
+			part := f.equal(1100 * zm)
+			src := f.p.Alloc("src", part.ArrayWords(par.Threads))
+			dst := f.p.Alloc("dst", part.ArrayWords(par.Threads))
+			f.initArray(src, int64(part.ArrayWords(par.Threads)), 31337, 1<<27, 11)
+			f.beginSteps()
+			// Stream-and-collide: two large static-for sweeps.
+			f.e.Stencil3(src, dst, part)
+			f.barrier()
+			f.e.Stencil3(dst, src, part)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "621.wrf_s.1", Suite: "spec17", Lang: "F, C", KLOC: 991, Area: "Weather forecasting",
+		Sync: SyncSet{Dyn4: true, Ma: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("621.wrf_s.1", par, 4*sm)
+			part := f.equal(150 * zm)
+			phys := f.p.Alloc("phys", part.ArrayWords(par.Threads))
+			dynArr := f.p.Alloc("dyn", uint64(200*zm*8)+64)
+			halo := f.p.Alloc("halo", part.ArrayWords(par.Threads))
+			ctr := f.rt.NewCounter("wrf")
+			f.initArray(phys, int64(part.ArrayWords(par.Threads)), 104729, 1<<26, 5)
+			f.beginSteps()
+			// Many small physics phases with dynamic scheduling and a
+			// serial master section (I/O-like).
+			f.e.StreamFMA(phys, part, 1.00001, 0.125)
+			f.barrier()
+			f.dynamicPhase(ctr, 200*zm*8, 32, func(e *kernels.Emitter) {
+				e.ChunkStream(dynArr, 32, 8)
+			})
+			f.e.Stencil3(phys, halo, part)
+			f.barrier()
+			f.masterOnly(func() {
+				f.e.RandomWalk(halo, 150*zm, kernels.Equal(60*zm))
+			})
+			f.barrier()
+			f.e.Stencil3(halo, phys, part)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "627.cam4_s.1", Suite: "spec17", Lang: "F, C", KLOC: 407, Area: "Atmosphere modeling",
+		Sync: SyncSet{Sta4: true, Dyn4: true, Bar: true, Ma: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("627.cam4_s.1", par, 4*sm)
+			part := f.equal(260 * zm)
+			col := f.p.Alloc("col", part.ArrayWords(par.Threads))
+			dynArr := f.p.Alloc("dyn", uint64(120*zm*8)+64)
+			ctr := f.rt.NewCounter("cam4")
+			f.initArray(col, int64(part.ArrayWords(par.Threads)), 65537, 1<<25, 9)
+			f.beginSteps()
+			f.e.StreamFMA(col, part, 0.99999, 0.5)
+			f.barrier()
+			f.e.Stencil3(col, col, part) // in-place column update
+			f.barrier()
+			f.dynamicPhase(ctr, 120*zm*8, 24, func(e *kernels.Emitter) {
+				e.ChunkStream(dynArr, 24, 8)
+			})
+			f.masterOnly(func() {
+				f.e.StreamFMA(col, kernels.Equal(40*zm), 1.0, 0.0)
+			})
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "628.pop2_s.1", Suite: "spec17", Lang: "F, C", KLOC: 338, Area: "Wide-scale ocean modeling",
+		Sync: SyncSet{Sta4: true, Bar: true, Ma: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("628.pop2_s.1", par, 5*sm)
+			part := f.equal(330 * zm)
+			u := f.p.Alloc("u", part.ArrayWords(par.Threads))
+			v := f.p.Alloc("v", part.ArrayWords(par.Threads))
+			f.initArray(u, int64(part.ArrayWords(par.Threads)), 4242, 1<<24, 13)
+			f.beginSteps()
+			f.e.Stencil3(u, v, part)
+			f.barrier()
+			f.masterOnly(func() { // halo exchange stand-in
+				f.e.StreamFMA(v, kernels.Equal(30*zm), 1.0, 0.0)
+			})
+			f.barrier()
+			f.e.Stencil3(v, u, part)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "638.imagick_s.1", Suite: "spec17", Lang: "C", KLOC: 259, Area: "Image manipulation",
+		Sync: SyncSet{Sta4: true, Bar: true, Ma: true, Si: true, Red: true, At: true, Lck: true},
+		build: func(par BuildParams) *App {
+			// imagick's defining property for sampling: enormous
+			// inter-barrier regions (93.06 B of 93.35 B instructions in
+			// the paper) — here, one barrier every 64 timesteps, so a
+			// handful of barrier episodes exist per run (the paper's
+			// imagick has inter-barrier regions nearly the size of the
+			// whole application).
+			sm, zm := par.Input.scale()
+			f := newFrame("638.imagick_s.1", par, 16*sm)
+			part := f.equal(330 * zm)
+			img := f.p.Alloc("img", part.ArrayWords(par.Threads))
+			out := f.p.Alloc("out", part.ArrayWords(par.Threads))
+			tick := f.p.Alloc("tick", 1)
+			single := f.p.Alloc("single_episode", 1)
+			f.initArray(img, int64(part.ArrayWords(par.Threads)), 99991, 1<<23, 17)
+			f.beginSteps()
+			// Convolution-like passes, no synchronization in between.
+			f.e.Stencil3(img, out, part)
+			f.e.Stencil3(out, img, part)
+			f.e.StreamFMA(img, part, 1.00002, 0.0625)
+			f.atomicTick(tick)
+			// One thread per step updates the colour-map header (single).
+			f.singleOnce(single, func() {
+				f.e.StreamFMA(out, kernels.Equal(16*zm), 1.0, 0.0)
+			})
+			// Rare barrier: only when step % 16 == 15.
+			b := f.e.Cur
+			b.IOpI(isa.OpIRem, 9, f.stepReg, 64)
+			barBlk := f.e.NewBlock("rare_barrier")
+			cont := f.e.NewBlock("after_rare")
+			b.BrCondI(isa.CondEQ, 9, 63, barBlk, cont)
+			f.e.Cur = barBlk
+			f.barrier()
+			f.e.Cur.Br(cont)
+			f.e.Cur = cont
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "644.nab_s.1", Suite: "spec17", Lang: "C", KLOC: 24, Area: "Molecular dynamics",
+		Sync: SyncSet{Dyn4: true, Bar: true, Red: true, At: true, Lck: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("644.nab_s.1", par, 4*sm)
+			part := f.equal(220 * zm)
+			pos := f.p.Alloc("pos", part.ArrayWords(par.Threads))
+			forces := f.p.Alloc("forces", uint64(1024*zm))
+			dynArr := f.p.Alloc("dyn", uint64(160*zm*8)+64)
+			ctr := f.rt.NewCounter("nab")
+			lock := f.rt.NewLock("energy")
+			acc := f.p.Alloc("energy", 1)
+			tick := f.p.Alloc("tick", 1)
+			f.initArray(pos, int64(part.ArrayWords(par.Threads)), 15485863, 1<<22, 19)
+			f.initArray(forces, 1024*zm, 7, 1<<20, 1)
+			f.beginSteps()
+			// Pairwise-force stand-in: random access into the force table.
+			f.e.RandomWalk(forces, 1024*zm, part)
+			f.atomicTick(tick)
+			f.barrier()
+			f.dynamicPhase(ctr, 160*zm*8, 16, func(e *kernels.Emitter) {
+				e.ChunkStream(dynArr, 16, 8)
+			})
+			f.reducePhase(pos, part, lock, acc)
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "644.nab_s.2", Suite: "spec17", Lang: "C", KLOC: 24, Area: "Molecular dynamics",
+		Sync: SyncSet{Dyn4: true, Bar: true, Red: true, At: true, Lck: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("644.nab_s.2", par, 3*sm)
+			part := f.equal(340 * zm)
+			pos := f.p.Alloc("pos", part.ArrayWords(par.Threads))
+			forces := f.p.Alloc("forces", uint64(2048*zm))
+			lock := f.rt.NewLock("energy")
+			acc := f.p.Alloc("energy", 1)
+			f.initArray(forces, 2048*zm, 11, 1<<21, 3)
+			f.beginSteps()
+			f.e.RandomWalk(forces, 2048*zm, part)
+			f.barrier()
+			f.e.StreamFMA(pos, part, 1.00004, 0.03125)
+			f.barrier()
+			f.reducePhase(pos, part, lock, acc)
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "649.fotonik3d_s.1", Suite: "spec17", Lang: "F", KLOC: 14, Area: "Comp. Electromagnetics",
+		Sync: SyncSet{Sta4: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("649.fotonik3d_s.1", par, 4*sm)
+			part := f.equal(400 * zm)
+			e1 := f.p.Alloc("e", part.ArrayWords(par.Threads))
+			h1 := f.p.Alloc("h", part.ArrayWords(par.Threads))
+			f.initArray(e1, int64(part.ArrayWords(par.Threads)), 131071, 1<<22, 23)
+			f.beginSteps()
+			// FDTD update: E from H, then H from E, with strided sweeps.
+			f.e.Stencil3(h1, e1, part)
+			f.barrier()
+			f.e.StridedLoad(e1, int64(part.ArrayWords(par.Threads)-2), 17, part)
+			f.e.Stencil3(e1, h1, part)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "654.roms_s.1", Suite: "spec17", Lang: "F", KLOC: 210, Area: "Regional ocean modeling",
+		Sync: SyncSet{Sta4: true},
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("654.roms_s.1", par, 5*sm)
+			part := f.equal(330 * zm)
+			zeta := f.p.Alloc("zeta", part.ArrayWords(par.Threads))
+			ubar := f.p.Alloc("ubar", part.ArrayWords(par.Threads))
+			f.initArray(zeta, int64(part.ArrayWords(par.Threads)), 524287, 1<<21, 29)
+			f.beginSteps()
+			f.e.StreamFMA(zeta, part, 1.00001, 0.015625)
+			f.barrier()
+			f.e.Stencil3(zeta, ubar, part)
+			f.barrier()
+			f.e.Stencil3(ubar, zeta, part)
+			f.barrier()
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "657.xz_s.1", Suite: "spec17", Lang: "C", KLOC: 33, Area: "General data compression",
+		Sync:         SyncSet{},
+		FixedThreads: 1,
+		build: func(par BuildParams) *App {
+			sm, zm := par.Input.scale()
+			f := newFrame("657.xz_s.1", par, 6*sm)
+			part := kernels.Equal(900 * zm)
+			data := f.p.Alloc("data", part.ArrayWords(1))
+			f.initArray(data, int64(part.ArrayWords(1)), 2654435761, 1<<20, 31)
+			f.beginStepsGated()
+			f.e.BranchyCompress(data, part)
+			return f.finish()
+		},
+	})
+	register(Spec{
+		Name: "657.xz_s.2", Suite: "spec17", Lang: "C", KLOC: 33, Area: "General data compression",
+		Sync:         SyncSet{Lck: true},
+		FixedThreads: 4,
+		build: func(par BuildParams) *App {
+			// 4 threads, heterogeneous work shares (Figure 3), no
+			// barriers at all — BarrierPoint is inapplicable and
+			// constrained replay mispredicts badly (Section V-A1).
+			sm, zm := par.Input.scale()
+			f := newFrame("657.xz_s.2", par, 5*sm)
+			part := kernels.Skewed(260*zm, 200*zm)
+			data := f.p.Alloc("data", part.ArrayWords(4))
+			lock := f.rt.NewLock("queue")
+			queued := f.p.Alloc("queued", 1)
+			f.initArray(data, int64(part.ArrayWords(4)), 16777619, 1<<19, 37)
+			f.beginStepsGated()
+			f.e.BranchyCompress(data, part)
+			// Lock-protected block-queue accounting.
+			f.rt.EmitLock(f.e.Cur, lock)
+			b := f.e.Cur
+			b.IMovI(9, int64(queued))
+			b.ILoad(10, 9, 0)
+			b.IOpI(isa.OpIAdd, 10, 10, 1)
+			b.IStore(9, 0, 10)
+			f.rt.EmitUnlock(f.e.Cur, lock)
+			return f.finish()
+		},
+	})
+}

@@ -1,0 +1,117 @@
+package looppoint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadsRegistry(t *testing.T) {
+	names := Workloads()
+	if len(names) < 20 {
+		t.Fatalf("only %d workloads registered", len(names))
+	}
+	for _, want := range []string{"603.bwaves_s.1", "657.xz_s.2", "npb-cg", "demo-matrix-1"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("workload %s missing", want)
+		}
+	}
+}
+
+func TestBuildWorkloadErrors(t *testing.T) {
+	if _, err := BuildWorkload("no-such-app", WorkloadOptions{}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	w, err := BuildWorkload("demo-matrix-1", WorkloadOptions{Threads: 4, Input: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Threads() != 4 || w.Name() != "demo-matrix-1" {
+		t.Errorf("workload meta wrong: %s/%d", w.Name(), w.Threads())
+	}
+}
+
+func TestEvaluateQuickstartFlow(t *testing.T) {
+	w, err := BuildWorkload("demo-matrix-1", WorkloadOptions{Threads: 4, Input: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceUnit = 2000
+	rep, err := Evaluate(w, cfg, EvalOptions{CompareFull: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Full == nil {
+		t.Fatal("full simulation missing")
+	}
+	if rep.RuntimeErrPct > 20 {
+		t.Errorf("demo error %.2f%% too high", rep.RuntimeErrPct)
+	}
+	if !strings.Contains(rep.Summary(), "demo-matrix-1") {
+		t.Errorf("summary: %s", rep.Summary())
+	}
+}
+
+func TestAnalyzeOnlyFlow(t *testing.T) {
+	w, err := BuildWorkload("demo-matrix-2", WorkloadOptions{Threads: 4, Input: "test", Policy: Active})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceUnit = 2000
+	sel, err := Analyze(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Points) == 0 {
+		t.Fatal("no looppoints selected")
+	}
+	serial, parallel := TheoreticalSpeedups(sel)
+	if serial < 1 || parallel < serial {
+		t.Errorf("speedups: serial %.2f parallel %.2f", serial, parallel)
+	}
+}
+
+func TestSystemConfigs(t *testing.T) {
+	g := Gainestown(8)
+	if g.Cores != 8 || g.FreqGHz != 2.66 || g.ROB != 128 {
+		t.Errorf("Gainestown config wrong: %+v", g)
+	}
+	io := InOrderSystem(8)
+	if io.Kind == g.Kind {
+		t.Error("in-order config not distinct")
+	}
+	if Experiments(true) == nil {
+		t.Error("no evaluator")
+	}
+}
+
+func TestExportSelectionAndPinballs(t *testing.T) {
+	w, err := BuildWorkload("demo-matrix-3", WorkloadOptions{Threads: 4, Input: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.SliceUnit = 3000
+	sel, err := Analyze(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := ExportSelection(sel, dir+"/sel.json"); err != nil {
+		t.Fatalf("ExportSelection: %v", err)
+	}
+	paths, err := ExportRegionPinballs(sel, dir+"/regions")
+	if err != nil {
+		t.Fatalf("ExportRegionPinballs: %v", err)
+	}
+	if len(paths) != len(sel.Points) {
+		t.Fatalf("exported %d pinballs for %d looppoints", len(paths), len(sel.Points))
+	}
+}
