@@ -1,12 +1,17 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test bench report report-full demo clean
+.PHONY: build test test-race bench report report-full demo clean
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+# Everything under the race detector (slower; exercises the worker pool,
+# singleflight memoization, and every concurrent experiment fan-out).
+test-race:
+	go test -race ./...
 
 # One benchmark per paper table/figure plus ablations (quick subsets).
 bench:

@@ -13,10 +13,13 @@ package looppoint
 
 import (
 	"os"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"looppoint/internal/harness"
+	"looppoint/internal/workloads"
 )
 
 var (
@@ -279,6 +282,41 @@ func BenchmarkAblationPrefetcher(b *testing.B) {
 // variable-length slicing.
 func BenchmarkAblationVariableSlices(b *testing.B) {
 	benchAblation(b, evalForBench().AblationVariableSlices)
+}
+
+// BenchmarkParallelHostSpeedup measures the host-side speedup of the
+// bounded worker pool: the same Figure 5a evaluation runs on fresh
+// evaluators at -j 1 and -j GOMAXPROCS, and the wall-clock ratio is
+// reported (the paper's Table III parallel-speedup column is the
+// simulated-workload analogue; this is the harness's own). The rendered
+// results are byte-identical at both widths — only host time changes.
+func BenchmarkParallelHostSpeedup(b *testing.B) {
+	width := runtime.GOMAXPROCS(0)
+	if width < 2 {
+		width = 2 // single-CPU host: still exercises the pool, speedup ~1x
+	}
+	run := func(j int) time.Duration {
+		e := harness.NewEvaluator(harness.Options{
+			Quick: true, SliceUnit: 2000, Parallelism: j,
+			InputOverride: workloads.InputTest,
+		})
+		start := time.Now()
+		if _, err := e.Fig5a(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var serial, parallel time.Duration
+	for i := 0; i < b.N; i++ {
+		serial += run(1)
+		parallel += run(width)
+	}
+	b.ReportMetric(serial.Seconds()/float64(b.N), "serial_s")
+	b.ReportMetric(parallel.Seconds()/float64(b.N), "parallel_s")
+	b.ReportMetric(float64(width), "workers")
+	if parallel > 0 {
+		b.ReportMetric(float64(serial)/float64(parallel), "host_parallel_speedup_x")
+	}
 }
 
 // BenchmarkHybridMethodology measures the Section V-B hybrid: per

@@ -7,6 +7,10 @@
 //	lpreport                         # full suites (much longer)
 //	lpreport -figures 5a,8,9         # selected experiments only
 //	lpreport -out results/           # also write per-figure text files
+//	lpreport -quick -j 8             # 8 evaluation workers, same output
+//
+// The -j flag bounds the worker pool that experiments fan out on;
+// reports are byte-identical at every -j setting.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"time"
 
 	"looppoint/internal/harness"
+	"looppoint/internal/workloads"
 )
 
 type experiment struct {
@@ -31,15 +36,29 @@ func main() {
 		figures = flag.String("figures", "all", "comma-separated experiments: tables,1,3,4,5a,5b,6,7,8,9,10,naive,constrained,hybrid,ablations or all")
 		outDir  = flag.String("out", "", "directory to also write per-figure text files into")
 		threads = flag.Int("n", 8, "SPEC thread count")
+		jobs    = flag.Int("j", 0, "worker-pool width for parallel evaluation (0 = one worker per CPU); output is identical at every setting")
+		input   = flag.String("input", "", "override every experiment's input class (e.g. test) — smoke runs only")
+		slice   = flag.Uint64("slice", 0, "override the per-thread slice unit (0 = default)")
 		verbose = flag.Bool("v", false, "log per-application progress")
 	)
 	flag.Parse()
 
-	opts := harness.Options{Quick: *quick, Threads: *threads}
+	opts := harness.Options{
+		Quick:         *quick,
+		Threads:       *threads,
+		Parallelism:   *jobs,
+		SliceUnit:     *slice,
+		InputOverride: workloads.InputClass(*input),
+	}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
 	e := harness.NewEvaluator(opts)
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
 
 	exps := []experiment{
 		{"tables", func(e *harness.Evaluator) (string, error) {
@@ -71,12 +90,14 @@ func main() {
 		if !all && !want[exp.name] {
 			continue
 		}
+		logf("stage %s: starting (j=%d)", exp.name, e.Opts.Parallelism)
 		start := time.Now()
 		out, err := exp.run(e)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lpreport: %s: %v\n", exp.name, err)
 			os.Exit(1)
 		}
+		logf("stage %s: done in %v", exp.name, time.Since(start).Round(time.Millisecond))
 		fmt.Printf("%s\n[%s took %v]\n\n", out, exp.name, time.Since(start).Round(time.Millisecond))
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {

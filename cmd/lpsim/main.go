@@ -6,15 +6,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"looppoint"
 	"looppoint/internal/bbv"
 	"looppoint/internal/pinball"
+	"looppoint/internal/pool"
 	"looppoint/internal/timing"
 )
 
@@ -30,7 +35,8 @@ func main() {
 		cold       = flag.Bool("cold", false, "skip functional warmup for region simulation")
 		periodic   = flag.String("periodic", "", "time-based sampling as detail:period instruction counts")
 		trace      = flag.Uint64("trace", 0, "emit an IPC trace sampled every N instructions")
-		checkpoint = flag.String("checkpoint", "", "simulate a saved region pinball (from lpprofile -save-regions); build flags must match the profiling run")
+		checkpoint = flag.String("checkpoint", "", "simulate a saved region pinball, or every *.pinball in a directory (from lpprofile -save-regions); build flags must match the profiling run")
+		jobs       = flag.Int("j", 0, "worker-pool width for directory checkpoint simulation (0 = one worker per CPU)")
 		constrain  = flag.Bool("constrained", false, "with -checkpoint: constrained replay instead of unconstrained simulation")
 		dumpTrace  = flag.String("dump-trace", "", "record the workload and write an instruction trace to this file (no timing simulation)")
 		fromTrace  = flag.String("from-trace", "", "run a timing-only simulation of a trace file (-n selects the core count; no workload executes)")
@@ -106,6 +112,10 @@ func main() {
 	var st *timing.Stats
 	switch {
 	case *checkpoint != "":
+		if fi, err := os.Stat(*checkpoint); err == nil && fi.IsDir() {
+			simulateCheckpointDir(w, cfg, *checkpoint, *jobs, *constrain)
+			return
+		}
 		pb, err := pinball.Load(*checkpoint)
 		if err != nil {
 			fail(err)
@@ -151,6 +161,86 @@ func main() {
 	}
 
 	printStats(w.Name(), cfg, st, sim.Trace)
+}
+
+// simulateCheckpointDir simulates every region pinball in dir on a
+// bounded worker pool — the checkpoint-driven parallel simulation of
+// Section III-J: checkpoints make the regions independent, so they can
+// be farmed out to as many workers as the host offers. Per-file lines
+// print in name order regardless of which worker finished first.
+func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string, jobs int, constrain bool) {
+	files, err := filepath.Glob(filepath.Join(dir, "*.pinball"))
+	if err != nil {
+		fail(err)
+	}
+	if len(files) == 0 {
+		fail(fmt.Errorf("no *.pinball files in %s", dir))
+	}
+	sort.Strings(files)
+	width := jobs
+	if width <= 0 {
+		width = pool.DefaultWidth()
+	}
+	fmt.Fprintf(os.Stderr, "lpsim: simulating %d checkpoints with %d workers\n", len(files), width)
+
+	type regionRun struct {
+		st   *timing.Stats
+		host time.Duration
+	}
+	wall := time.Now()
+	runs, err := pool.Map(context.Background(), width, len(files),
+		func(_ context.Context, i int) (regionRun, error) {
+			start := time.Now()
+			pb, err := pinball.Load(files[i])
+			if err != nil {
+				return regionRun{}, err
+			}
+			if pb.NumThreads != w.Threads() {
+				return regionRun{}, fmt.Errorf("%s: recorded with %d threads, program built with %d",
+					files[i], pb.NumThreads, w.Threads())
+			}
+			sim, err := timing.New(cfg, w.App.Prog)
+			if err != nil {
+				return regionRun{}, err
+			}
+			var st *timing.Stats
+			if constrain {
+				st, err = sim.SimulateConstrained(pb)
+			} else {
+				st, err = sim.SimulateCheckpoint(pb)
+			}
+			if err != nil {
+				return regionRun{}, fmt.Errorf("%s: %w", files[i], err)
+			}
+			return regionRun{st: st, host: time.Since(start)}, nil
+		})
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(wall)
+
+	var serial time.Duration
+	var insns uint64
+	var cycles, seconds float64
+	for i, r := range runs {
+		serial += r.host
+		insns += r.st.Instructions
+		cycles += r.st.Cycles
+		seconds += r.st.RuntimeSeconds()
+		fmt.Printf("%-32s %12d insns  IPC %6.3f  runtime %.6f s  [host %v]\n",
+			filepath.Base(files[i]), r.st.Instructions, r.st.IPC(),
+			r.st.RuntimeSeconds(), r.host.Round(time.Millisecond))
+	}
+	fmt.Printf("\n%d checkpoints of %s on %d-core %v system, %d workers:\n",
+		len(runs), w.Name(), cfg.Cores, cfg.Kind, width)
+	fmt.Printf("  instructions   %d\n", insns)
+	fmt.Printf("  cycles         %.0f\n", cycles)
+	fmt.Printf("  region runtime %.6f s @ %.2f GHz (summed)\n", seconds, cfg.FreqGHz)
+	if elapsed > 0 {
+		fmt.Printf("  host wall      %v (serial-equivalent %v, speedup %.2fx)\n",
+			elapsed.Round(time.Millisecond), serial.Round(time.Millisecond),
+			float64(serial)/float64(elapsed))
+	}
 }
 
 func printStats(label string, cfg timing.Config, st *timing.Stats, trace *timing.IPCTrace) {

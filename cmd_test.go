@@ -101,6 +101,41 @@ func TestCmdCheckpointWorkflow(t *testing.T) {
 	if !strings.Contains(constrained, "cycles") {
 		t.Fatalf("lpsim constrained output incomplete:\n%s", constrained)
 	}
+	// Directory mode: every pinball in the directory simulates on the
+	// worker pool, with per-file lines and an aggregate speedup summary.
+	dirSim := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", dir, "-j", "4")
+	for _, want := range []string{"checkpoints of demo-matrix-2", "speedup", "host wall", ".pinball"} {
+		if !strings.Contains(dirSim, want) {
+			t.Fatalf("lpsim directory checkpoint output missing %q:\n%s", want, dirSim)
+		}
+	}
+}
+
+// TestCmdLpreportQuickHeadersGolden runs the whole quick report on
+// test-class inputs with a parallel pool and pins the section headers
+// against a golden file: every experiment must be present, titled as
+// the paper's artifact, and unaffected by the -j width.
+func TestCmdLpreportQuickHeadersGolden(t *testing.T) {
+	out := goRun(t, "./cmd/lpreport", "-quick", "-input", "test", "-slice", "2000", "-j", "4")
+	var got strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		for _, prefix := range []string{"Table ", "Fig", "Section ", "SecV", "Ablation:"} {
+			if strings.HasPrefix(line, prefix) {
+				got.WriteString(line)
+				got.WriteByte('\n')
+				break
+			}
+		}
+	}
+	want, err := os.ReadFile("testdata/lpreport_quick_headers.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != string(want) {
+		t.Errorf("section headers differ from testdata/lpreport_quick_headers.golden:\ngot:\n%swant:\n%s",
+			got.String(), want)
+	}
 }
 
 func TestCmdLpprofileDisasmAndDot(t *testing.T) {

@@ -17,6 +17,7 @@ package bbv
 
 import (
 	"fmt"
+	"sort"
 
 	"looppoint/internal/exec"
 	"looppoint/internal/isa"
@@ -169,13 +170,18 @@ func (c *Collector) SetVariableSlices(minFrac, threshold float64) {
 // normalized global map keyed by thread*nblocks+block.
 func (c *Collector) normalizedVector(r *Region) map[int]float64 {
 	out := make(map[int]float64)
-	var total float64
 	for t, tv := range r.Vectors {
 		base := t * c.profile.NumBlocks
 		for blk, w := range tv {
 			out[base+blk] = w
-			total += w
 		}
+	}
+	// Sum in key order: map-order float accumulation would make the
+	// normalization (and every distance derived from it) vary by ULPs
+	// between runs.
+	var total float64
+	for _, k := range sortedIndices(out) {
+		total += out[k]
 	}
 	if total > 0 {
 		for k := range out {
@@ -185,19 +191,29 @@ func (c *Collector) normalizedVector(r *Region) map[int]float64 {
 	return out
 }
 
+// sortedIndices returns a sparse vector's indices in increasing order.
+func sortedIndices(v map[int]float64) []int {
+	keys := make([]int, 0, len(v))
+	for k := range v {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 func manhattan(a, b map[int]float64) float64 {
 	var d float64
-	for k, va := range a {
-		vb := b[k]
+	for _, k := range sortedIndices(a) {
+		va, vb := a[k], b[k]
 		if va > vb {
 			d += va - vb
 		} else {
 			d += vb - va
 		}
 	}
-	for k, vb := range b {
+	for _, k := range sortedIndices(b) {
 		if _, ok := a[k]; !ok {
-			d += vb
+			d += b[k]
 		}
 	}
 	return d

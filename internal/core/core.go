@@ -8,10 +8,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 	"time"
 
 	"looppoint/internal/bbv"
@@ -19,6 +19,7 @@ import (
 	"looppoint/internal/exec"
 	"looppoint/internal/isa"
 	"looppoint/internal/pinball"
+	"looppoint/internal/pool"
 	"looppoint/internal/simpoint"
 	"looppoint/internal/timing"
 )
@@ -289,8 +290,23 @@ type RegionResult struct {
 
 // SimulateRegions runs a detailed simulation of every looppoint. With
 // parallel true the regions are simulated concurrently (checkpoints make
-// the runs independent — Section III-J).
+// the runs independent — Section III-J) on a pool bounded at one worker
+// per CPU; see SimulateRegionsN for an explicit width.
 func SimulateRegions(sel *Selection, simCfg timing.Config, parallel bool) ([]RegionResult, error) {
+	width := 1
+	if parallel {
+		width = pool.DefaultWidth()
+	}
+	return SimulateRegionsN(sel, simCfg, width)
+}
+
+// SimulateRegionsN simulates every looppoint on a worker pool of the
+// given width (<= 0 means one worker per CPU). Each region gets its own
+// simulator seeded from the analysis config, so the per-region statistics
+// — and therefore the extrapolated prediction — are byte-identical at any
+// width; only host time varies. The first simulation error cancels the
+// remaining unstarted regions.
+func SimulateRegionsN(sel *Selection, simCfg timing.Config, width int) ([]RegionResult, error) {
 	a := sel.Analysis
 	var checkpoints []*pinball.Pinball
 	if a.Config.RegionSim == RegionSimCheckpoint {
@@ -325,50 +341,26 @@ func SimulateRegions(sel *Selection, simCfg timing.Config, parallel bool) ([]Reg
 		}
 	}
 
-	results := make([]RegionResult, len(sel.Points))
-	errs := make([]error, len(sel.Points))
-	runOne := func(i int) {
-		lp := sel.Points[i]
-		start := time.Now()
-		sim, err := timing.New(simCfg, a.Prog)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		sim.Seed = a.Config.Seed
-		var st *timing.Stats
-		if checkpoints != nil {
-			st, err = sim.SimulateCheckpoint(checkpoints[i])
-		} else {
-			st, err = sim.SimulateRegion(lp.Region.Start, lp.Region.End, a.Config.Warmup)
-		}
-		if err != nil {
-			errs[i] = fmt.Errorf("core: region %d: %w", lp.Region.Index, err)
-			return
-		}
-		results[i] = RegionResult{Point: lp, Stats: st, HostTime: time.Since(start)}
-	}
-	if parallel {
-		var wg sync.WaitGroup
-		for i := range sel.Points {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				runOne(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range sel.Points {
-			runOne(i)
-		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	return pool.Map(context.Background(), width, len(sel.Points),
+		func(_ context.Context, i int) (RegionResult, error) {
+			lp := sel.Points[i]
+			start := time.Now()
+			sim, err := timing.New(simCfg, a.Prog)
+			if err != nil {
+				return RegionResult{}, err
+			}
+			sim.Seed = a.Config.Seed
+			var st *timing.Stats
+			if checkpoints != nil {
+				st, err = sim.SimulateCheckpoint(checkpoints[i])
+			} else {
+				st, err = sim.SimulateRegion(lp.Region.Start, lp.Region.End, a.Config.Warmup)
+			}
+			if err != nil {
+				return RegionResult{}, fmt.Errorf("core: region %d: %w", lp.Region.Index, err)
+			}
+			return RegionResult{Point: lp, Stats: st, HostTime: time.Since(start)}, nil
+		})
 }
 
 // Prediction is the extrapolated whole-program performance (Equation 1,

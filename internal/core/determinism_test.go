@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+	"looppoint/internal/timing"
+)
+
+// TestSimulateRegionsWidthInvariant requires identical per-region
+// statistics and an identical extrapolated prediction at every pool
+// width: each region gets its own simulator seeded the same way, so
+// worker scheduling must not leak into the results.
+func TestSimulateRegionsWidthInvariant(t *testing.T) {
+	p := testprog.Phased(4, 10, 150, omp.Passive)
+	a, err := Analyze(p, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freq := timing.Gainestown(1).FreqGHz
+	base, err := SimulateRegionsN(sel, timing.Gainestown(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePred := Extrapolate(base, freq)
+	for _, width := range []int{2, 8} {
+		res, err := SimulateRegionsN(sel, timing.Gainestown(4), width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if len(res) != len(base) {
+			t.Fatalf("width %d: %d results, want %d", width, len(res), len(base))
+		}
+		for i := range res {
+			if res[i].Point.Region.Index != base[i].Point.Region.Index {
+				t.Errorf("width %d: result %d is region %d, want %d (ordering unstable)",
+					width, i, res[i].Point.Region.Index, base[i].Point.Region.Index)
+			}
+			if res[i].Stats.Cycles != base[i].Stats.Cycles ||
+				res[i].Stats.Instructions != base[i].Stats.Instructions ||
+				res[i].Stats.BranchMisses != base[i].Stats.BranchMisses {
+				t.Errorf("width %d: region %d stats differ from width 1", width, i)
+			}
+		}
+		if pred := Extrapolate(res, freq); pred != basePred {
+			t.Errorf("width %d: prediction differs from width 1:\n%+v\nvs\n%+v",
+				width, pred, basePred)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"looppoint/internal/isa"
+	"looppoint/internal/pool"
 	"looppoint/internal/timing"
 )
 
@@ -88,8 +89,25 @@ type RunOpts struct {
 	// compute prediction errors (skipped for ref-scale inputs, where the
 	// paper also only reports speedups).
 	SimulateFull bool
-	// Parallel simulates looppoints concurrently.
+	// Parallel simulates looppoints concurrently (one pool worker per
+	// CPU when Width is zero).
 	Parallel bool
+	// Width bounds the number of concurrently simulated looppoints.
+	// Zero falls back to one worker per CPU when Parallel is set and to
+	// serial simulation otherwise. The prediction is identical at every
+	// width; only host time changes.
+	Width int
+}
+
+// width resolves the effective pool width.
+func (o RunOpts) width() int {
+	if o.Width > 0 {
+		return o.Width
+	}
+	if o.Parallel {
+		return pool.DefaultWidth()
+	}
+	return 1
 }
 
 // Run performs the complete LoopPoint flow on one program: analyze,
@@ -104,7 +122,7 @@ func Run(prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Re
 	if err != nil {
 		return nil, err
 	}
-	regions, err := SimulateRegions(sel, simCfg, opts.Parallel)
+	regions, err := SimulateRegionsN(sel, simCfg, opts.width())
 	if err != nil {
 		return nil, err
 	}

@@ -45,9 +45,9 @@ func (e *Evaluator) runVariant(name string, policy omp.WaitPolicy, label string,
 	}
 	cfg := e.Opts.config()
 	mutate(&cfg)
-	e.Opts.logf("ablation %s: %s", name, label)
+	e.logf("ablation %s: %s", name, label)
 	rep, err := core.Run(app.Prog, cfg, timing.Gainestown(app.Prog.NumThreads()),
-		core.RunOpts{SimulateFull: true, Parallel: true})
+		core.RunOpts{SimulateFull: true, Width: e.Opts.Parallelism})
 	if err != nil {
 		return AblationRow{}, fmt.Errorf("harness: ablation %s/%s: %w", name, label, err)
 	}
@@ -60,6 +60,20 @@ func (e *Evaluator) runVariant(name string, policy omp.WaitPolicy, label string,
 	}, nil
 }
 
+// variant is one named configuration mutation in an ablation sweep.
+type variant struct {
+	label  string
+	mutate func(*core.Config)
+}
+
+// runVariants evaluates a sweep's variants on the worker pool, returning
+// rows in sweep order regardless of completion order.
+func (e *Evaluator) runVariants(app string, policy omp.WaitPolicy, vs []variant) ([]AblationRow, error) {
+	return forEach(e, vs, func(v variant) (AblationRow, error) {
+		return e.runVariant(app, policy, v.label, v.mutate)
+	})
+}
+
 // AblationSpinFilter toggles synchronization-library filtering on an
 // active-wait workload with imbalanced threads (npb-lu's wavefront skew),
 // where barrier spin time is substantial. Note the result carefully:
@@ -70,19 +84,14 @@ func (e *Evaluator) runVariant(name string, policy omp.WaitPolicy, label string,
 func (e *Evaluator) AblationSpinFilter() (*AblationResult, error) {
 	const app = "npb-lu"
 	res := &AblationResult{Title: "Ablation: spin-loop filtering (active wait)", App: app}
-	for _, v := range []struct {
-		label string
-		f     func(*core.Config)
-	}{
+	rows, err := e.runVariants(app, omp.Active, []variant{
 		{"filter on (LoopPoint)", func(c *core.Config) {}},
 		{"filter off", func(c *core.Config) { c.NoSpinFilter = true }},
-	} {
-		row, err := e.runVariant(app, omp.Active, v.label, v.f)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -91,19 +100,14 @@ func (e *Evaluator) AblationSpinFilter() (*AblationResult, error) {
 func (e *Evaluator) AblationGlobalBBV() (*AblationResult, error) {
 	const app = "657.xz_s.2"
 	res := &AblationResult{Title: "Ablation: concatenated vs summed per-thread BBVs", App: app}
-	for _, v := range []struct {
-		label string
-		f     func(*core.Config)
-	}{
+	rows, err := e.runVariants(app, omp.Passive, []variant{
 		{"concatenated (LoopPoint)", func(c *core.Config) {}},
 		{"summed", func(c *core.Config) { c.SumBBVs = true }},
-	} {
-		row, err := e.runVariant(app, omp.Passive, v.label, v.f)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -117,10 +121,7 @@ func (e *Evaluator) AblationFlowControl() (*AblationResult, error) {
 	const app = "657.xz_s.2"
 	bias := []int{8, 8, 1, 1}
 	res := &AblationResult{Title: "Ablation: flow control under host imbalance", App: app}
-	for _, v := range []struct {
-		label string
-		f     func(*core.Config)
-	}{
+	rows, err := e.runVariants(app, omp.Active, []variant{
 		{"flow control on (LoopPoint)", func(c *core.Config) { c.HostBias = bias }},
 		// A huge window effectively disables flow control: the biased
 		// host's skew lands in the recorded profile uncorrected.
@@ -128,13 +129,11 @@ func (e *Evaluator) AblationFlowControl() (*AblationResult, error) {
 			c.HostBias = bias
 			c.FlowWindow = 1 << 40
 		}},
-	} {
-		row, err := e.runVariant(app, omp.Active, v.label, v.f)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -144,15 +143,17 @@ func (e *Evaluator) AblationFlowControl() (*AblationResult, error) {
 func (e *Evaluator) AblationSliceSize() (*AblationResult, error) {
 	const app = "603.bwaves_s.1"
 	res := &AblationResult{Title: "Ablation: slice size (per-thread units)", App: app}
+	var vs []variant
 	for _, unit := range []uint64{25_000, 50_000, 100_000, 200_000, 400_000} {
 		u := unit
-		row, err := e.runVariant(app, omp.Active, fmt.Sprintf("%dK", u/1000),
-			func(c *core.Config) { c.SliceUnit = u })
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		vs = append(vs, variant{fmt.Sprintf("%dK", u/1000),
+			func(c *core.Config) { c.SliceUnit = u }})
 	}
+	rows, err := e.runVariants(app, omp.Active, vs)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -163,15 +164,17 @@ func (e *Evaluator) AblationSliceSize() (*AblationResult, error) {
 func (e *Evaluator) AblationMaxK() (*AblationResult, error) {
 	const app = "621.wrf_s.1"
 	res := &AblationResult{Title: "Ablation: maxK", App: app}
+	var vs []variant
 	for _, k := range []int{1, 2, 5, 50} {
 		kk := k
-		row, err := e.runVariant(app, omp.Active, fmt.Sprintf("maxK=%d", kk),
-			func(c *core.Config) { c.MaxK = kk })
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		vs = append(vs, variant{fmt.Sprintf("maxK=%d", kk),
+			func(c *core.Config) { c.MaxK = kk }})
 	}
+	rows, err := e.runVariants(app, omp.Active, vs)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -180,19 +183,14 @@ func (e *Evaluator) AblationMaxK() (*AblationResult, error) {
 func (e *Evaluator) AblationVariableSlices() (*AblationResult, error) {
 	const app = "627.cam4_s.1"
 	res := &AblationResult{Title: "Ablation: fixed vs variable-length slices", App: app}
-	for _, v := range []struct {
-		label string
-		f     func(*core.Config)
-	}{
+	rows, err := e.runVariants(app, omp.Passive, []variant{
 		{"fixed-length (LoopPoint)", func(c *core.Config) {}},
 		{"variable-length", func(c *core.Config) { c.VariableSlices = true }},
-	} {
-		row, err := e.runVariant(app, omp.Passive, v.label, v.f)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -209,22 +207,27 @@ func (e *Evaluator) AblationPrefetcher() (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, lines := range []int{0, 1, 2} {
+	rows, err := forEach(e, []int{0, 1, 2}, func(lines int) (AblationRow, error) {
 		simCfg := timing.Gainestown(app.Prog.NumThreads())
 		simCfg.PrefetchNextLines = lines
+		e.logf("ablation %s: prefetch %d lines", appName, lines)
 		rep, err := core.Run(app.Prog, e.Opts.config(), simCfg,
-			core.RunOpts{SimulateFull: true, Parallel: true})
+			core.RunOpts{SimulateFull: true, Width: e.Opts.Parallelism})
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		res.Rows = append(res.Rows, AblationRow{
+		return AblationRow{
 			Config:     fmt.Sprintf("prefetch %d lines", lines),
 			ErrPct:     rep.RuntimeErrPct,
 			LoopPoints: len(rep.Selection.Points),
 			Regions:    len(rep.Selection.Analysis.Profile.Regions),
 			TheoPar:    rep.Speedups.TheoreticalParallel,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -233,10 +236,7 @@ func (e *Evaluator) AblationPrefetcher() (*AblationResult, error) {
 func (e *Evaluator) AblationWarmup() (*AblationResult, error) {
 	const app = "619.lbm_s.1"
 	res := &AblationResult{Title: "Ablation: region warmup", App: app}
-	for _, v := range []struct {
-		label string
-		f     func(*core.Config)
-	}{
+	rows, err := e.runVariants(app, omp.Passive, []variant{
 		{"checkpoint + warmup region", func(c *core.Config) {}},
 		{"checkpoint, cold start", func(c *core.Config) { c.Warmup = timing.WarmupNone }},
 		{"binary-driven, perfect warmup", func(c *core.Config) { c.RegionSim = core.RegionSimBinaryDriven }},
@@ -244,12 +244,10 @@ func (e *Evaluator) AblationWarmup() (*AblationResult, error) {
 			c.RegionSim = core.RegionSimBinaryDriven
 			c.Warmup = timing.WarmupNone
 		}},
-	} {
-		row, err := e.runVariant(app, omp.Passive, v.label, v.f)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }

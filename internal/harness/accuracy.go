@@ -42,7 +42,7 @@ func (e *Evaluator) Fig5b() (*AccuracyResult, error) {
 
 func (e *Evaluator) accuracy(figure string, kind timing.CoreKind) (*AccuracyResult, error) {
 	res := &AccuracyResult{Figure: figure, Core: kind}
-	for _, app := range e.Opts.SpecApps() {
+	rows, err := forEach(e, e.Opts.SpecApps(), func(app string) (ErrRow, error) {
 		row := ErrRow{App: app}
 		for _, policy := range []omp.WaitPolicy{omp.Active, omp.Passive} {
 			rep, err := e.Report(ReportKey{
@@ -50,7 +50,7 @@ func (e *Evaluator) accuracy(figure string, kind timing.CoreKind) (*AccuracyResu
 				Threads: e.Opts.Threads, Core: kind, Full: true,
 			})
 			if err != nil {
-				return nil, err
+				return ErrRow{}, err
 			}
 			if policy == omp.Active {
 				row.Active = rep.RuntimeErrPct
@@ -58,8 +58,12 @@ func (e *Evaluator) accuracy(figure string, kind timing.CoreKind) (*AccuracyResu
 				row.Passive = rep.RuntimeErrPct
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	for _, r := range res.Rows {
 		res.AvgActive += r.Active
 		res.AvgPassive += r.Passive
@@ -100,7 +104,7 @@ type Fig6Result struct {
 // Fig6 evaluates the NPB suite at 8 and 16 threads.
 func (e *Evaluator) Fig6() (*Fig6Result, error) {
 	res := &Fig6Result{}
-	for _, app := range e.Opts.NPBApps() {
+	rows, err := forEach(e, e.Opts.NPBApps(), func(app string) (NPBThreadRow, error) {
 		row := NPBThreadRow{App: app}
 		for _, threads := range []int{8, 16} {
 			rep, err := e.Report(ReportKey{
@@ -108,7 +112,7 @@ func (e *Evaluator) Fig6() (*Fig6Result, error) {
 				Threads: threads, Full: true,
 			})
 			if err != nil {
-				return nil, err
+				return NPBThreadRow{}, err
 			}
 			if threads == 8 {
 				row.Err8 = rep.RuntimeErrPct
@@ -116,8 +120,12 @@ func (e *Evaluator) Fig6() (*Fig6Result, error) {
 				row.Err16 = rep.RuntimeErrPct
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	for _, r := range res.Rows {
 		res.Avg8 += r.Err8
 		res.Avg16 += r.Err16
@@ -162,7 +170,8 @@ type Fig7Result struct {
 // Fig7 extracts metric predictions from the Figure 5a runs.
 func (e *Evaluator) Fig7() (*Fig7Result, error) {
 	res := &Fig7Result{}
-	for _, app := range e.Opts.SpecApps() {
+	perApp, err := forEach(e, e.Opts.SpecApps(), func(app string) ([]MetricsRow, error) {
+		var rows []MetricsRow
 		for _, policy := range []omp.WaitPolicy{omp.Active, omp.Passive} {
 			rep, err := e.Report(ReportKey{
 				App: app, Policy: policy, Input: e.Opts.trainInput(),
@@ -171,7 +180,7 @@ func (e *Evaluator) Fig7() (*Fig7Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res.Rows = append(res.Rows, MetricsRow{
+			rows = append(rows, MetricsRow{
 				App:            app,
 				Policy:         policy.String(),
 				CyclesErrPct:   rep.CyclesErrPct,
@@ -180,6 +189,13 @@ func (e *Evaluator) Fig7() (*Fig7Result, error) {
 				L3MPKIDiff:     rep.L3MPKIDiff,
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range perApp {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }

@@ -28,7 +28,8 @@ type NaiveResult struct {
 // NaiveSimPoint runs the comparison on the configured SPEC subset.
 func (e *Evaluator) NaiveSimPoint() (*NaiveResult, error) {
 	res := &NaiveResult{}
-	for _, name := range e.Opts.SpecApps() {
+	perApp, err := forEach(e, e.Opts.SpecApps(), func(name string) ([]NaiveRow, error) {
+		var rows []NaiveRow
 		for _, policy := range []omp.WaitPolicy{omp.Active, omp.Passive} {
 			rep, err := e.Report(ReportKey{
 				App: name, Policy: policy, Input: e.Opts.trainInput(),
@@ -49,17 +50,24 @@ func (e *Evaluator) NaiveSimPoint() (*NaiveResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			nres, err := core.SimulateRegions(nsel, timing.Gainestown(app.Prog.NumThreads()), true)
+			nres, err := core.SimulateRegionsN(nsel, timing.Gainestown(app.Prog.NumThreads()), e.Opts.Parallelism)
 			if err != nil {
 				return nil, err
 			}
 			npred := core.Extrapolate(nres, timing.Gainestown(1).FreqGHz)
 			nerr := core.PercentError(npred.Seconds, rep.Full.RuntimeSeconds())
-			res.Rows = append(res.Rows, NaiveRow{
+			rows = append(rows, NaiveRow{
 				App: name, Policy: policy.String(),
 				NaiveErrPct: nerr, LoopPointErr: rep.RuntimeErrPct,
 			})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, rows := range perApp {
+		res.Rows = append(res.Rows, rows...)
 	}
 	return res, nil
 }

@@ -7,16 +7,25 @@
 // Experiments are expensive (each application evaluation records,
 // profiles, clusters, simulates regions, and optionally simulates the
 // full application), so the Evaluator memoizes per-application reports
-// and the Options.Quick flag restricts suites to representative subsets.
+// behind a singleflight layer — concurrent callers of the same key share
+// one evaluation — and every experiment fans its applications out across
+// a bounded worker pool (Options.Parallelism, the -j flag). Results are
+// collected in application order, so rendered reports are byte-identical
+// at every parallelism level; the Options.Quick flag restricts suites to
+// representative subsets.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"looppoint/internal/core"
 	"looppoint/internal/omp"
+	"looppoint/internal/pool"
 	"looppoint/internal/timing"
 	"looppoint/internal/workloads"
 )
@@ -33,6 +42,11 @@ type Options struct {
 	SliceUnit uint64
 	// Seed drives all randomized steps.
 	Seed uint64
+	// Parallelism bounds how many application evaluations (and, within
+	// each, region simulations) run concurrently — the -j flag. Zero
+	// means one worker per CPU. Results are deterministic and
+	// ordering-stable at every setting.
+	Parallelism int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 	// InputOverride, when set, replaces every experiment's input class
@@ -80,6 +94,9 @@ func (o Options) fill() Options {
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = pool.DefaultWidth()
+	}
 	return o
 }
 
@@ -90,12 +107,6 @@ func (o Options) config() core.Config {
 		cfg.SliceUnit = o.SliceUnit
 	}
 	return cfg
-}
-
-func (o Options) logf(format string, args ...interface{}) {
-	if o.Log != nil {
-		fmt.Fprintf(o.Log, format+"\n", args...)
-	}
 }
 
 // SpecApps returns the SPEC CPU2017 workload names used by the run.
@@ -124,6 +135,9 @@ func (o Options) NPBApps() []string {
 
 // Evaluator memoizes end-to-end application reports across experiments
 // (Figures 5a, 7, and 8 share the same underlying runs, as in the paper).
+// All entry points are safe for concurrent use: caches sit behind a
+// singleflight layer, so two goroutines requesting the same key trigger
+// exactly one evaluation and share its result.
 type Evaluator struct {
 	Opts Options
 
@@ -131,6 +145,13 @@ type Evaluator struct {
 	reports    map[string]*core.Report
 	apps       map[string]*workloads.App
 	selections map[string]*core.Selection
+
+	reportFlight pool.Flight[*core.Report]
+	appFlight    pool.Flight[*workloads.App]
+	selFlight    pool.Flight[*core.Selection]
+
+	logMu sync.Mutex
+	evals atomic.Int64
 }
 
 // NewEvaluator creates an evaluator.
@@ -143,7 +164,32 @@ func NewEvaluator(opts Options) *Evaluator {
 	}
 }
 
-// BuildApp constructs (and caches) a workload instance.
+// Evaluations returns how many end-to-end report evaluations have
+// actually executed (cache and singleflight hits do not count) — the
+// observable the stampede regression test pins down.
+func (e *Evaluator) Evaluations() int64 { return e.evals.Load() }
+
+// logf emits one progress line; serialized so concurrent evaluations do
+// not interleave partial lines on the shared writer.
+func (e *Evaluator) logf(format string, args ...interface{}) {
+	if e.Opts.Log == nil {
+		return
+	}
+	e.logMu.Lock()
+	defer e.logMu.Unlock()
+	fmt.Fprintf(e.Opts.Log, format+"\n", args...)
+}
+
+// forEach runs fn over items on the evaluator's worker pool and returns
+// the per-item results in input order regardless of completion order —
+// the invariant that keeps reports byte-identical at every -j.
+func forEach[T, R any](e *Evaluator, items []T, fn func(T) (R, error)) ([]R, error) {
+	return pool.Map(context.Background(), e.Opts.Parallelism, len(items),
+		func(_ context.Context, i int) (R, error) { return fn(items[i]) })
+}
+
+// BuildApp constructs (and caches) a workload instance. Concurrent
+// requests for the same instance share one build.
 func (e *Evaluator) BuildApp(name string, policy omp.WaitPolicy, input workloads.InputClass, threads int) (*workloads.App, error) {
 	key := fmt.Sprintf("%s/%v/%s/%d", name, policy, input, threads)
 	e.mu.Lock()
@@ -152,18 +198,27 @@ func (e *Evaluator) BuildApp(name string, policy omp.WaitPolicy, input workloads
 	if ok {
 		return app, nil
 	}
-	spec, ok2 := workloads.Lookup(name)
-	if !ok2 {
-		return nil, fmt.Errorf("harness: unknown workload %q", name)
-	}
-	app, err := spec.Build(workloads.BuildParams{Threads: threads, Input: input, Policy: policy})
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.apps[key] = app
-	e.mu.Unlock()
-	return app, nil
+	app, err, _ := e.appFlight.Do(key, func() (*workloads.App, error) {
+		e.mu.Lock()
+		app, ok := e.apps[key]
+		e.mu.Unlock()
+		if ok {
+			return app, nil
+		}
+		spec, ok2 := workloads.Lookup(name)
+		if !ok2 {
+			return nil, fmt.Errorf("harness: unknown workload %q", name)
+		}
+		app, err := spec.Build(workloads.BuildParams{Threads: threads, Input: input, Policy: policy})
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		e.apps[key] = app
+		e.mu.Unlock()
+		return app, nil
+	})
+	return app, err
 }
 
 // ReportKey identifies one memoized evaluation.
@@ -177,6 +232,8 @@ type ReportKey struct {
 }
 
 // Report runs (or returns the cached) end-to-end LoopPoint evaluation.
+// Concurrent callers of the same key block on one in-flight evaluation
+// instead of duplicating the record/profile/cluster/simulate run.
 func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 	key := fmt.Sprintf("%+v", k)
 	e.mu.Lock()
@@ -185,31 +242,44 @@ func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 	if ok {
 		return rep, nil
 	}
-	app, err := e.BuildApp(k.App, k.Policy, k.Input, k.Threads)
-	if err != nil {
-		return nil, err
-	}
-	simCfg := timing.Gainestown(app.Prog.NumThreads())
-	if k.Core == timing.InOrder {
-		simCfg = timing.InOrderConfig(app.Prog.NumThreads())
-	}
-	e.Opts.logf("evaluating %s (%v, %s, %d threads, %v core, full=%v)",
-		k.App, k.Policy, k.Input, app.Prog.NumThreads(), k.Core, k.Full)
-	rep, err = core.Run(app.Prog, e.Opts.config(), simCfg, core.RunOpts{
-		SimulateFull: k.Full, Parallel: true,
+	rep, err, _ := e.reportFlight.Do(key, func() (*core.Report, error) {
+		e.mu.Lock()
+		rep, ok := e.reports[key]
+		e.mu.Unlock()
+		if ok {
+			return rep, nil
+		}
+		e.evals.Add(1)
+		app, err := e.BuildApp(k.App, k.Policy, k.Input, k.Threads)
+		if err != nil {
+			return nil, err
+		}
+		simCfg := timing.Gainestown(app.Prog.NumThreads())
+		if k.Core == timing.InOrder {
+			simCfg = timing.InOrderConfig(app.Prog.NumThreads())
+		}
+		e.logf("evaluating %s (%v, %s, %d threads, %v core, full=%v)",
+			k.App, k.Policy, k.Input, app.Prog.NumThreads(), k.Core, k.Full)
+		start := time.Now()
+		rep, err = core.Run(app.Prog, e.Opts.config(), simCfg, core.RunOpts{
+			SimulateFull: k.Full, Width: e.Opts.Parallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", k.App, err)
+		}
+		e.logf("evaluated %s (%v, %s) in %v",
+			k.App, k.Policy, k.Input, time.Since(start).Round(time.Millisecond))
+		e.mu.Lock()
+		e.reports[key] = rep
+		e.mu.Unlock()
+		return rep, nil
 	})
-	if err != nil {
-		return nil, fmt.Errorf("harness: %s: %w", k.App, err)
-	}
-	e.mu.Lock()
-	e.reports[key] = rep
-	e.mu.Unlock()
-	return rep, nil
+	return rep, err
 }
 
 // AnalyzeOnly runs analysis and selection without any timing simulation
 // (used for the ref-input speedup studies, where full simulation is the
-// very thing being avoided).
+// very thing being avoided). Concurrent callers share one analysis.
 func (e *Evaluator) AnalyzeOnly(name string, policy omp.WaitPolicy, input workloads.InputClass, threads int) (*core.Selection, *workloads.App, error) {
 	app, err := e.BuildApp(name, policy, input, threads)
 	if err != nil {
@@ -222,17 +292,32 @@ func (e *Evaluator) AnalyzeOnly(name string, policy omp.WaitPolicy, input worklo
 	if ok {
 		return sel, app, nil
 	}
-	e.Opts.logf("analyzing %s (%v, %s)", name, policy, input)
-	a, err := core.Analyze(app.Prog, e.Opts.config())
+	sel, err, _ = e.selFlight.Do(key, func() (*core.Selection, error) {
+		e.mu.Lock()
+		sel, ok := e.selections[key]
+		e.mu.Unlock()
+		if ok {
+			return sel, nil
+		}
+		e.logf("analyzing %s (%v, %s)", name, policy, input)
+		start := time.Now()
+		a, err := core.Analyze(app.Prog, e.Opts.config())
+		if err != nil {
+			return nil, err
+		}
+		sel, err = core.Select(a)
+		if err != nil {
+			return nil, err
+		}
+		e.logf("analyzed %s (%v, %s) in %v", name, policy, input,
+			time.Since(start).Round(time.Millisecond))
+		e.mu.Lock()
+		e.selections[key] = sel
+		e.mu.Unlock()
+		return sel, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	sel, err = core.Select(a)
-	if err != nil {
-		return nil, nil, err
-	}
-	e.mu.Lock()
-	e.selections[key] = sel
-	e.mu.Unlock()
 	return sel, app, nil
 }

@@ -27,26 +27,28 @@ type HybridResult struct {
 
 // Hybrid runs the hybrid analysis over the SPEC subset on train inputs.
 func (e *Evaluator) Hybrid() (*HybridResult, error) {
-	res := &HybridResult{}
-	for _, name := range e.Opts.SpecApps() {
+	rows, err := forEach(e, e.Opts.SpecApps(), func(name string) (HybridRow, error) {
 		app, err := e.BuildApp(name, omp.Passive, e.Opts.trainInput(), e.Opts.Threads)
 		if err != nil {
-			return nil, err
+			return HybridRow{}, err
 		}
-		e.Opts.logf("hybrid analysis of %s", name)
+		e.logf("hybrid analysis of %s", name)
 		h, err := baselines.AnalyzeHybrid(app.Prog, app.Runtime.BarrierReleaseAddr(), e.Opts.config())
 		if err != nil {
-			return nil, fmt.Errorf("harness: hybrid %s: %w", name, err)
+			return HybridRow{}, fmt.Errorf("harness: hybrid %s: %w", name, err)
 		}
-		res.Rows = append(res.Rows, HybridRow{
+		return HybridRow{
 			App:       name,
 			Choice:    string(h.Choice),
 			LPSerial:  h.LoopPoint.TheoreticalSerial,
 			BPSerial:  h.BarrierPoint.TheoreticalSerial,
 			BPApplies: h.BarrierPointApplicable,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &HybridResult{Rows: rows}, nil
 }
 
 // Render formats the hybrid comparison.

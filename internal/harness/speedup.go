@@ -28,24 +28,26 @@ type Fig8Result struct {
 
 // Fig8 computes speedups from the train evaluations.
 func (e *Evaluator) Fig8() (*Fig8Result, error) {
-	res := &Fig8Result{}
-	for _, app := range e.Opts.SpecApps() {
+	rows, err := forEach(e, e.Opts.SpecApps(), func(app string) (SpeedupRow, error) {
 		rep, err := e.Report(ReportKey{
 			App: app, Policy: omp.Active, Input: e.Opts.trainInput(),
 			Threads: e.Opts.Threads, Full: true,
 		})
 		if err != nil {
-			return nil, err
+			return SpeedupRow{}, err
 		}
-		res.Rows = append(res.Rows, SpeedupRow{
+		return SpeedupRow{
 			App:                 app,
 			TheoreticalSerial:   rep.Speedups.TheoreticalSerial,
 			TheoreticalParallel: rep.Speedups.TheoreticalParallel,
 			ActualSerial:        rep.Speedups.ActualSerial,
 			ActualParallel:      rep.Speedups.ActualParallel,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig8Result{Rows: rows}, nil
 }
 
 // Render formats Figure 8 as a table plus a log-scale chart.
@@ -85,11 +87,10 @@ type Fig9Result struct {
 
 // Fig9 runs the ref-input analysis for both methodologies.
 func (e *Evaluator) Fig9() (*Fig9Result, error) {
-	res := &Fig9Result{}
-	for _, name := range e.Opts.SpecApps() {
+	rows, err := forEach(e, e.Opts.SpecApps(), func(name string) (RefSpeedupRow, error) {
 		sel, app, err := e.AnalyzeOnly(name, omp.Passive, e.Opts.refInput(), e.Opts.Threads)
 		if err != nil {
-			return nil, err
+			return RefSpeedupRow{}, err
 		}
 		lp := core.ComputeTheoretical(sel)
 		row := RefSpeedupRow{App: name, LPSerial: lp.TheoreticalSerial, LPParallel: lp.TheoreticalParallel}
@@ -99,19 +100,22 @@ func (e *Evaluator) Fig9() (*Fig9Result, error) {
 		case errors.Is(err, baselines.ErrNoBarriers):
 			row.BPApplicable = false
 		case err != nil:
-			return nil, err
+			return RefSpeedupRow{}, err
 		default:
 			bsel, err := baselines.SelectBarrierPoint(bpa)
 			if err != nil {
-				return nil, err
+				return RefSpeedupRow{}, err
 			}
 			bp := core.ComputeTheoretical(bsel)
 			row.BPApplicable = true
 			row.BPSerial, row.BPParallel = bp.TheoreticalSerial, bp.TheoreticalParallel
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig9Result{Rows: rows}, nil
 }
 
 // Render formats Figure 9.
@@ -147,8 +151,7 @@ type Fig10Result struct {
 
 // Fig10 measures actual speedups on the NPB suite.
 func (e *Evaluator) Fig10() (*Fig10Result, error) {
-	res := &Fig10Result{}
-	for _, app := range e.Opts.NPBApps() {
+	rows, err := forEach(e, e.Opts.NPBApps(), func(app string) (NPBSpeedupRow, error) {
 		row := NPBSpeedupRow{App: app}
 		for _, threads := range []int{8, 16} {
 			rep, err := e.Report(ReportKey{
@@ -156,7 +159,7 @@ func (e *Evaluator) Fig10() (*Fig10Result, error) {
 				Threads: threads, Full: true,
 			})
 			if err != nil {
-				return nil, err
+				return NPBSpeedupRow{}, err
 			}
 			if threads == 8 {
 				row.Parallel8, row.Serial8 = rep.Speedups.ActualParallel, rep.Speedups.ActualSerial
@@ -164,9 +167,12 @@ func (e *Evaluator) Fig10() (*Fig10Result, error) {
 				row.Parallel16, row.Serial16 = rep.Speedups.ActualParallel, rep.Speedups.ActualSerial
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig10Result{Rows: rows}, nil
 }
 
 // Render formats Figure 10.
@@ -218,11 +224,12 @@ func (e *Evaluator) Fig1() (*Fig1Result, error) {
 	for _, cb := range combos {
 		var row Fig1Row
 		row.Label = cb.label
-		n := 0
-		for _, name := range cb.apps {
+		// Per-app cost estimates computed on the pool; the deterministic
+		// part is that contributions are summed in app order below.
+		contribs, err := forEach(e, cb.apps, func(name string) (Fig1Row, error) {
 			sel, app, err := e.AnalyzeOnly(name, omp.Passive, cb.input, e.Opts.Threads)
 			if err != nil {
-				return nil, err
+				return Fig1Row{}, err
 			}
 			prof := sel.Analysis.Profile
 			total := float64(prof.TotalICount) * workloads.Scale
@@ -239,18 +246,27 @@ func (e *Evaluator) Fig1() (*Fig1Result, error) {
 				st := baselines.RegionStats(bpa)
 				bpLargest = float64(st.LargestRegion) * workloads.Scale
 			}
-
-			row.FullDetail += res.Model.FullDetail(total)
-			row.TimeBased += res.Model.TimeBasedTime(total, 0.01)
-			row.BarrierPoint += res.Model.SampledParallelTime(bpLargest)
-			row.LoopPoint += res.Model.SampledParallelTime(largest)
-			n++
+			return Fig1Row{
+				FullDetail:   res.Model.FullDetail(total),
+				TimeBased:    res.Model.TimeBasedTime(total, 0.01),
+				BarrierPoint: res.Model.SampledParallelTime(bpLargest),
+				LoopPoint:    res.Model.SampledParallelTime(largest),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		if n > 0 {
-			row.FullDetail /= float64(n)
-			row.TimeBased /= float64(n)
-			row.BarrierPoint /= float64(n)
-			row.LoopPoint /= float64(n)
+		for _, c := range contribs {
+			row.FullDetail += c.FullDetail
+			row.TimeBased += c.TimeBased
+			row.BarrierPoint += c.BarrierPoint
+			row.LoopPoint += c.LoopPoint
+		}
+		if n := float64(len(contribs)); n > 0 {
+			row.FullDetail /= n
+			row.TimeBased /= n
+			row.BarrierPoint /= n
+			row.LoopPoint /= n
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -50,10 +50,15 @@ func ProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) [][]f
 	out := make([][]float64, len(regions))
 	for i, r := range regions {
 		v := make([]float64, dims)
+		// Sparse BBVs are maps; a fixed traversal order keeps the
+		// floating-point accumulation reproducible run to run (map order
+		// would perturb vectors by ULPs and flip k-means tie-breaks).
+		keys := make([][]int, len(r.Vectors))
 		total := 0.0
-		for _, tv := range r.Vectors {
-			for _, w := range tv {
-				total += w
+		for t, tv := range r.Vectors {
+			keys[t] = sortedBlocks(tv)
+			for _, blk := range keys[t] {
+				total += tv[blk]
 			}
 		}
 		if total == 0 {
@@ -62,9 +67,9 @@ func ProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) [][]f
 		}
 		for t, tv := range r.Vectors {
 			base := t * nblocks
-			for blk, w := range tv {
+			for _, blk := range keys[t] {
 				row := base + blk
-				nw := w / total
+				nw := tv[blk] / total
 				for d := 0; d < dims; d++ {
 					v[d] += nw * projEntry(seed, row, d)
 				}
@@ -75,6 +80,16 @@ func ProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) [][]f
 	return out
 }
 
+// sortedBlocks returns a sparse BBV's block indices in increasing order.
+func sortedBlocks(tv map[int]float64) []int {
+	blocks := make([]int, 0, len(tv))
+	for blk := range tv {
+		blocks = append(blocks, blk)
+	}
+	sort.Ints(blocks)
+	return blocks
+}
+
 // SumProjectRegions is the naive alternative used by the baseline
 // multi-threaded SimPoint adaptation: per-thread vectors are summed
 // instead of concatenated, losing thread-heterogeneity information.
@@ -82,19 +97,21 @@ func SumProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) []
 	out := make([][]float64, len(regions))
 	for i, r := range regions {
 		v := make([]float64, dims)
+		keys := make([][]int, len(r.Vectors))
 		total := 0.0
-		for _, tv := range r.Vectors {
-			for _, w := range tv {
-				total += w
+		for t, tv := range r.Vectors {
+			keys[t] = sortedBlocks(tv)
+			for _, blk := range keys[t] {
+				total += tv[blk]
 			}
 		}
 		if total == 0 {
 			out[i] = v
 			continue
 		}
-		for _, tv := range r.Vectors {
-			for blk, w := range tv {
-				nw := w / total
+		for t, tv := range r.Vectors {
+			for _, blk := range keys[t] {
+				nw := tv[blk] / total
 				for d := 0; d < dims; d++ {
 					v[d] += nw * projEntry(seed, blk, d)
 				}

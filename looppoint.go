@@ -147,6 +147,10 @@ type EvalOptions struct {
 	CompareFull bool
 	// Serial disables concurrent region simulation.
 	Serial bool
+	// Parallelism bounds the number of concurrently simulated
+	// looppoints (0 = one pool worker per CPU). The prediction is
+	// byte-identical at every setting; only host time changes.
+	Parallelism int
 	// System overrides the simulated system (default: Gainestown with
 	// one core per thread).
 	System *SimConfig
@@ -163,6 +167,7 @@ func Evaluate(w *Workload, cfg Config, opts EvalOptions) (*Report, error) {
 	return core.Run(w.App.Prog, cfg, simCfg, core.RunOpts{
 		SimulateFull: opts.CompareFull,
 		Parallel:     !opts.Serial,
+		Width:        opts.Parallelism,
 	})
 }
 
