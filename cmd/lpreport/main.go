@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"looppoint/internal/harness"
+	"looppoint/internal/prof"
 	"looppoint/internal/workloads"
 )
 
@@ -32,16 +33,26 @@ type experiment struct {
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "use representative workload subsets")
-		figures = flag.String("figures", "all", "comma-separated experiments: tables,1,3,4,5a,5b,6,7,8,9,10,naive,constrained,hybrid,ablations or all")
-		outDir  = flag.String("out", "", "directory to also write per-figure text files into")
-		threads = flag.Int("n", 8, "SPEC thread count")
-		jobs    = flag.Int("j", 0, "worker-pool width for parallel evaluation (0 = one worker per CPU); output is identical at every setting")
-		input   = flag.String("input", "", "override every experiment's input class (e.g. test) — smoke runs only")
-		slice   = flag.Uint64("slice", 0, "override the per-thread slice unit (0 = default)")
-		verbose = flag.Bool("v", false, "log per-application progress")
+		quick     = flag.Bool("quick", false, "use representative workload subsets")
+		figures   = flag.String("figures", "all", "comma-separated experiments: tables,1,3,4,5a,5b,6,7,8,9,10,naive,constrained,hybrid,ablations or all")
+		outDir    = flag.String("out", "", "directory to also write per-figure text files into")
+		threads   = flag.Int("n", 8, "SPEC thread count")
+		jobs      = flag.Int("j", 0, "worker-pool width for parallel evaluation (0 = one worker per CPU); output is identical at every setting")
+		input     = flag.String("input", "", "override every experiment's input class (e.g. test) — smoke runs only")
+		slice     = flag.Uint64("slice", 0, "override the per-thread slice unit (0 = default)")
+		verbose   = flag.Bool("v", false, "log per-application progress")
+		slowPath  = flag.Bool("slowpath", false, "force the per-instruction reference engine instead of the block-batched fast path (identical reports, slower)")
+		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile to this file")
+		pprofHeap = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*pprofCPU, *pprofHeap)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lpreport: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	opts := harness.Options{
 		Quick:         *quick,
@@ -49,6 +60,7 @@ func main() {
 		Parallelism:   *jobs,
 		SliceUnit:     *slice,
 		InputOverride: workloads.InputClass(*input),
+		SlowPath:      *slowPath,
 	}
 	if *verbose {
 		opts.Log = os.Stderr

@@ -20,6 +20,7 @@ import (
 	"looppoint/internal/bbv"
 	"looppoint/internal/pinball"
 	"looppoint/internal/pool"
+	"looppoint/internal/prof"
 	"looppoint/internal/timing"
 )
 
@@ -40,8 +41,17 @@ func main() {
 		constrain  = flag.Bool("constrained", false, "with -checkpoint: constrained replay instead of unconstrained simulation")
 		dumpTrace  = flag.String("dump-trace", "", "record the workload and write an instruction trace to this file (no timing simulation)")
 		fromTrace  = flag.String("from-trace", "", "run a timing-only simulation of a trace file (-n selects the core count; no workload executes)")
+		slowPath   = flag.Bool("slowpath", false, "force the per-instruction reference engine instead of the block-batched fast path (identical statistics, slower)")
+		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile to this file")
+		pprofHeap  = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*pprofCPU, *pprofHeap)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	if *fromTrace != "" {
 		cfg := timing.Gainestown(*ncores)
@@ -79,6 +89,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sim.SlowPath = *slowPath
 	if *trace > 0 {
 		sim.Trace = timing.NewIPCTrace(*trace)
 	}
@@ -113,7 +124,7 @@ func main() {
 	switch {
 	case *checkpoint != "":
 		if fi, err := os.Stat(*checkpoint); err == nil && fi.IsDir() {
-			simulateCheckpointDir(w, cfg, *checkpoint, *jobs, *constrain)
+			simulateCheckpointDir(w, cfg, *checkpoint, *jobs, *constrain, *slowPath)
 			return
 		}
 		pb, err := pinball.Load(*checkpoint)
@@ -168,7 +179,7 @@ func main() {
 // Section III-J: checkpoints make the regions independent, so they can
 // be farmed out to as many workers as the host offers. Per-file lines
 // print in name order regardless of which worker finished first.
-func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string, jobs int, constrain bool) {
+func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string, jobs int, constrain, slowPath bool) {
 	files, err := filepath.Glob(filepath.Join(dir, "*.pinball"))
 	if err != nil {
 		fail(err)
@@ -203,6 +214,7 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 			if err != nil {
 				return regionRun{}, err
 			}
+			sim.SlowPath = slowPath
 			var st *timing.Stats
 			if constrain {
 				st, err = sim.SimulateConstrained(pb)

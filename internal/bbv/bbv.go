@@ -292,24 +292,7 @@ func (c *Collector) OnInstr(ev *exec.Event) {
 			c.closeRegion(Marker{Count: c.icount})
 		}
 	} else if ev.BlockEntry && c.markers[blk.Addr] {
-		c.markerCounts[blk.Addr]++
-		// When all N threads enter the same worker loop once per episode
-		// (a timestep header after a barrier), the header fires in N-hit
-		// bursts under natural scheduling, and a (PC, count) boundary
-		// placed mid-burst is unstable: the work between two hits of one
-		// burst depends entirely on thread interleaving, which differs
-		// between the flow-controlled profiling replay and unconstrained
-		// simulation. Symmetric markers therefore only admit episode-
-		// leader counts (boundaryAllowed); a 2x budget overrun forces a
-		// close anyway as a safety valve.
-		allowed := c.boundaryAllowed(blk.Addr, c.markerCounts[blk.Addr])
-		inRegion := c.filtered - c.sliceStart
-		switch {
-		case inRegion >= c.sliceTarget && (allowed || inRegion >= 2*c.sliceTarget):
-			c.closeRegion(Marker{PC: blk.Addr, Count: c.markerCounts[blk.Addr]})
-		case c.varEnabled && allowed && inRegion >= uint64(c.varMinFrac*float64(c.sliceTarget)) && c.phaseChanged():
-			c.closeRegion(Marker{PC: blk.Addr, Count: c.markerCounts[blk.Addr]})
-		}
+		c.markerEntry(blk.Addr)
 	}
 	if blk.Routine.Image.Sync && !c.includeSync {
 		return // synchronization code: execute but do not count (IV-F)
@@ -318,6 +301,116 @@ func (c *Collector) OnInstr(ev *exec.Event) {
 	c.cur.Filtered++
 	c.cur.ThreadFiltered[ev.Tid]++
 	c.cur.Vectors[ev.Tid][blk.Global]++
+}
+
+// markerEntry handles one global entry of a marker block: bump its count
+// and close the region if this entry is an admissible boundary.
+func (c *Collector) markerEntry(addr uint64) {
+	c.markerCounts[addr]++
+	// When all N threads enter the same worker loop once per episode
+	// (a timestep header after a barrier), the header fires in N-hit
+	// bursts under natural scheduling, and a (PC, count) boundary
+	// placed mid-burst is unstable: the work between two hits of one
+	// burst depends entirely on thread interleaving, which differs
+	// between the flow-controlled profiling replay and unconstrained
+	// simulation. Symmetric markers therefore only admit episode-
+	// leader counts (boundaryAllowed); a 2x budget overrun forces a
+	// close anyway as a safety valve.
+	allowed := c.boundaryAllowed(addr, c.markerCounts[addr])
+	inRegion := c.filtered - c.sliceStart
+	switch {
+	case inRegion >= c.sliceTarget && (allowed || inRegion >= 2*c.sliceTarget):
+		c.closeRegion(Marker{PC: addr, Count: c.markerCounts[addr]})
+	case c.varEnabled && allowed && inRegion >= uint64(c.varMinFrac*float64(c.sliceTarget)) && c.phaseChanged():
+		c.closeRegion(Marker{PC: addr, Count: c.markerCounts[addr]})
+	}
+}
+
+// account attributes n instructions of a block event to the current
+// region, applying the synchronization filter. Counts are added as a
+// single float64 — exact (and identical to n unit additions) for any
+// region size below 2^53 instructions.
+func (c *Collector) account(ev *exec.BlockEvent, n uint64) {
+	blk := ev.Block
+	if blk.Routine.Image.Sync && !c.includeSync {
+		return
+	}
+	c.filtered += n
+	c.cur.Filtered += n
+	c.cur.ThreadFiltered[ev.Tid] += n
+	c.cur.Vectors[ev.Tid][blk.Global] += float64(n)
+}
+
+// BreakPCs implements exec.PCBreaker: every marker address must split
+// block batches so region boundaries land at exact (PC, count) positions.
+// Call SliceOnICount before attaching the collector as a block observer —
+// icount slicing needs no break PCs.
+func (c *Collector) BreakPCs() []uint64 {
+	if c.byICount {
+		return nil
+	}
+	pcs := make([]uint64, 0, len(c.markers))
+	for a := range c.markers {
+		pcs = append(pcs, a)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}
+
+// OnBlock implements exec.BlockObserver. It produces bit-identical
+// profiles to per-instruction observation: marker-block entries arrive as
+// single-instruction events (break PCs, see BreakPCs) and replay the
+// per-instruction ordering exactly; all other batches fold into the
+// region wholesale.
+func (c *Collector) OnBlock(ev *exec.BlockEvent) {
+	if c.finished {
+		return
+	}
+	if c.byICount {
+		c.onBlockByICount(ev)
+		return
+	}
+	blk := ev.Block
+	if ev.Entries > 0 && c.markers[blk.Addr] {
+		// A marker block is a break PC, so its entries arrive as
+		// single-instruction events; anything else means the marker was
+		// not registered before the run started.
+		if ev.Instrs != 1 || ev.Entries != 1 {
+			panic(fmt.Sprintf("bbv: marker %#x entry arrived in a coalesced batch (%d instrs, %d entries); marker PCs must be break PCs",
+				blk.Addr, ev.Instrs, ev.Entries))
+		}
+		c.icount++
+		c.markerEntry(blk.Addr)
+		c.account(ev, 1)
+		return
+	}
+	c.icount += ev.Instrs
+	c.account(ev, ev.Instrs)
+}
+
+// onBlockByICount splits a batch across raw instruction-count boundaries,
+// reproducing the per-instruction sequence: the instruction that crosses
+// the slice target closes the region and is itself accounted to the new
+// region (exactly as OnInstr orders close-then-account).
+func (c *Collector) onBlockByICount(ev *exec.BlockEvent) {
+	n := ev.Instrs
+	for n > 0 {
+		untilClose := c.cur.StartICount + c.sliceTarget - c.icount
+		if untilClose > n {
+			c.icount += n
+			c.account(ev, n)
+			return
+		}
+		if pre := untilClose - 1; pre > 0 {
+			c.icount += pre
+			c.account(ev, pre)
+			n -= pre
+		}
+		c.icount++
+		c.closeRegion(Marker{Count: c.icount})
+		c.account(ev, 1)
+		n--
+	}
 }
 
 func (c *Collector) closeRegion(end Marker) {
@@ -390,6 +483,45 @@ func (w *Watcher) OnInstr(ev *exec.Event) {
 	}
 	if ev.BlockEntry && ev.Block.Addr == w.marker.PC {
 		w.count++
+		if w.count >= w.marker.Count {
+			w.fire()
+		}
+	}
+}
+
+// BreakPCs implements exec.PCBreaker: a (PC, count) watcher needs the
+// marker block split out of batches so the stop lands on the exact
+// instruction. Start/end/icount markers need no break PCs.
+func (w *Watcher) BreakPCs() []uint64 {
+	if w.marker.IsStart() || w.marker.IsICount() || w.marker.IsEnd {
+		return nil
+	}
+	return []uint64{w.marker.PC}
+}
+
+// OnBlock implements exec.BlockObserver. For (PC, count) markers the
+// watcher must be attached with exec.Machine.AddBlockObserver so its
+// break PC registers, making the firing position identical to
+// per-instruction observation. Icount markers fire at event granularity
+// in block mode (the timing simulator handles icount boundaries itself by
+// capping batch budgets); start markers fire after the first batch rather
+// than the first instruction.
+func (w *Watcher) OnBlock(ev *exec.BlockEvent) {
+	if w.Fired || w.marker.IsEnd {
+		return
+	}
+	if w.marker.IsStart() {
+		w.fire()
+		return
+	}
+	if w.marker.IsICount() {
+		if w.machine.TotalICount() >= w.marker.Count {
+			w.fire()
+		}
+		return
+	}
+	if ev.Entries > 0 && ev.Block.Addr == w.marker.PC {
+		w.count += ev.Entries
 		if w.count >= w.marker.Count {
 			w.fire()
 		}

@@ -1,0 +1,181 @@
+package bbv
+
+import (
+	"reflect"
+	"testing"
+
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+	"looppoint/internal/omp"
+)
+
+// profileBoth runs the same program through the per-instruction observer
+// tier and the block-batched tier (cfg tweaks applied to both collectors)
+// and returns the two profiles for comparison.
+func profileBoth(t *testing.T, build func() *isa.Program, addrs []uint64, slice uint64,
+	cfg func(*Collector)) (perInstr, block *Profile) {
+	t.Helper()
+	run := func(blockTier bool) *Profile {
+		p := build()
+		m := exec.NewMachine(p, 1)
+		c := NewCollector(p, addrs, slice)
+		if cfg != nil {
+			cfg(c)
+		}
+		if blockTier {
+			m.AddBlockObserver(c)
+		} else {
+			m.AddObserver(c)
+		}
+		if err := m.Run(exec.RunOpts{FlowWindow: 1000}); err != nil {
+			t.Fatalf("run (block=%v): %v", blockTier, err)
+		}
+		return c.Finish()
+	}
+	return run(false), run(true)
+}
+
+func requireProfilesEqual(t *testing.T, perInstr, block *Profile) {
+	t.Helper()
+	if len(perInstr.Regions) != len(block.Regions) {
+		t.Fatalf("region counts differ: per-instr %d, block %d",
+			len(perInstr.Regions), len(block.Regions))
+	}
+	for i := range perInstr.Regions {
+		if !reflect.DeepEqual(perInstr.Regions[i], block.Regions[i]) {
+			t.Errorf("region %d differs:\nper-instr: %+v\nblock:     %+v",
+				i, perInstr.Regions[i], block.Regions[i])
+		}
+	}
+	if !reflect.DeepEqual(perInstr, block) {
+		t.Fatal("profiles differ between per-instruction and block tiers")
+	}
+}
+
+// TestCollectorBlockTierMatchesPerInstr is the profiling half of the
+// fast-path acceptance criterion: BBVs, region markers, filtered counts,
+// and marker totals must be byte-identical between tiers, across every
+// slicing mode.
+func TestCollectorBlockTierMatchesPerInstr(t *testing.T) {
+	for _, policy := range []omp.WaitPolicy{omp.Passive, omp.Active} {
+		policy := policy
+		name := "passive"
+		if policy == omp.Active {
+			name = "active"
+		}
+		build := func() *isa.Program { return buildPhased(t, 4, 6, 150, policy) }
+		addrs := markerAddrs(t, build())
+
+		t.Run(name+"/fixed", func(t *testing.T) {
+			a, b := profileBoth(t, build, addrs, 4*1200, nil)
+			requireProfilesEqual(t, a, b)
+		})
+		t.Run(name+"/variable", func(t *testing.T) {
+			a, b := profileBoth(t, build, addrs, 4*1200,
+				func(c *Collector) { c.SetVariableSlices(0.1, 0.5) })
+			requireProfilesEqual(t, a, b)
+		})
+		t.Run(name+"/modulus", func(t *testing.T) {
+			a, b := profileBoth(t, build, addrs, 4*1200,
+				func(c *Collector) {
+					mm := make(map[uint64]uint64)
+					for _, addr := range addrs {
+						mm[addr] = 4
+					}
+					c.SetMarkerModulus(mm)
+				})
+			requireProfilesEqual(t, a, b)
+		})
+		t.Run(name+"/nosyncfilter", func(t *testing.T) {
+			a, b := profileBoth(t, build, addrs, 4*1200,
+				func(c *Collector) { c.DisableSyncFilter() })
+			requireProfilesEqual(t, a, b)
+		})
+		t.Run(name+"/byicount", func(t *testing.T) {
+			a, b := profileBoth(t, build, nil, 4*1200,
+				func(c *Collector) { c.SliceOnICount() })
+			requireProfilesEqual(t, a, b)
+		})
+	}
+}
+
+// TestWatcherBlockTierStopsAtSamePosition pins marker-boundary exactness
+// end to end: a (PC, count) watcher attached through the block tier must
+// stop the machine at the identical retired-instruction position — and
+// identical per-thread state — as the per-instruction tier, including
+// when the marker count lands inside what would otherwise be a coalesced
+// spin burst (active wait policy).
+func TestWatcherBlockTierStopsAtSamePosition(t *testing.T) {
+	for _, policy := range []omp.WaitPolicy{omp.Passive, omp.Active} {
+		policy := policy
+		name := "passive"
+		if policy == omp.Active {
+			name = "active"
+		}
+		t.Run(name, func(t *testing.T) {
+			build := func() *isa.Program { return buildPhased(t, 4, 8, 100, policy) }
+			addrs := markerAddrs(t, build())
+			prof := collect(t, build(), addrs, 4*900)
+			tested := 0
+			for _, r := range prof.Regions {
+				if r.End.IsEnd || r.End.IsStart() || r.End.IsICount() {
+					continue
+				}
+				run := func(blockTier bool) (uint64, []uint64, []uint64) {
+					m := exec.NewMachine(build(), 1)
+					w := NewWatcher(m, r.End)
+					if blockTier {
+						m.AddBlockObserver(w)
+					} else {
+						m.AddObserver(w)
+					}
+					if err := m.Run(exec.RunOpts{FlowWindow: 1000}); err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					if !w.Fired {
+						t.Fatalf("watcher for %v never fired (block=%v)", r.End, blockTier)
+					}
+					var pcs, ics []uint64
+					for _, th := range m.Threads {
+						if th.State != exec.StateHalted {
+							pcs = append(pcs, th.PC())
+						} else {
+							pcs = append(pcs, 0)
+						}
+						ics = append(ics, th.ICount)
+					}
+					return m.TotalICount(), pcs, ics
+				}
+				sIC, sPCs, sICs := run(false)
+				bIC, bPCs, bICs := run(true)
+				if sIC != bIC {
+					t.Errorf("marker %v: stop position differs: per-instr %d, block %d", r.End, sIC, bIC)
+				}
+				if !reflect.DeepEqual(sPCs, bPCs) || !reflect.DeepEqual(sICs, bICs) {
+					t.Errorf("marker %v: per-thread stop state differs", r.End)
+				}
+				tested++
+			}
+			if tested == 0 {
+				t.Fatal("no interior markers to test")
+			}
+		})
+	}
+}
+
+// TestCollectorPanicsOnUnregisteredMarker documents the contract: marker
+// PCs must be break PCs before block-tier profiling starts.
+func TestCollectorPanicsOnUnregisteredMarker(t *testing.T) {
+	p := buildPhased(t, 2, 3, 80, omp.Passive)
+	addrs := markerAddrs(t, buildPhased(t, 2, 3, 80, omp.Passive))
+	m := exec.NewMachine(p, 1)
+	c := NewCollector(p, addrs, 2*500)
+	// Wrongly attached as a bare BlockObserverFunc: BreakPCs never runs.
+	m.AddBlockObserver(exec.BlockObserverFunc(c.OnBlock))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for coalesced marker entry")
+		}
+	}()
+	_ = m.Run(exec.RunOpts{FlowWindow: 1000})
+}

@@ -67,6 +67,13 @@ type Config struct {
 	// (Section III-B's alternative after Lau et al.): regions may close
 	// early at a worker-loop entry when the basic-block mix shifts.
 	VariableSlices bool
+	// SlowPath forces the per-instruction reference engine everywhere the
+	// pipeline would otherwise use the block-batched fast path: the BBV
+	// collector attaches to the per-instruction observer tier and region
+	// simulators fast-forward one instruction at a time. Model-derived
+	// output is byte-identical either way (pinned by the determinism
+	// tests); the flag exists for cross-checking and debugging.
+	SlowPath bool
 }
 
 // DefaultConfig returns the paper's parameters at this repository's scale.
@@ -171,7 +178,15 @@ func Analyze(prog *isa.Program, cfg Config) (*Analysis, error) {
 	if cfg.VariableSlices {
 		col.SetVariableSlices(0.25, 0.5)
 	}
-	if _, err := pb.Replay(prog, col); err != nil {
+	// The collector implements exec.BlockObserver, so Replay normally
+	// routes it to the block-batched tier. SlowPath hides that method by
+	// wrapping the per-instruction entry point, forcing the reference
+	// engine; the resulting profile is byte-identical.
+	var bbvObs exec.Observer = col
+	if cfg.SlowPath {
+		bbvObs = exec.ObserverFunc(col.OnInstr)
+	}
+	if _, err := pb.Replay(prog, bbvObs); err != nil {
 		return nil, fmt.Errorf("core: BBV replay of %s: %w", prog.Name, err)
 	}
 	prof := col.Finish()
@@ -350,6 +365,7 @@ func SimulateRegionsN(sel *Selection, simCfg timing.Config, width int) ([]Region
 				return RegionResult{}, err
 			}
 			sim.Seed = a.Config.Seed
+			sim.SlowPath = a.Config.SlowPath
 			var st *timing.Stats
 			if checkpoints != nil {
 				st, err = sim.SimulateCheckpoint(checkpoints[i])

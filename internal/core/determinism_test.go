@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"looppoint/internal/omp"
@@ -51,5 +52,59 @@ func TestSimulateRegionsWidthInvariant(t *testing.T) {
 			t.Errorf("width %d: prediction differs from width 1:\n%+v\nvs\n%+v",
 				width, pred, basePred)
 		}
+	}
+}
+
+// TestFastSlowPathsByteIdentical runs the entire methodology — analysis,
+// clustering, checkpoint extraction, region simulation, extrapolation —
+// once on the block-batched fast path and once on the per-instruction
+// reference engine, and requires every model-derived artifact to be
+// byte-identical: BBV profiles, marker sets, looppoint selections,
+// per-region statistics, and the final prediction. Host time is the only
+// thing the fast path is allowed to change.
+func TestFastSlowPathsByteIdentical(t *testing.T) {
+	p := testprog.Phased(4, 10, 150, omp.Passive)
+
+	run := func(slow bool) (*Analysis, *Selection, []RegionResult, Prediction) {
+		cfg := testConfig()
+		cfg.SlowPath = slow
+		a, err := Analyze(p, cfg)
+		if err != nil {
+			t.Fatalf("Analyze(slow=%v): %v", slow, err)
+		}
+		sel, err := Select(a)
+		if err != nil {
+			t.Fatalf("Select(slow=%v): %v", slow, err)
+		}
+		res, err := SimulateRegionsN(sel, timing.Gainestown(4), 4)
+		if err != nil {
+			t.Fatalf("SimulateRegionsN(slow=%v): %v", slow, err)
+		}
+		return a, sel, res, Extrapolate(res, timing.Gainestown(1).FreqGHz)
+	}
+
+	fa, fsel, fres, fpred := run(false)
+	sa, ssel, sres, spred := run(true)
+
+	if !reflect.DeepEqual(fa.Markers, sa.Markers) {
+		t.Errorf("marker sets differ:\nfast: %#x\nslow: %#x", fa.Markers, sa.Markers)
+	}
+	if !reflect.DeepEqual(fa.Profile, sa.Profile) {
+		t.Error("BBV profiles differ between fast and slow paths")
+	}
+	if !reflect.DeepEqual(fsel.Points, ssel.Points) {
+		t.Error("looppoint selections differ between fast and slow paths")
+	}
+	if len(fres) != len(sres) {
+		t.Fatalf("result counts differ: %d vs %d", len(fres), len(sres))
+	}
+	for i := range fres {
+		if !reflect.DeepEqual(fres[i].Stats, sres[i].Stats) {
+			t.Errorf("region %d stats differ:\nfast: %+v\nslow: %+v",
+				fres[i].Point.Region.Index, fres[i].Stats, sres[i].Stats)
+		}
+	}
+	if fpred != spred {
+		t.Errorf("predictions differ:\nfast: %+v\nslow: %+v", fpred, spred)
 	}
 }

@@ -140,6 +140,7 @@ func Run(prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Re
 			return nil, err
 		}
 		sim.Seed = cfg.Seed
+		sim.SlowPath = cfg.SlowPath // no-op today: full runs are entirely detailed
 		full, err := sim.SimulateFull()
 		if err != nil {
 			return nil, fmt.Errorf("core: full simulation of %s: %w", prog.Name, err)

@@ -39,6 +39,47 @@ func BenchmarkInterpreterWithObserver(b *testing.B) {
 	b.ReportMetric(float64(m.TotalICount())/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
+// BenchmarkInterpreterBlockObserver measures the block-batched fast
+// path with a block observer attached — the configuration BBV profiling
+// and functional warmup run in. Compare against
+// BenchmarkInterpreterWithObserver for the per-instruction equivalent.
+func BenchmarkInterpreterBlockObserver(b *testing.B) {
+	p, _ := buildCounterProgram(b, 4, 1_000_000_000, omp.Passive)
+	m := NewMachine(p, 1)
+	var blocks uint64
+	m.AddBlockObserver(BlockObserverFunc(func(ev *BlockEvent) {
+		blocks += ev.Entries
+	}))
+	var ev BlockEvent
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tid := 0; tid < 4; tid++ {
+			if m.StepBlock(tid, 64, &ev) {
+				for _, o := range m.blockObservers {
+					o.OnBlock(&ev)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(m.TotalICount())/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkInterpreterBlockDispatch measures raw block-batched retire
+// throughput with no observers at all (the pinball record / replay
+// configuration).
+func BenchmarkInterpreterBlockDispatch(b *testing.B) {
+	p, _ := buildCounterProgram(b, 4, 1_000_000_000, omp.Passive)
+	m := NewMachine(p, 1)
+	var ev BlockEvent
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for tid := 0; tid < 4; tid++ {
+			m.StepBlock(tid, 64, &ev)
+		}
+	}
+	b.ReportMetric(float64(m.TotalICount())/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkSnapshot measures checkpoint capture cost (region extraction
 // takes one per looppoint).
 func BenchmarkSnapshot(b *testing.B) {

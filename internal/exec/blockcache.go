@@ -1,0 +1,464 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"looppoint/internal/isa"
+)
+
+// decodedBlock caches the execution-relevant shape of one basic block so
+// the fast path can decide, once per block entry, how to run it:
+//
+//   - aluLen is the length of the leading straight-line compute run
+//     (register-only ALU/mov/FP work with no memory traffic, no control
+//     transfer, and no OS interaction) which executes in a tight loop
+//     with zero event bookkeeping;
+//   - selfLoop marks blocks whose terminator can re-enter the block
+//     through exactly one edge, making back-to-back passes coalescable
+//     into a single event;
+//   - brk marks registered break PCs: entries execute one instruction at
+//     a time so (PC, count) markers fire at exact boundaries.
+type decodedBlock struct {
+	decoded   bool
+	brk       bool
+	aluLen    int
+	selfLoop  bool
+	selfTaken bool // BrCond outcome that re-enters the block (selfLoop && cond terminator)
+}
+
+// isComputeOp reports whether op is pure register work: no memory, no
+// control transfer, no OS model, no futex queue. These are the only
+// opcodes the tight compute loop may execute.
+func isComputeOp(op isa.Op) bool {
+	switch op {
+	case isa.OpNop, isa.OpPause,
+		isa.OpIAdd, isa.OpISub, isa.OpIMul, isa.OpIDiv, isa.OpIRem,
+		isa.OpIAnd, isa.OpIOr, isa.OpIXor, isa.OpIShl, isa.OpIShr,
+		isa.OpIMov, isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv,
+		isa.OpFMov, isa.OpFMA, isa.OpFSqrt, isa.OpFCmp,
+		isa.OpICvtF, isa.OpFCvtI:
+		return true
+	}
+	return false
+}
+
+// decodeBlock fills d for blk. blkIdx is the block's index within its
+// routine (the value terminator Target/Else fields refer to).
+func decodeBlock(d *decodedBlock, blk *isa.Block, blkIdx int, brk bool) {
+	d.decoded = true
+	d.brk = brk
+	d.aluLen = 0
+	for i := range blk.Instrs {
+		if !isComputeOp(blk.Instrs[i].Op) {
+			break
+		}
+		d.aluLen++
+	}
+	d.selfLoop = false
+	d.selfTaken = false
+	term := &blk.Instrs[len(blk.Instrs)-1]
+	switch term.Op {
+	case isa.OpBr:
+		d.selfLoop = term.Target == blkIdx
+	case isa.OpBrCond:
+		// Coalescable only when exactly one edge re-enters the block:
+		// with Target == Else == blkIdx the outcome varies per pass and
+		// every pass must end its event to record it.
+		if term.Target == blkIdx && term.Else != blkIdx {
+			d.selfLoop, d.selfTaken = true, true
+		} else if term.Else == blkIdx && term.Target != blkIdx {
+			d.selfLoop, d.selfTaken = true, false
+		}
+	}
+}
+
+// decodedFor returns the (lazily built) decode cache entry for blk on
+// thread position (rt, blkIdx).
+func (m *Machine) decodedFor(blk *isa.Block, blkIdx int) *decodedBlock {
+	if m.dblocks == nil {
+		m.dblocks = make([]decodedBlock, m.Prog.NumBlocks())
+	}
+	d := &m.dblocks[blk.Global]
+	if !d.decoded {
+		decodeBlock(d, blk, blkIdx, m.breakPCs[blk.Addr])
+	}
+	return d
+}
+
+// AddBreakPC registers the block address addr as a break PC: the block-
+// batched fast path executes entries of that block one instruction at a
+// time, each as its own single-instruction event, so observers watching
+// a (PC, count) marker see the exact boundary a per-instruction run
+// would. Registering a PC invalidates the decode cache (it is rebuilt
+// lazily).
+func (m *Machine) AddBreakPC(addr uint64) {
+	if m.breakPCs == nil {
+		m.breakPCs = make(map[uint64]bool)
+	}
+	if !m.breakPCs[addr] {
+		m.breakPCs[addr] = true
+		m.dblocks = nil
+	}
+}
+
+// SetFastPath enables or disables the tight-loop block executor (enabled
+// by default). When disabled, StepBlock assembles identical events by
+// driving Step — the reference implementation equivalence tests compare
+// against. Per-instruction observers also force the reference path, so
+// mixed-tier observation stays exact.
+func (m *Machine) SetFastPath(enabled bool) { m.fastDisabled = !enabled }
+
+// StepBlock executes up to budget instructions of thread tid within its
+// current basic block (coalescing consecutive self-loop passes) and
+// fills ev with the batched result. It returns false without touching ev
+// if the thread cannot run or budget is zero.
+//
+// An event ends at the earliest of: the budget; control leaving the
+// block (including calls and returns); a conditional terminator whose
+// outcome cannot be coalesced; a futex wait that parks the thread; a
+// futex wake that unparks at least one thread; a halt; or a break-PC
+// boundary. Entering a break-PC block always yields a single-instruction
+// event. Thread state, memory, futex queues, OS interaction, ICount and
+// the machine step counter advance exactly as an equivalent sequence of
+// Step calls would, except that ICount/step totals are published at
+// event end rather than per instruction.
+func (m *Machine) StepBlock(tid int, budget uint64, ev *BlockEvent) bool {
+	if m.fastDisabled || len(m.observers) > 0 {
+		return m.stepBlockViaStep(tid, budget, ev)
+	}
+	t := m.Threads[tid]
+	if t.State != StateRunning || budget == 0 {
+		return false
+	}
+	cb := t.cur.blk
+	blk := t.cur.rt.Blocks[cb]
+	d := m.decodedFor(blk, cb)
+
+	ev.reset(tid, blk, t.cur.idx)
+	if t.cur.idx == 0 {
+		ev.Entries = 1
+		if d.brk {
+			budget = 1
+		}
+	}
+
+	L := len(blk.Instrs)
+	var retired uint64
+passes:
+	for {
+		idx := t.cur.idx
+		if idx < d.aluLen {
+			n := d.aluLen - idx
+			if rem := budget - retired; uint64(n) > rem {
+				n = int(rem)
+			}
+			execComputeRun(t, blk.Instrs[idx:idx+n])
+			idx += n
+			t.cur.idx = idx
+			retired += uint64(n)
+			if idx < d.aluLen { // budget exhausted inside the run
+				break passes
+			}
+		}
+		for idx < L {
+			if retired == budget {
+				t.cur.idx = idx
+				break passes
+			}
+			in := &blk.Instrs[idx]
+			retired++
+			switch in.Op {
+			case isa.OpNop, isa.OpPause:
+				// nothing
+			case isa.OpIAdd, isa.OpISub, isa.OpIMul, isa.OpIDiv, isa.OpIRem,
+				isa.OpIAnd, isa.OpIOr, isa.OpIXor, isa.OpIShl, isa.OpIShr:
+				b := t.R[in.B]
+				if in.UseImm {
+					b = in.Imm
+				}
+				t.R[in.Dst] = intALU(in.Op, t.R[in.A], b)
+			case isa.OpIMov:
+				if in.UseImm {
+					t.R[in.Dst] = in.Imm
+				} else {
+					t.R[in.Dst] = t.R[in.A]
+				}
+			case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+				t.F[in.Dst] = floatALU(in.Op, t.F[in.A], t.F[in.B])
+			case isa.OpFMov:
+				if in.UseImm {
+					t.F[in.Dst] = in.FImm
+				} else {
+					t.F[in.Dst] = t.F[in.A]
+				}
+			case isa.OpFMA:
+				t.F[in.Dst] = t.F[in.A]*t.F[in.B] + t.F[in.Dst]
+			case isa.OpFSqrt:
+				t.F[in.Dst] = math.Sqrt(t.F[in.A])
+			case isa.OpFCmp:
+				if in.Cond.EvalFloat(t.F[in.A], t.F[in.B]) {
+					t.R[in.Dst] = 1
+				} else {
+					t.R[in.Dst] = 0
+				}
+			case isa.OpICvtF:
+				t.F[in.Dst] = float64(t.R[in.A])
+			case isa.OpFCvtI:
+				t.R[in.Dst] = int64(t.F[in.A])
+
+			case isa.OpILoad:
+				a := m.effAddr(t, in)
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefLoad, Addr: a * 8})
+				t.R[in.Dst] = int64(m.Mem[a])
+			case isa.OpIStore:
+				a := m.effAddr(t, in)
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefStore, Addr: a * 8})
+				m.Mem[a] = uint64(t.R[in.B])
+			case isa.OpFLoad:
+				a := m.effAddr(t, in)
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefLoad, Addr: a * 8})
+				t.F[in.Dst] = math.Float64frombits(m.Mem[a])
+			case isa.OpFStore:
+				a := m.effAddr(t, in)
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefStore, Addr: a * 8})
+				m.Mem[a] = math.Float64bits(t.F[in.B])
+			case isa.OpAtomicAdd:
+				a := m.effAddr(t, in)
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefAtomic, Addr: a * 8})
+				old := int64(m.Mem[a])
+				m.Mem[a] = uint64(old + t.R[in.B])
+				t.R[in.Dst] = old
+			case isa.OpCmpXchg:
+				a := m.effAddr(t, in)
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefAtomic, Addr: a * 8})
+				if int64(m.Mem[a]) == t.R[in.B] {
+					m.Mem[a] = uint64(t.R[in.Dst])
+					t.R[in.Dst] = 1
+				} else {
+					t.R[in.Dst] = 0
+				}
+			case isa.OpXchg:
+				a := m.effAddr(t, in)
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefAtomic, Addr: a * 8})
+				old := int64(m.Mem[a])
+				m.Mem[a] = uint64(t.R[in.B])
+				t.R[in.Dst] = old
+
+			case isa.OpBr:
+				t.cur.blk, t.cur.idx = in.Target, 0
+				if in.Target == cb && !d.brk && retired < budget {
+					ev.Entries++
+					continue passes
+				}
+				break passes
+			case isa.OpBrCond:
+				b := t.R[in.B]
+				if in.UseImm {
+					b = in.Imm
+				}
+				taken := in.Cond.EvalInt(t.R[in.A], b)
+				nxt := in.Else
+				if taken {
+					nxt = in.Target
+				}
+				t.cur.blk, t.cur.idx = nxt, 0
+				if nxt == cb {
+					ev.CondSelf++
+					ev.SelfTaken = taken
+					if d.selfLoop && !d.brk && retired < budget {
+						ev.Entries++
+						continue passes
+					}
+				} else {
+					ev.CondExit, ev.ExitTaken = true, taken
+				}
+				break passes
+			case isa.OpCall:
+				t.stack = append(t.stack, frame{rt: t.cur.rt, blk: t.cur.blk, idx: idx + 1})
+				t.cur = frame{rt: in.Callee}
+				break passes
+			case isa.OpRet:
+				if len(t.stack) == 0 {
+					panic(fmt.Sprintf("exec: thread %d returned from entry routine %s", tid, t.cur.rt.Name))
+				}
+				t.cur = t.stack[len(t.stack)-1]
+				t.stack = t.stack[:len(t.stack)-1]
+				break passes
+			case isa.OpHalt:
+				t.State = StateHalted
+				break passes
+
+			case isa.OpFutexWait:
+				a := m.effAddr(t, in)
+				if int64(m.Mem[a]) == t.R[in.B] {
+					t.State = StateBlocked
+					t.futexAddr = a
+					m.futexQ[a] = append(m.futexQ[a], tid)
+					ev.Blocked = true
+					t.cur.idx = idx // stay on the wait; wake resumes past it
+					break passes
+				}
+			case isa.OpFutexWake:
+				a := m.effAddr(t, in)
+				n := t.R[in.B]
+				woken := 0
+				q := m.futexQ[a]
+				for len(q) > 0 && int64(woken) < n {
+					wid := q[0]
+					q = q[1:]
+					w := m.Threads[wid]
+					w.State = StateRunning
+					w.cur.idx++ // resume past the FutexWait
+					ev.Woken = append(ev.Woken, wid)
+					woken++
+				}
+				if len(q) == 0 {
+					delete(m.futexQ, a)
+				} else {
+					m.futexQ[a] = q
+				}
+				t.R[in.Dst] = int64(woken)
+				if woken > 0 {
+					t.cur.idx = idx + 1
+					break passes
+				}
+			case isa.OpSyscall:
+				t.R[in.Dst] = m.OS.Syscall(m, tid, isa.SyscallNo(in.Imm), t.R[in.A])
+			default:
+				panic(fmt.Sprintf("exec: unimplemented opcode %s", in.Op))
+			}
+			idx++
+			t.cur.idx = idx
+		}
+	}
+	ev.Instrs = retired
+	t.ICount += retired
+	m.steps += retired
+	return true
+}
+
+// execComputeRun retires a straight-line run of register-only compute
+// instructions. This is the interpreter's tightest loop: no event
+// traffic, no memory checks, no control flow.
+func execComputeRun(t *Thread, instrs []isa.Instr) {
+	for i := range instrs {
+		in := &instrs[i]
+		switch in.Op {
+		case isa.OpNop, isa.OpPause:
+		case isa.OpIAdd, isa.OpISub, isa.OpIMul, isa.OpIDiv, isa.OpIRem,
+			isa.OpIAnd, isa.OpIOr, isa.OpIXor, isa.OpIShl, isa.OpIShr:
+			b := t.R[in.B]
+			if in.UseImm {
+				b = in.Imm
+			}
+			t.R[in.Dst] = intALU(in.Op, t.R[in.A], b)
+		case isa.OpIMov:
+			if in.UseImm {
+				t.R[in.Dst] = in.Imm
+			} else {
+				t.R[in.Dst] = t.R[in.A]
+			}
+		case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv:
+			t.F[in.Dst] = floatALU(in.Op, t.F[in.A], t.F[in.B])
+		case isa.OpFMov:
+			if in.UseImm {
+				t.F[in.Dst] = in.FImm
+			} else {
+				t.F[in.Dst] = t.F[in.A]
+			}
+		case isa.OpFMA:
+			t.F[in.Dst] = t.F[in.A]*t.F[in.B] + t.F[in.Dst]
+		case isa.OpFSqrt:
+			t.F[in.Dst] = math.Sqrt(t.F[in.A])
+		case isa.OpFCmp:
+			if in.Cond.EvalFloat(t.F[in.A], t.F[in.B]) {
+				t.R[in.Dst] = 1
+			} else {
+				t.R[in.Dst] = 0
+			}
+		case isa.OpICvtF:
+			t.F[in.Dst] = float64(t.R[in.A])
+		case isa.OpFCvtI:
+			t.R[in.Dst] = int64(t.F[in.A])
+		}
+	}
+}
+
+// stepBlockViaStep assembles the same event StepBlock's fast path would,
+// by driving Step — dispatching per-instruction observers along the way.
+// It is both the compatibility bridge for mixed-tier observation and the
+// reference implementation the fast path is tested against.
+func (m *Machine) stepBlockViaStep(tid int, budget uint64, ev *BlockEvent) bool {
+	t := m.Threads[tid]
+	if t.State != StateRunning || budget == 0 {
+		return false
+	}
+	cb := t.cur.blk
+	rt := t.cur.rt
+	blk := rt.Blocks[cb]
+	d := m.decodedFor(blk, cb)
+
+	ev.reset(tid, blk, t.cur.idx)
+	if t.cur.idx == 0 {
+		ev.Entries = 1
+		if d.brk {
+			budget = 1
+		}
+	}
+
+	var retired uint64
+	for {
+		sev, ok := m.Step(tid)
+		if !ok {
+			break // unreachable: loop only continues while running in-block
+		}
+		retired++
+		if sev.IsMem {
+			switch sev.Instr.Op {
+			case isa.OpILoad, isa.OpFLoad:
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefLoad, Addr: sev.MemAddr})
+			case isa.OpIStore, isa.OpFStore:
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefStore, Addr: sev.MemAddr})
+			case isa.OpAtomicAdd, isa.OpCmpXchg, isa.OpXchg:
+				ev.Mem = append(ev.Mem, MemRef{Off: uint32(retired - 1), Kind: RefAtomic, Addr: sev.MemAddr})
+			}
+		}
+		if len(sev.Woken) > 0 {
+			ev.Woken = append(ev.Woken, sev.Woken...)
+			break
+		}
+		if sev.Blocked {
+			ev.Blocked = true
+			break
+		}
+		if t.State == StateHalted {
+			break
+		}
+		op := sev.Instr.Op
+		if op == isa.OpBr || op == isa.OpBrCond {
+			selfEntry := t.cur.rt == rt && t.cur.blk == cb && t.cur.idx == 0
+			if op == isa.OpBrCond {
+				if selfEntry {
+					ev.CondSelf++
+					ev.SelfTaken = sev.Taken
+				} else {
+					ev.CondExit, ev.ExitTaken = true, sev.Taken
+				}
+			}
+			if selfEntry && d.selfLoop && !d.brk && retired < budget {
+				ev.Entries++
+				continue
+			}
+			break
+		}
+		if op == isa.OpCall || op == isa.OpRet {
+			break
+		}
+		if retired == budget {
+			break
+		}
+	}
+	ev.Instrs = retired
+	return true
+}

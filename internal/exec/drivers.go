@@ -101,9 +101,33 @@ type RunOpts struct {
 // instruction that set it. Observers use it to stop at region markers.
 func (m *Machine) RequestStop() { m.stopReq = true }
 
+// blockMode reports whether the drivers should retire instructions in
+// block batches: mandatory when block observers are attached (they must
+// see coalesced events), profitable when no observers are attached at
+// all. Per-instruction observers with no block observers keep the plain
+// Step loop (assembling unused block events would only cost).
+func (m *Machine) blockMode() bool {
+	return len(m.blockObservers) > 0 || (len(m.observers) == 0 && !m.fastDisabled)
+}
+
 // Run drives the machine with a deterministic round-robin scheduler until
 // every thread halts, an observer requests a stop, or an error occurs.
+// When block observers are attached (or no observers at all), it retires
+// instructions through the block-batched engine; the schedule it records
+// and the states it visits are identical either way.
 func (m *Machine) Run(opts RunOpts) error {
+	return m.run(opts, m.blockMode())
+}
+
+// RunBlocks is Run with block-batched dispatch forced on: every retired
+// batch is delivered to the machine's BlockObservers as one coalesced
+// BlockEvent. Per-instruction observers, if any, still fire exactly —
+// the batches are then assembled from the precise Step path.
+func (m *Machine) RunBlocks(opts RunOpts) error {
+	return m.run(opts, true)
+}
+
+func (m *Machine) run(opts RunOpts, blocks bool) error {
 	q := opts.Quantum
 	if q <= 0 {
 		q = 64
@@ -126,15 +150,33 @@ func (m *Machine) Run(opts RunOpts) error {
 				quantum = q * opts.QuantumBias[tid]
 			}
 			ran := 0
-			for ran < quantum {
-				_, ok := m.Step(tid)
-				if !ok {
-					break
+			if blocks {
+				ev := m.getBlockEvent()
+				for ran < quantum {
+					if !m.StepBlock(tid, uint64(quantum-ran), ev) {
+						break
+					}
+					ran += int(ev.Instrs)
+					steps += ev.Instrs
+					for _, o := range m.blockObservers {
+						o.OnBlock(ev)
+					}
+					if m.stopReq {
+						break
+					}
 				}
-				ran++
-				steps++
-				if m.stopReq {
-					break
+				m.putBlockEvent(ev)
+			} else {
+				for ran < quantum {
+					_, ok := m.Step(tid)
+					if !ok {
+						break
+					}
+					ran++
+					steps++
+					if m.stopReq {
+						break
+					}
 				}
 			}
 			if ran > 0 {
@@ -188,8 +230,32 @@ func appendRun(s *Schedule, tid, n int) {
 // RunSchedule replays a recorded thread interleaving exactly (constrained
 // replay). It returns ErrScheduleDiverged if the schedule asks a thread to
 // run when it cannot, and stops early if an observer requests a stop.
+// Like Run, it retires instructions through the block-batched engine when
+// the observer configuration allows; the replayed execution is identical.
 func (m *Machine) RunSchedule(sched Schedule) error {
 	m.stopReq = false
+	if m.blockMode() {
+		ev := m.getBlockEvent()
+		defer m.putBlockEvent(ev)
+		for _, e := range sched {
+			rem := uint64(e.N)
+			for rem > 0 {
+				if !m.StepBlock(e.Tid, rem, ev) {
+					return fmt.Errorf("%w: thread %d is %s", ErrScheduleDiverged,
+						e.Tid, m.Threads[e.Tid].State)
+				}
+				rem -= ev.Instrs
+				for _, o := range m.blockObservers {
+					o.OnBlock(ev)
+				}
+				if m.stopReq {
+					m.stopReq = false
+					return nil
+				}
+			}
+		}
+		return nil
+	}
 	for _, e := range sched {
 		for i := uint32(0); i < e.N; i++ {
 			if _, ok := m.Step(e.Tid); !ok {

@@ -1,0 +1,144 @@
+package exec
+
+import "looppoint/internal/isa"
+
+// This file defines the block-granular observer tier. The per-instruction
+// Observer interface (machine.go) is the precise tier: every retired
+// instruction produces one OnInstr call. The BlockObserver tier trades
+// granularity for throughput: the interpreter executes whole basic blocks
+// (and back-to-back re-entries of self-loop blocks) in a tight loop and
+// emits ONE coalesced BlockEvent per batch. Consumers that only need
+// block-level counts (BBV profiling, functional cache/branch warming,
+// region extraction) run an order of magnitude fewer dynamic dispatches.
+//
+// Exactness is preserved through break PCs (AddBreakPC): entering a block
+// whose address is registered produces a single-instruction event, so a
+// (PC, count) region marker still fires at precisely the same retired-
+// instruction position as it would under per-instruction observation.
+
+// RefKind classifies one data-memory reference inside a BlockEvent.
+type RefKind uint8
+
+// Reference kinds. Futex and syscall instructions are deliberately not
+// recorded: they touch memory functionally but bypass the data cache in
+// the timing model, and no block-tier consumer needs their addresses.
+const (
+	RefLoad RefKind = iota
+	RefStore
+	RefAtomic
+)
+
+// MemRef is one data-memory reference within a block-batched event. Off
+// is the 0-based offset of the owning instruction in the event — the
+// position at which a per-instruction replay would observe the access —
+// so consumers can reconstruct exact access ordering (and LRU clocks)
+// across coalesced passes.
+type MemRef struct {
+	Off  uint32
+	Kind RefKind
+	Addr uint64 // byte address
+}
+
+// BlockEvent describes a batched run of instructions inside one basic
+// block: at most one partial leading pass (when resuming mid-block) plus
+// any number of passes starting at instruction 0. Like Event, the value
+// handed to observers is recycled (via the machine's free list) after
+// dispatch; observers must not retain it or its slices past OnBlock.
+type BlockEvent struct {
+	Tid   int
+	Block *isa.Block
+	// FirstIdx is the index within Block.Instrs of the event's first
+	// executed instruction. Non-zero when resuming mid-block (after a
+	// futex wake, a budget split, or a break-PC split).
+	FirstIdx int
+	// Entries counts block entries in the event: passes that began at
+	// instruction 0 (a resumed partial pass is not an entry, matching
+	// Event.BlockEntry semantics).
+	Entries uint64
+	// Instrs is the number of instructions the event retired.
+	Instrs uint64
+	// Mem lists the data-memory references (loads, stores, atomics) in
+	// program order; futex and syscall instructions are not recorded.
+	Mem []MemRef
+	// CondSelf counts executions of a conditional-branch terminator that
+	// re-entered the same block; every one had outcome SelfTaken (a
+	// given block re-enters itself through only one edge per event).
+	// CondExit reports that the event's final instruction was a
+	// conditional terminator with outcome ExitTaken. Together they
+	// replay the exact branch-outcome sequence of the batch.
+	CondSelf  uint64
+	SelfTaken bool
+	CondExit  bool
+	ExitTaken bool
+	// Blocked reports that the final instruction parked the thread on a
+	// futex. Woken lists threads woken by a FutexWake; a wake that
+	// unparks at least one thread always ends the event so schedulers
+	// observe it at the exact instruction position it occurred.
+	Blocked bool
+	Woken   []int
+}
+
+// reset prepares a (possibly recycled) event for reuse, keeping the Mem
+// and Woken backing arrays so steady-state dispatch is allocation-free.
+func (ev *BlockEvent) reset(tid int, blk *isa.Block, firstIdx int) {
+	ev.Tid = tid
+	ev.Block = blk
+	ev.FirstIdx = firstIdx
+	ev.Entries = 0
+	ev.Instrs = 0
+	ev.Mem = ev.Mem[:0]
+	ev.CondSelf = 0
+	ev.SelfTaken = false
+	ev.CondExit = false
+	ev.ExitTaken = false
+	ev.Blocked = false
+	ev.Woken = ev.Woken[:0]
+}
+
+// BlockObserver receives coalesced block events. Implementations must be
+// cheap and must not retain the event (see BlockEvent).
+type BlockObserver interface {
+	OnBlock(ev *BlockEvent)
+}
+
+// BlockObserverFunc adapts a function to the BlockObserver interface.
+type BlockObserverFunc func(ev *BlockEvent)
+
+// OnBlock implements BlockObserver.
+func (f BlockObserverFunc) OnBlock(ev *BlockEvent) { f(ev) }
+
+// PCBreaker is implemented by block observers that need exact
+// per-instruction positioning at specific block addresses — region-marker
+// consumers, chiefly. AddBlockObserver registers every returned address
+// as a break PC so entries of those blocks arrive as single-instruction
+// events at their precise (PC, count) boundary.
+type PCBreaker interface {
+	BreakPCs() []uint64
+}
+
+// AddBlockObserver registers a block-granular observer. If it implements
+// PCBreaker, its addresses are registered as break PCs first.
+func (m *Machine) AddBlockObserver(o BlockObserver) {
+	if br, ok := o.(PCBreaker); ok {
+		for _, pc := range br.BreakPCs() {
+			m.AddBreakPC(pc)
+		}
+	}
+	m.blockObservers = append(m.blockObservers, o)
+}
+
+// getBlockEvent pops a recycled event from the machine's free list (or
+// allocates the pool's first). putBlockEvent returns it after dispatch.
+// The pool keeps the drivers' steady state allocation-free.
+func (m *Machine) getBlockEvent() *BlockEvent {
+	if n := len(m.evFree); n > 0 {
+		ev := m.evFree[n-1]
+		m.evFree = m.evFree[:n-1]
+		return ev
+	}
+	return &BlockEvent{}
+}
+
+func (m *Machine) putBlockEvent(ev *BlockEvent) {
+	m.evFree = append(m.evFree, ev)
+}

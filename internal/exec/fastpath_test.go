@@ -1,0 +1,283 @@
+package exec
+
+import (
+	"reflect"
+	"testing"
+
+	"looppoint/internal/isa"
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+// machineState flattens everything architecturally visible for deep
+// comparison between the fast and reference paths.
+type machineState struct {
+	Mem     []uint64
+	Regs    [][isa.NumIntRegs]int64
+	Fregs   [][isa.NumFloatRegs]float64
+	States  []ThreadState
+	ICounts []uint64
+	Steps   uint64
+	PCs     []uint64
+}
+
+func captureState(m *Machine) machineState {
+	s := machineState{Mem: append([]uint64(nil), m.Mem...), Steps: m.steps}
+	for _, t := range m.Threads {
+		s.Regs = append(s.Regs, t.R)
+		s.Fregs = append(s.Fregs, t.F)
+		s.States = append(s.States, t.State)
+		s.ICounts = append(s.ICounts, t.ICount)
+		if t.State != StateHalted {
+			s.PCs = append(s.PCs, t.PC())
+		} else {
+			s.PCs = append(s.PCs, 0)
+		}
+	}
+	return s
+}
+
+func fastPathPrograms(t testing.TB) map[string]*isa.Program {
+	out := map[string]*isa.Program{}
+	for _, policy := range []omp.WaitPolicy{omp.Passive, omp.Active} {
+		name := "passive"
+		if policy == omp.Active {
+			name = "active"
+		}
+		cp, _ := buildCounterProgram(t, 4, 200, policy)
+		out["counter-"+name] = cp
+		out["phased-"+name] = testprog.Phased(4, 3, 40, policy)
+		out["hetero-"+name] = testprog.Heterogeneous(4, 3, 40, policy)
+		out["syscalls-"+name] = testprog.WithSyscalls(2, 60, policy)
+	}
+	out["counter-1t"], _ = buildCounterProgram(t, 1, 500, omp.Passive)
+	return out
+}
+
+// TestStepBlockMatchesStep drives two machines through identical budget
+// sequences — one on the tight-loop fast path, one on the Step-assembled
+// reference path — and requires identical event streams and identical
+// architectural state at every event boundary.
+func TestStepBlockMatchesStep(t *testing.T) {
+	for name, p := range fastPathPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			fast := NewMachine(p, 7)
+			slow := NewMachine(p, 7)
+			slow.SetFastPath(false)
+
+			// A break PC exercises marker splitting: use the first
+			// worker-loop-like block address we can find (any block with
+			// a conditional self-loop), plus varied budgets.
+			var fev, sev BlockEvent
+			budgets := []uint64{1, 3, 64, 7, 1000, 2, 17}
+			bi := 0
+			for round := 0; round < 200000 && !fast.Done(); round++ {
+				tid := round % p.NumThreads()
+				b := budgets[bi%len(budgets)]
+				bi++
+				fok := fast.StepBlock(tid, b, &fev)
+				sok := slow.StepBlock(tid, b, &sev)
+				if fok != sok {
+					t.Fatalf("round %d tid %d: fast ok=%v slow ok=%v", round, tid, fok, sok)
+				}
+				if !fok {
+					continue
+				}
+				if !reflect.DeepEqual(&fev, &sev) {
+					t.Fatalf("round %d tid %d: events differ\nfast: %+v\nslow: %+v", round, tid, fev, sev)
+				}
+				if fast.Deadlocked() {
+					break
+				}
+			}
+			fs, ss := captureState(fast), captureState(slow)
+			if !reflect.DeepEqual(fs, ss) {
+				t.Fatalf("final machine state differs between fast and reference paths")
+			}
+		})
+	}
+}
+
+// TestRunBlockModeMatchesStepLoop pins that Run in block mode visits the
+// same execution as the per-instruction loop: identical recorded
+// schedules, identical final state, and identical per-block retired
+// counts observed through the respective observer tiers.
+func TestRunBlockModeMatchesStepLoop(t *testing.T) {
+	for name, p := range fastPathPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, opts := range []RunOpts{
+				{},
+				{Quantum: 5},
+				{FlowWindow: 32},
+				{FlowWindow: 16, QuantumBias: []int{1, 3, 1, 2}},
+			} {
+				slow := NewMachine(p, 3)
+				slow.SetFastPath(false)
+				slowCounts := map[int]uint64{}
+				slow.AddObserver(ObserverFunc(func(ev *Event) {
+					slowCounts[ev.Block.Global]++
+				}))
+				var slowSched Schedule
+				so := opts
+				so.Record = &slowSched
+				if err := slow.Run(so); err != nil {
+					t.Fatalf("slow run: %v", err)
+				}
+
+				fast := NewMachine(p, 3)
+				fastCounts := map[int]uint64{}
+				fast.AddBlockObserver(BlockObserverFunc(func(ev *BlockEvent) {
+					fastCounts[ev.Block.Global] += ev.Instrs
+				}))
+				var fastSched Schedule
+				fo := opts
+				fo.Record = &fastSched
+				if err := fast.Run(fo); err != nil {
+					t.Fatalf("fast run: %v", err)
+				}
+
+				if !reflect.DeepEqual(fastSched, slowSched) {
+					t.Fatalf("opts %+v: recorded schedules differ (%d vs %d entries)",
+						opts, len(fastSched), len(slowSched))
+				}
+				if !reflect.DeepEqual(captureState(fast), captureState(slow)) {
+					t.Fatalf("opts %+v: final state differs", opts)
+				}
+				if !reflect.DeepEqual(fastCounts, slowCounts) {
+					t.Fatalf("opts %+v: per-block instruction counts differ", opts)
+				}
+			}
+		})
+	}
+}
+
+// TestRunScheduleBlockModeMatches replays a recorded schedule through
+// both engines and compares final states.
+func TestRunScheduleBlockModeMatches(t *testing.T) {
+	for name, p := range fastPathPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			rec := NewMachine(p, 9)
+			var sched Schedule
+			if err := rec.Run(RunOpts{FlowWindow: 64, Record: &sched}); err != nil {
+				t.Fatalf("record: %v", err)
+			}
+			slow := NewMachine(p, 9)
+			slow.SetFastPath(false)
+			if err := slow.RunSchedule(sched); err != nil {
+				t.Fatalf("slow replay: %v", err)
+			}
+			fast := NewMachine(p, 9)
+			if err := fast.RunSchedule(sched); err != nil {
+				t.Fatalf("fast replay: %v", err)
+			}
+			if !reflect.DeepEqual(captureState(fast), captureState(slow)) {
+				t.Fatal("replayed final state differs between engines")
+			}
+			if !reflect.DeepEqual(captureState(fast), captureState(rec)) {
+				t.Fatal("replayed state differs from recorded run")
+			}
+		})
+	}
+}
+
+// TestBreakPCSplitsBlocks pins the marker-exactness mechanism: entering
+// a registered break-PC block must always produce a single-instruction
+// event with FirstIdx 0, the block's remainder arriving separately, and
+// coalescing across the break block must be fully suppressed.
+func TestBreakPCSplitsBlocks(t *testing.T) {
+	p, _ := buildCounterProgram(t, 2, 50, omp.Passive)
+	// Each thread's routine has its own conditional self-loop block;
+	// register every one of them as a break PC.
+	loopAddrs := map[uint64]bool{}
+	for _, img := range p.Images {
+		for _, rt := range img.Routines {
+			for i, blk := range rt.Blocks {
+				term := blk.Instrs[len(blk.Instrs)-1]
+				if term.Op == isa.OpBrCond && (term.Target == i || term.Else == i) {
+					loopAddrs[blk.Addr] = true
+				}
+			}
+		}
+	}
+	if len(loopAddrs) == 0 {
+		t.Fatal("no self-loop block found")
+	}
+
+	m := NewMachine(p, 1)
+	for addr := range loopAddrs {
+		m.AddBreakPC(addr)
+	}
+	var ev BlockEvent
+	entries := uint64(0)
+	for !m.Done() {
+		tid := -1
+		for i, th := range m.Threads {
+			if th.State == StateRunning {
+				tid = i
+				break
+			}
+		}
+		if tid < 0 {
+			t.Fatal("deadlock")
+		}
+		if !m.StepBlock(tid, 1000, &ev) {
+			t.Fatal("StepBlock failed on running thread")
+		}
+		if loopAddrs[ev.Block.Addr] && ev.FirstIdx == 0 {
+			if ev.Instrs != 1 {
+				t.Fatalf("break-PC entry event has %d instrs, want 1", ev.Instrs)
+			}
+			if ev.Entries != 1 {
+				t.Fatalf("break-PC entry event has %d entries, want 1", ev.Entries)
+			}
+			entries++
+		}
+		if loopAddrs[ev.Block.Addr] && ev.Entries > 1 {
+			t.Fatalf("break-PC block was coalesced: %d entries", ev.Entries)
+		}
+	}
+	// Each thread iterates the loop 50 times: 100 entries total.
+	if entries != 100 {
+		t.Fatalf("observed %d break-PC entries, want 100", entries)
+	}
+}
+
+// TestBlockEventDispatchAllocFree pins the free-list guarantee: steady-
+// state block dispatch through Run must not allocate per event.
+func TestBlockEventDispatchAllocFree(t *testing.T) {
+	p, _ := buildCounterProgram(t, 2, 1_000_000_000, omp.Passive)
+	m := NewMachine(p, 1)
+	var instrs uint64
+	m.AddBlockObserver(BlockObserverFunc(func(ev *BlockEvent) { instrs += ev.Instrs }))
+	var ev BlockEvent
+	// Warm the decode cache and the event's Mem capacity.
+	m.StepBlock(0, 1024, &ev)
+	allocs := testing.AllocsPerRun(100, func() {
+		for tid := 0; tid < 2; tid++ {
+			if m.StepBlock(tid, 256, &ev) {
+				for _, o := range m.blockObservers {
+					o.OnBlock(&ev)
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("block dispatch allocates %.1f objects per round, want 0", allocs)
+	}
+	if instrs == 0 {
+		t.Fatal("observer saw no instructions")
+	}
+}
+
+// TestBlockEventFreeListRecycles verifies events are actually recycled.
+func TestBlockEventFreeListRecycles(t *testing.T) {
+	p, _ := buildCounterProgram(t, 1, 10, omp.Passive)
+	m := NewMachine(p, 1)
+	a := m.getBlockEvent()
+	m.putBlockEvent(a)
+	b := m.getBlockEvent()
+	if a != b {
+		t.Fatal("free list did not recycle the event")
+	}
+	m.putBlockEvent(b)
+}

@@ -62,8 +62,16 @@ func (t *Thread) PC() uint64 {
 	return t.cur.rt.Blocks[t.cur.blk].Instrs[t.cur.idx].Addr
 }
 
-// Event describes one executed (or blocking) instruction. A single Event
-// value is reused across calls to Step; observers must not retain it.
+// Event describes one executed (or blocking) instruction.
+//
+// Aliasing contract: a single machine-owned Event value is reused by
+// every call to Step — the pointer observers receive (and Step returns)
+// is invalidated by the next Step on the same machine. Observers and
+// drivers must consume the event before stepping again and must never
+// retain the pointer or the Woken slice. The block tier (BlockEvent) has
+// the same lifetime rule but is recycled through an explicit free list,
+// so drivers that need to hold an event across steps can own one
+// (StepBlock fills a caller-provided event and copies nothing).
 type Event struct {
 	Tid        int
 	Instr      *isa.Instr
@@ -98,11 +106,18 @@ type Machine struct {
 	Threads []*Thread
 	OS      OS
 
-	observers []Observer
-	futexQ    map[uint64][]int // word address -> waiting thread IDs (FIFO)
-	ev        Event
-	steps     uint64
-	stopReq   bool
+	observers      []Observer
+	blockObservers []BlockObserver
+	futexQ         map[uint64][]int // word address -> waiting thread IDs (FIFO)
+	ev             Event
+	evFree         []*BlockEvent // recycled block events (see getBlockEvent)
+	steps          uint64
+	stopReq        bool
+
+	// Block-batched fast path state (blockcache.go).
+	dblocks      []decodedBlock // lazily decoded, indexed by Block.Global
+	breakPCs     map[uint64]bool
+	fastDisabled bool
 }
 
 // NewMachine creates a machine for a linked program with zeroed memory and
@@ -123,11 +138,16 @@ func NewMachine(p *isa.Program, seed uint64) *Machine {
 	return m
 }
 
-// AddObserver registers an instruction observer.
+// AddObserver registers a per-instruction observer. Any per-instruction
+// observer forces the drivers onto the precise Step path; block-tier
+// observers keep receiving coalesced events assembled from it.
 func (m *Machine) AddObserver(o Observer) { m.observers = append(m.observers, o) }
 
-// RemoveObservers drops all registered observers.
-func (m *Machine) RemoveObservers() { m.observers = nil }
+// RemoveObservers drops all registered observers, both tiers.
+func (m *Machine) RemoveObservers() {
+	m.observers = nil
+	m.blockObservers = nil
+}
 
 // Done reports whether every thread has halted.
 func (m *Machine) Done() bool {

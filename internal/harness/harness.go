@@ -53,6 +53,11 @@ type Options struct {
 	// (train, ref, C, D) with the given one — smoke-testing only; the
 	// figures are defined on their paper inputs.
 	InputOverride workloads.InputClass
+	// SlowPath forces every evaluation onto the per-instruction reference
+	// engine instead of the block-batched fast path (the -slowpath flag).
+	// Reports are byte-identical either way; the flag exists for
+	// cross-checking the two engines.
+	SlowPath bool
 }
 
 // trainInput returns the SPEC accuracy-experiment input class.
@@ -106,6 +111,7 @@ func (o Options) config() core.Config {
 	if o.SliceUnit != 0 {
 		cfg.SliceUnit = o.SliceUnit
 	}
+	cfg.SlowPath = o.SlowPath
 	return cfg
 }
 

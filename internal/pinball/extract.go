@@ -9,6 +9,10 @@ import (
 	"looppoint/internal/isa"
 )
 
+// slowExtract forces the extraction replay onto the per-instruction
+// reference engine; tests flip it to pin fast/slow equivalence.
+var slowExtract bool
+
 // RegionSpec names a region to extract from a whole-program pinball by
 // its global step offsets in the recorded schedule (known exactly from
 // the BBV profile collected on the same replay) plus the (PC, count)
@@ -51,11 +55,17 @@ func (pb *Pinball) ExtractRegions(p *isa.Program, specs []RegionSpec) ([]*Pinbal
 	}
 
 	m := exec.NewMachine(p, 0)
+	if slowExtract {
+		m.SetFastPath(false)
+	}
 	m.Restore(pb.Start)
 	replay := exec.NewReplayOS(pb.Syscalls)
 	m.OS = replay
 
-	// Track global hit counts of every marker PC of interest.
+	// Track global hit counts of every marker PC of interest. They are
+	// accumulated from the block events' entry counts — exact, because
+	// batch budgets are capped at the next snapshot offset, so no batch
+	// ever spans a capture point.
 	hits := make(map[uint64]uint64)
 	for _, s := range specs {
 		if !s.Start.IsStart() && !s.Start.IsICount() {
@@ -65,14 +75,6 @@ func (pb *Pinball) ExtractRegions(p *isa.Program, specs []RegionSpec) ([]*Pinbal
 			hits[s.End.PC] = 0
 		}
 	}
-	m.AddObserver(exec.ObserverFunc(func(ev *exec.Event) {
-		if !ev.BlockEntry {
-			return
-		}
-		if _, ok := hits[ev.Block.Addr]; ok {
-			hits[ev.Block.Addr]++
-		}
-	}))
 
 	out := make([]*Pinball, len(specs))
 	next := 0 // index into order
@@ -101,15 +103,24 @@ func (pb *Pinball) ExtractRegions(p *isa.Program, specs []RegionSpec) ([]*Pinbal
 	}
 
 	capture() // regions starting at step 0
+	var bev exec.BlockEvent
 	for _, e := range pb.Schedule {
-		for k := uint32(0); k < e.N; k++ {
-			if next >= len(order) {
-				break
+		rem := uint64(e.N)
+		for rem > 0 && next < len(order) {
+			// Cap the batch at the next snapshot offset so captures land
+			// on exact step counts.
+			b := rem
+			if nc := specs[order[next]].WarmupStartStep - steps; nc < b {
+				b = nc
 			}
-			if _, ok := m.Step(e.Tid); !ok {
+			if !m.StepBlock(e.Tid, b, &bev) {
 				return nil, fmt.Errorf("pinball: extraction replay diverged at step %d", steps)
 			}
-			steps++
+			if _, ok := hits[bev.Block.Addr]; ok {
+				hits[bev.Block.Addr] += bev.Entries
+			}
+			steps += bev.Instrs
+			rem -= bev.Instrs
 			capture()
 		}
 		if next >= len(order) {

@@ -1,0 +1,120 @@
+package pinball
+
+import (
+	"reflect"
+	"testing"
+
+	"looppoint/internal/bbv"
+	"looppoint/internal/exec"
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+// TestExtractRegionsFastSlowIdentical replays the same recording through
+// the block-batched extraction sweep and the per-instruction reference
+// engine and requires every extracted region pinball to be deeply equal:
+// snapshots, schedules, syscall slices, rebased marker hit counts, and
+// checksums.
+func TestExtractRegionsFastSlowIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy omp.WaitPolicy
+	}{
+		{"passive", omp.Passive},
+		{"active", omp.Active},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := testprog.Phased(4, 6, 100, tc.policy)
+			pb, err := Record(p, 5, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			steps := pb.Schedule.Steps()
+			// Marker PCs give the hit-count rebasing something to track:
+			// use the program's first worker block address.
+			var markerPC uint64
+			for _, img := range p.Images {
+				if img.Sync {
+					continue
+				}
+				for _, rt := range img.Routines {
+					for _, blk := range rt.Blocks {
+						if markerPC == 0 {
+							markerPC = blk.Addr
+						}
+					}
+				}
+			}
+			specs := []RegionSpec{
+				{Name: "r0", WarmupStartStep: 0, StartStep: steps / 8, EndStep: steps / 4,
+					Start: bbv.Marker{PC: markerPC, Count: 1}, End: bbv.Marker{PC: markerPC, Count: 2}},
+				{Name: "r1", WarmupStartStep: steps / 4, StartStep: steps / 3, EndStep: steps / 2,
+					Start: bbv.Marker{PC: markerPC, Count: 2}, End: bbv.Marker{PC: markerPC, Count: 3}},
+				{Name: "r2", WarmupStartStep: steps/2 + 1, StartStep: steps/2 + 2, EndStep: steps - 1},
+			}
+
+			fast, err := pb.ExtractRegions(p, specs)
+			if err != nil {
+				t.Fatalf("fast extraction: %v", err)
+			}
+			slowExtract = true
+			defer func() { slowExtract = false }()
+			slow, err := pb.ExtractRegions(p, specs)
+			if err != nil {
+				t.Fatalf("slow extraction: %v", err)
+			}
+
+			if len(fast) != len(slow) {
+				t.Fatalf("region counts differ: %d vs %d", len(fast), len(slow))
+			}
+			for i := range fast {
+				if !reflect.DeepEqual(fast[i], slow[i]) {
+					t.Errorf("region %d (%s) differs between fast and slow extraction",
+						i, fast[i].Name)
+				}
+				// Both must still replay cleanly.
+				if _, err := fast[i].Replay(p); err != nil {
+					t.Errorf("fast region %d replay: %v", i, err)
+				}
+			}
+		})
+	}
+}
+
+// TestReplayRoutesBlockObservers pins the Replay dispatch rule: a value
+// implementing BlockObserver goes to the block tier (fast path), a plain
+// Observer forces the per-instruction path, and both see the same
+// execution.
+func TestReplayRoutesBlockObservers(t *testing.T) {
+	p := testprog.Phased(2, 3, 60, omp.Passive)
+	pb, err := Record(p, 9, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-instruction collector (wrapped so the type switch cannot see
+	// OnBlock) vs the collector attached directly.
+	prof := func(wrap bool) *bbv.Profile {
+		c := bbv.NewCollector(p, nil, 1000)
+		c.SliceOnICount()
+		var err error
+		if wrap {
+			_, err = pb.Replay(p, perInstrOnly{c})
+		} else {
+			_, err = pb.Replay(p, c)
+		}
+		if err != nil {
+			t.Fatalf("replay (wrap=%v): %v", wrap, err)
+		}
+		return c.Finish()
+	}
+	if !reflect.DeepEqual(prof(true), prof(false)) {
+		t.Fatal("profiles differ between observer tiers during replay")
+	}
+}
+
+// perInstrOnly hides a collector's OnBlock method from the Replay type
+// switch, forcing the per-instruction tier.
+type perInstrOnly struct{ c *bbv.Collector }
+
+func (p perInstrOnly) OnInstr(ev *exec.Event) { p.c.OnInstr(ev) }

@@ -123,9 +123,13 @@ func (pb *Pinball) Verify() error {
 }
 
 // Replay performs a constrained replay of the pinball on a fresh machine
-// for the same program, attaching the given observers first. The returned
-// machine holds the final state. Replay verifies the snapshot checksum
-// before starting and the final memory checksum afterwards.
+// for the same program, attaching the given observers first. An observer
+// that also implements exec.BlockObserver is attached to the block-
+// batched tier (its break PCs registered), letting the replay run on the
+// fast path; others attach per-instruction, which forces the precise
+// path. The returned machine holds the final state. Replay verifies the
+// snapshot checksum before starting and the final memory checksum
+// afterwards.
 func (pb *Pinball) Replay(p *isa.Program, observers ...exec.Observer) (*exec.Machine, error) {
 	if err := pb.Verify(); err != nil {
 		return nil, err
@@ -135,7 +139,11 @@ func (pb *Pinball) Replay(p *isa.Program, observers ...exec.Observer) (*exec.Mac
 	replay := exec.NewReplayOS(pb.Syscalls)
 	m.OS = replay
 	for _, o := range observers {
-		m.AddObserver(o)
+		if bo, ok := o.(exec.BlockObserver); ok {
+			m.AddBlockObserver(bo)
+		} else {
+			m.AddObserver(o)
+		}
 	}
 	if err := m.RunSchedule(pb.Schedule); err != nil {
 		return nil, fmt.Errorf("pinball %s: %w", pb.Name, err)

@@ -1,0 +1,53 @@
+// Package prof wires the standard runtime/pprof profilers into the
+// command-line tools (the -pprof-cpu / -pprof-heap flags): the fast-path
+// work in this repository was guided by exactly these profiles, and the
+// flags keep that loop one invocation away.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that finalizes the CPU profile and, when heapPath is
+// non-empty, writes a heap profile after a final GC. The stop function
+// must be called exactly once on the normal exit path; error exits via
+// os.Exit simply leave the profiles truncated or unwritten.
+func Start(cpuPath, heapPath string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuPath != "" {
+		cpu, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("prof: start CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close CPU profile: %v\n", err)
+			}
+		}
+		if heapPath != "" {
+			f, err := os.Create(heapPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write heap profile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: close heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -40,6 +40,11 @@ type Simulator struct {
 	Trace *IPCTrace
 	// MaxSteps bounds any single simulation (0 = default safety cap).
 	MaxSteps uint64
+	// SlowPath forces region simulations onto the per-instruction
+	// reference engine instead of the block-batched fast-forward.
+	// Results are identical either way (the equivalence is pinned by
+	// tests); the flag exists for verification and debugging.
+	SlowPath bool
 }
 
 // New validates the pairing of configuration and program.
@@ -108,6 +113,111 @@ func (s *Simulator) runMarked(m *exec.Machine, start, end bbv.Marker, startBase,
 	if maxSteps == 0 {
 		maxSteps = 2_000_000_000
 	}
+	delta := 1.0 / float64(s.Cfg.Dispatch)
+
+	// Fast-forward: until the start marker flips the simulation into
+	// detail, instructions retire in block batches — caches, predictors,
+	// and the coherence directory warm from the batches' coalesced
+	// reference streams (warmBlock), while cycles accumulate the same
+	// uniform dispatch slot per instruction the per-instruction loop
+	// charges. Batch budgets are capped so the scheduler's pick sequence
+	// and every marker boundary land on the exact instructions the
+	// per-instruction engine would visit; marker PCs are break PCs, so
+	// their block entries arrive as single-instruction events.
+	if !inDetail && !s.SlowPath {
+		if !start.IsStart() && !start.IsICount() {
+			m.AddBreakPC(start.PC)
+		}
+		if !end.IsEnd && !end.IsICount() {
+			m.AddBreakPC(end.PC)
+		}
+		ev := &exec.BlockEvent{}
+		for !inDetail && !m.Done() {
+			tid := s.pickNext(m, sys)
+			if tid < 0 {
+				if m.Deadlocked() {
+					return nil, exec.ErrDeadlock
+				}
+				break
+			}
+			budget := s.batchAllowance(m, sys, tid, delta)
+			if rem := maxSteps - steps; budget > rem {
+				budget = rem + 1 // allow the step that trips the cap
+			}
+			if start.IsICount() {
+				// The instruction that crosses the icount boundary must
+				// arrive as a single-instruction event (it is charged in
+				// full detail); approach the boundary without crossing.
+				if rem := start.Count - steps; rem > 1 {
+					if rem-1 < budget {
+						budget = rem - 1
+					}
+				} else {
+					budget = 1
+				}
+			}
+			if !m.StepBlock(tid, budget, ev) {
+				return nil, fmt.Errorf("timing: scheduled thread %d could not step", tid)
+			}
+			steps += ev.Instrs
+			if steps > maxSteps {
+				return nil, fmt.Errorf("timing: %w", exec.ErrMaxSteps)
+			}
+
+			// Marker bookkeeping in the exact per-instruction order.
+			flipped := false
+			if start.IsICount() && !inDetail && steps >= start.Count {
+				inDetail = true
+				sys.setDetail(true)
+				detailBase = sys.wallCycle()
+				flipped = true
+			}
+			if end.IsICount() && inDetail && steps >= end.Count {
+				return sys.stats(detailBase), nil
+			}
+			if ev.Entries > 0 {
+				if !start.IsStart() && ev.Block.Addr == start.PC {
+					startHits += ev.Entries
+					if !inDetail && startHits >= start.Count {
+						inDetail = true
+						sys.setDetail(true)
+						detailBase = sys.wallCycle()
+						flipped = true
+					}
+				}
+				if !end.IsEnd && ev.Block.Addr == end.PC {
+					endHits += ev.Entries
+					if inDetail && endHits >= end.Count {
+						return sys.stats(detailBase), nil
+					}
+				}
+			}
+			if flipped && ev.Instrs != 1 {
+				return nil, fmt.Errorf("timing: internal: detail flip landed inside a %d-instruction batch", ev.Instrs)
+			}
+
+			if flipped {
+				// The flip instruction is measured: charge it in full
+				// detail, exactly as the per-instruction loop would.
+				sys.cores[tid].cycle += sys.costOf(tid, inputFromBlockEvent(ev))
+			} else {
+				if warming {
+					sys.warmBlock(tid, ev)
+				}
+				// Replicate the per-instruction additions: n separate
+				// float adds are not n*delta.
+				for i := uint64(0); i < ev.Instrs; i++ {
+					sys.cores[tid].cycle += delta
+				}
+			}
+			if len(ev.Woken) > 0 {
+				sys.wake(sys.cores[tid].cycle, ev.Woken)
+			}
+			if flipped && s.Trace != nil {
+				s.Trace.maybeSample(sys.totalInstrs(), sys.wallCycle())
+			}
+		}
+	}
 
 	for !m.Done() {
 		tid := s.pickNext(m, sys)
@@ -164,14 +274,18 @@ func (s *Simulator) runMarked(m *exec.Machine, start, end bbv.Marker, startBase,
 		}
 
 		// Cycles always accumulate so the min-cycle scheduler interleaves
-		// threads fairly even while fast-forwarding (they are reset when
-		// detail begins); microarchitectural state only updates when
-		// warming or measuring.
+		// threads fairly even while fast-forwarding; microarchitectural
+		// state warms functionally (warmOf) without stall arithmetic, so
+		// the fast-forward charge is a uniform dispatch slot regardless
+		// of warmup mode and the block-batched engine can reproduce it.
 		var c float64
-		if inDetail || warming {
+		if inDetail {
 			c = sys.cost(tid, ev)
 		} else {
-			c = 1.0 / float64(s.Cfg.Dispatch)
+			if warming {
+				sys.warmOf(tid, inputFromEvent(ev))
+			}
+			c = delta
 		}
 		sys.cores[tid].cycle += c
 		if len(ev.Woken) > 0 {
@@ -275,6 +389,38 @@ func (s *Simulator) pickNext(m *exec.Machine, sys *system) int {
 		}
 	}
 	return best
+}
+
+// batchAllowance returns how many instructions thread tid may retire
+// before the min-cycle scheduler would pick a different thread, assuming
+// each instruction costs exactly delta cycles (the fast-forward charge).
+// It replays the same float additions the per-instruction loop performs,
+// so the resulting scheduling sequence is bit-identical: tid stays the
+// pick while its cycle is below the other threads' minimum, or equal to
+// it with a lower thread ID (pickNext's tie rule).
+func (s *Simulator) batchAllowance(m *exec.Machine, sys *system, tid int, delta float64) uint64 {
+	oc, oj := 0.0, -1
+	for j, t := range m.Threads {
+		if j == tid || t.State != exec.StateRunning {
+			continue
+		}
+		if c := sys.cores[j].cycle; oj == -1 || c < oc {
+			oc, oj = c, j
+		}
+	}
+	if oj == -1 {
+		return ^uint64(0) // only runnable thread: no scheduling constraint
+	}
+	cy := sys.cores[tid].cycle
+	var n uint64
+	for cy < oc || (cy == oc && tid < oj) {
+		cy += delta
+		n++
+		if n == 1<<20 {
+			break // split enormous leads into several batches
+		}
+	}
+	return n
 }
 
 // SimulateConstrained replays a pinball under the timing model with the

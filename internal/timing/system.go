@@ -176,25 +176,13 @@ func (s *system) costOf(tid int, in costInput) float64 {
 		lvl := c.l1d.Access(in.MemAddr, s.clock)
 		s.noteFill(tid, in.MemAddr)
 		memCycles += s.memStall(c, s.dLatency(lvl))
-		if lvl > 1 && s.cfg.PrefetchNextLines > 0 {
-			for n := 1; n <= s.cfg.PrefetchNextLines; n++ {
-				pf := in.MemAddr + uint64(n*64)
-				c.l1d.FillQuiet(pf, s.clock)
-				s.noteFill(tid, pf)
-			}
-		}
+		s.warmPrefetch(c, tid, in.MemAddr, lvl, s.clock)
 	case in.Op == isa.OpIStore || in.Op == isa.OpFStore:
 		lvl := c.l1d.Access(in.MemAddr, s.clock)
 		s.noteFill(tid, in.MemAddr)
 		memCycles += s.memStall(c, s.dLatency(lvl)) / 2 // store buffer
 		memCycles += s.coherence(tid, in.MemAddr)
-		if lvl > 1 && s.cfg.PrefetchNextLines > 0 {
-			for n := 1; n <= s.cfg.PrefetchNextLines; n++ {
-				pf := in.MemAddr + uint64(n*64)
-				c.l1d.FillQuiet(pf, s.clock)
-				s.noteFill(tid, pf)
-			}
-		}
+		s.warmPrefetch(c, tid, in.MemAddr, lvl, s.clock)
 	case in.Op.IsAtomic():
 		lvl := c.l1d.Access(in.MemAddr, s.clock)
 		s.noteFill(tid, in.MemAddr)
@@ -248,6 +236,141 @@ func (s *system) costOf(tid int, in costInput) float64 {
 		c.stack.Branch += branchCycles
 	}
 	return cycles
+}
+
+// warmPrefetch replays the next-line prefetcher's fills for a data access
+// that missed L1D, at LRU clock clk.
+func (s *system) warmPrefetch(c *coreState, tid int, addr uint64, lvl int, clk uint64) {
+	if lvl > 1 && s.cfg.PrefetchNextLines > 0 {
+		for n := 1; n <= s.cfg.PrefetchNextLines; n++ {
+			pf := addr + uint64(n*64)
+			c.l1d.FillQuiet(pf, clk)
+			s.noteFill(tid, pf)
+		}
+	}
+}
+
+// warmOf functionally warms microarchitectural state for one fast-forward
+// instruction: caches, coherence directory, prefetcher, and branch
+// predictor update exactly as costOf would update them, but no stall
+// arithmetic runs and no cycles are computed (the fast-forward charge is
+// a uniform dispatch slot per instruction). The access order and LRU
+// clocks are identical to costOf's, so the warmed state is bit-identical
+// to a detailed walk over the same instruction stream.
+func (s *system) warmOf(tid int, in costInput) {
+	c := s.cores[tid]
+	s.clock++
+	if in.BlockEntry {
+		c.l1i.Access(in.BlockAddr*8, s.clock)
+	}
+	switch {
+	case in.Op == isa.OpILoad || in.Op == isa.OpFLoad:
+		lvl := c.l1d.Access(in.MemAddr, s.clock)
+		s.noteFill(tid, in.MemAddr)
+		s.warmPrefetch(c, tid, in.MemAddr, lvl, s.clock)
+	case in.Op == isa.OpIStore || in.Op == isa.OpFStore:
+		lvl := c.l1d.Access(in.MemAddr, s.clock)
+		s.noteFill(tid, in.MemAddr)
+		s.coherence(tid, in.MemAddr)
+		s.warmPrefetch(c, tid, in.MemAddr, lvl, s.clock)
+	case in.Op.IsAtomic():
+		c.l1d.Access(in.MemAddr, s.clock)
+		s.noteFill(tid, in.MemAddr)
+		s.coherence(tid, in.MemAddr)
+	}
+	if in.Op == isa.OpBrCond {
+		c.bp.Predict(in.PC*8, in.Taken)
+	}
+}
+
+// warmBlock is warmOf over a whole coalesced block event. Instruction
+// fetches (at pass starts) and data references are replayed in exact
+// instruction order at their per-instruction LRU clocks, so every cache,
+// directory, and predictor structure ends in the same state as ev.Instrs
+// calls to warmOf. Conditional-terminator outcomes replay as CondSelf
+// same-outcome updates followed by the exit outcome.
+func (s *system) warmBlock(tid int, ev *exec.BlockEvent) {
+	c := s.cores[tid]
+	blk := ev.Block
+	L := uint64(len(blk.Instrs))
+	base := s.clock
+
+	ref := func(r *exec.MemRef) {
+		clk := base + uint64(r.Off) + 1
+		switch r.Kind {
+		case exec.RefLoad:
+			lvl := c.l1d.Access(r.Addr, clk)
+			s.noteFill(tid, r.Addr)
+			s.warmPrefetch(c, tid, r.Addr, lvl, clk)
+		case exec.RefStore:
+			lvl := c.l1d.Access(r.Addr, clk)
+			s.noteFill(tid, r.Addr)
+			s.coherence(tid, r.Addr)
+			s.warmPrefetch(c, tid, r.Addr, lvl, clk)
+		case exec.RefAtomic:
+			c.l1d.Access(r.Addr, clk)
+			s.noteFill(tid, r.Addr)
+			s.coherence(tid, r.Addr)
+		}
+	}
+
+	// Merge instruction fetches and data references by instruction
+	// offset: the shared L2/L3 see accesses in the same order as a
+	// per-instruction walk (an entry instruction fetches before its own
+	// data access, matching costOf).
+	mi := 0
+	if ev.Entries > 0 {
+		off := uint64(0)
+		if ev.FirstIdx != 0 {
+			off = L - uint64(ev.FirstIdx) // partial leading pass first
+		}
+		for e := uint64(0); e < ev.Entries; e++ {
+			for mi < len(ev.Mem) && uint64(ev.Mem[mi].Off) < off {
+				ref(&ev.Mem[mi])
+				mi++
+			}
+			c.l1i.Access(blk.Addr*8, base+off+1)
+			off += L
+		}
+	}
+	for ; mi < len(ev.Mem); mi++ {
+		ref(&ev.Mem[mi])
+	}
+	s.clock = base + ev.Instrs
+
+	if ev.CondSelf > 0 || ev.CondExit {
+		pc := blk.Instrs[L-1].Addr * 8
+		for k := uint64(0); k < ev.CondSelf; k++ {
+			c.bp.Predict(pc, ev.SelfTaken)
+		}
+		if ev.CondExit {
+			c.bp.Predict(pc, ev.ExitTaken)
+		}
+	}
+}
+
+// inputFromBlockEvent flattens a single-instruction block event (a
+// break-PC or budget-capped boundary event) into a costInput. It must
+// only be called on events with Instrs == 1.
+func inputFromBlockEvent(ev *exec.BlockEvent) costInput {
+	in := ev.Block.Instrs[ev.FirstIdx]
+	ci := costInput{
+		Op:         in.Op,
+		PC:         in.Addr,
+		BlockAddr:  ev.Block.Addr,
+		BlockEntry: ev.FirstIdx == 0,
+		Blocked:    ev.Blocked,
+		Sync:       ev.Block.Routine.Image.Sync,
+	}
+	if len(ev.Mem) > 0 {
+		ci.MemAddr = ev.Mem[0].Addr
+	}
+	if ev.CondSelf > 0 {
+		ci.Taken = ev.SelfTaken
+	} else if ev.CondExit {
+		ci.Taken = ev.ExitTaken
+	}
+	return ci
 }
 
 // noteFill records private-cache residency for the coherence directory.
