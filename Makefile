@@ -1,6 +1,6 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test test-race bench report report-full demo clean
+.PHONY: build test test-race test-faults bench report report-full demo clean
 
 build:
 	go build ./...
@@ -12,6 +12,19 @@ test:
 # singleflight memoization, and every concurrent experiment fan-out).
 test-race:
 	go test -race ./...
+
+# Fault-tolerance suites (injection, retries, corruption matrices,
+# quarantine, degradation, resume) under the race detector, swept over
+# five injection seeds. Injection is a pure function of the seed, so
+# each seed is a distinct — and exactly reproducible — failure pattern.
+test-faults:
+	for seed in 1 2 3 4 5; do \
+		FAULTS_SEED=$$seed go test -race \
+			-run 'Fault|Corrupt|Quarantine|Degrad|Resume|Retry|Truncat|Panic' \
+			./internal/faults/ ./internal/pool/ ./internal/pinball/ \
+			./internal/core/ ./internal/harness/ ./internal/exec/ . \
+			|| exit 1; \
+	done
 
 # One benchmark per paper table/figure plus ablations (quick subsets).
 bench:

@@ -12,6 +12,9 @@ import (
 	"os"
 
 	"looppoint"
+	"looppoint/internal/core"
+	"looppoint/internal/faults"
+	"looppoint/internal/pinball"
 	"looppoint/internal/results"
 )
 
@@ -30,8 +33,17 @@ func main() {
 		disasm     = flag.Bool("disasm", false, "print the generated program's disassembly and exit")
 		jsonOut    = flag.String("json", "", "write the selection (markers + multipliers) as JSON to this file")
 		dot        = flag.String("dot", "", "write the dynamic control-flow graph as Graphviz DOT to this file")
+		verify     = flag.Bool("verify", false, "re-load every artifact written this run and check its integrity (checksums, version, structure)")
 	)
 	flag.Parse()
+
+	// FAULTS_PLAN/FAULTS_SEED inject deterministic faults without
+	// recompiling (see internal/faults).
+	if plan, err := faults.FromEnv(); err != nil {
+		fail(err)
+	} else if plan != nil {
+		faults.Enable(plan)
+	}
 
 	policy := looppoint.Passive
 	if *waitPolicy == "active" {
@@ -73,11 +85,13 @@ func main() {
 		}
 		fmt.Printf("wrote DCFG to %s\n", *dot)
 	}
+	var savedPinballs []string
 	if *saveWhole != "" {
 		if err := sel.Analysis.Pinball.Save(*saveWhole); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote whole-program pinball to %s\n", *saveWhole)
+		savedPinballs = append(savedPinballs, *saveWhole)
 	}
 	if *saveDir != "" {
 		paths, err := looppoint.ExportRegionPinballs(sel, *saveDir)
@@ -88,12 +102,39 @@ func main() {
 			lp := sel.Points[i]
 			fmt.Printf("wrote %s (region %v..%v)\n", path, lp.Region.Start, lp.Region.End)
 		}
+		savedPinballs = append(savedPinballs, paths...)
 	}
 	if *jsonOut != "" {
 		if err := sel.File().SaveJSON(*jsonOut); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote selection to %s\n", *jsonOut)
+	}
+	if *verify {
+		// Read every artifact back through the same integrity-checked
+		// loaders downstream tools use, so torn or corrupted writes are
+		// caught now instead of mid-campaign.
+		for _, path := range savedPinballs {
+			if _, err := pinball.Load(path); err != nil {
+				fail(fmt.Errorf("verify: %w", err))
+			}
+		}
+		if *jsonOut != "" {
+			f, err := os.Open(*jsonOut)
+			if err != nil {
+				fail(fmt.Errorf("verify: %w", err))
+			}
+			_, lerr := core.LoadSelectionFile(f)
+			f.Close()
+			if lerr != nil {
+				fail(fmt.Errorf("verify %s: %w", *jsonOut, lerr))
+			}
+		}
+		n := len(savedPinballs)
+		if *jsonOut != "" {
+			n++
+		}
+		fmt.Printf("verified %d artifact(s)\n", n)
 	}
 
 	prof := sel.Analysis.Profile

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"looppoint/internal/faults"
 	"looppoint/internal/harness"
 	"looppoint/internal/prof"
 	"looppoint/internal/workloads"
@@ -42,10 +43,24 @@ func main() {
 		slice     = flag.Uint64("slice", 0, "override the per-thread slice unit (0 = default)")
 		verbose   = flag.Bool("v", false, "log per-application progress")
 		slowPath  = flag.Bool("slowpath", false, "force the per-instruction reference engine instead of the block-batched fast path (identical reports, slower)")
+		resume    = flag.String("resume", "", "journal completed evaluations to this file and skip ones already journaled — a killed run restarts where it stopped")
+		degraded  = flag.Bool("degraded", false, "tolerate per-region simulation failures: drop the region, reweight the prediction, and mark the report degraded")
+		retries   = flag.Int("retries", 1, "attempts per region simulation (transient failures are retried with backoff)")
+		regionTO  = flag.Duration("region-timeout", 0, "per-attempt time limit for one region simulation (0 = none)")
+		minCov    = flag.Float64("min-coverage", 0, "degraded mode: minimum surviving fraction of extrapolation weight (0 = default 0.9)")
 		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile to this file")
 		pprofHeap = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// FAULTS_PLAN/FAULTS_SEED inject deterministic faults without
+	// recompiling (see internal/faults).
+	if plan, err := faults.FromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "lpreport: %v\n", err)
+		os.Exit(1)
+	} else if plan != nil {
+		faults.Enable(plan)
+	}
 
 	stopProf, err := prof.Start(*pprofCPU, *pprofHeap)
 	if err != nil {
@@ -61,11 +76,17 @@ func main() {
 		SliceUnit:     *slice,
 		InputOverride: workloads.InputClass(*input),
 		SlowPath:      *slowPath,
+		Resume:        *resume,
+		Degraded:      *degraded,
+		Retries:       *retries,
+		RegionTimeout: *regionTO,
+		MinCoverage:   *minCov,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
 	e := harness.NewEvaluator(opts)
+	defer e.Close()
 	logf := func(format string, args ...any) {
 		if opts.Log != nil {
 			fmt.Fprintf(opts.Log, format+"\n", args...)

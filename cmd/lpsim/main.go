@@ -18,6 +18,7 @@ import (
 
 	"looppoint"
 	"looppoint/internal/bbv"
+	"looppoint/internal/faults"
 	"looppoint/internal/pinball"
 	"looppoint/internal/pool"
 	"looppoint/internal/prof"
@@ -42,10 +43,21 @@ func main() {
 		dumpTrace  = flag.String("dump-trace", "", "record the workload and write an instruction trace to this file (no timing simulation)")
 		fromTrace  = flag.String("from-trace", "", "run a timing-only simulation of a trace file (-n selects the core count; no workload executes)")
 		slowPath   = flag.Bool("slowpath", false, "force the per-instruction reference engine instead of the block-batched fast path (identical statistics, slower)")
+		retries    = flag.Int("retries", 1, "attempts per checkpoint simulation in directory mode (transient failures are retried with backoff)")
+		regionTO   = flag.Duration("region-timeout", 0, "per-attempt time limit for one checkpoint simulation in directory mode (0 = none)")
+		minCov     = flag.Float64("min-coverage", 1.0, "directory mode: minimum fraction of checkpoints that must simulate; bad pinballs are quarantined and the rest continue, but falling below this exits nonzero")
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile to this file")
 		pprofHeap  = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	// FAULTS_PLAN/FAULTS_SEED inject deterministic faults without
+	// recompiling (see internal/faults).
+	if plan, err := faults.FromEnv(); err != nil {
+		fail(err)
+	} else if plan != nil {
+		faults.Enable(plan)
+	}
 
 	stopProf, err := prof.Start(*pprofCPU, *pprofHeap)
 	if err != nil {
@@ -124,7 +136,10 @@ func main() {
 	switch {
 	case *checkpoint != "":
 		if fi, err := os.Stat(*checkpoint); err == nil && fi.IsDir() {
-			simulateCheckpointDir(w, cfg, *checkpoint, *jobs, *constrain, *slowPath)
+			simulateCheckpointDir(w, cfg, *checkpoint, dirOpts{
+				jobs: *jobs, constrain: *constrain, slowPath: *slowPath,
+				retries: *retries, regionTimeout: *regionTO, minCoverage: *minCov,
+			})
 			return
 		}
 		pb, err := pinball.Load(*checkpoint)
@@ -174,12 +189,27 @@ func main() {
 	printStats(w.Name(), cfg, st, sim.Trace)
 }
 
+// dirOpts bundles the directory-mode knobs.
+type dirOpts struct {
+	jobs          int
+	constrain     bool
+	slowPath      bool
+	retries       int
+	regionTimeout time.Duration
+	minCoverage   float64
+}
+
 // simulateCheckpointDir simulates every region pinball in dir on a
 // bounded worker pool — the checkpoint-driven parallel simulation of
 // Section III-J: checkpoints make the regions independent, so they can
 // be farmed out to as many workers as the host offers. Per-file lines
 // print in name order regardless of which worker finished first.
-func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string, jobs int, constrain, slowPath bool) {
+//
+// The sweep is fault-tolerant: a pinball that fails to load or simulate
+// (after -retries attempts) is quarantined — reported and skipped — and
+// the remaining checkpoints still complete. The exit status is nonzero
+// only when the surviving fraction falls below -min-coverage.
+func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string, opts dirOpts) {
 	files, err := filepath.Glob(filepath.Join(dir, "*.pinball"))
 	if err != nil {
 		fail(err)
@@ -188,7 +218,7 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 		fail(fmt.Errorf("no *.pinball files in %s", dir))
 	}
 	sort.Strings(files)
-	width := jobs
+	width := opts.jobs
 	if width <= 0 {
 		width = pool.DefaultWidth()
 	}
@@ -199,8 +229,16 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 		host time.Duration
 	}
 	wall := time.Now()
-	runs, err := pool.Map(context.Background(), width, len(files),
+	runs, errs, err := pool.MapWith(context.Background(), len(files), pool.Options{
+		Width:       width,
+		Attempts:    opts.retries,
+		ItemTimeout: opts.regionTimeout,
+		Degraded:    true,
+	},
 		func(_ context.Context, i int) (regionRun, error) {
+			if err := faults.Check("lpsim.region"); err != nil {
+				return regionRun{}, err
+			}
 			start := time.Now()
 			pb, err := pinball.Load(files[i])
 			if err != nil {
@@ -214,9 +252,9 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 			if err != nil {
 				return regionRun{}, err
 			}
-			sim.SlowPath = slowPath
+			sim.SlowPath = opts.slowPath
 			var st *timing.Stats
-			if constrain {
+			if opts.constrain {
 				st, err = sim.SimulateConstrained(pb)
 			} else {
 				st, err = sim.SimulateCheckpoint(pb)
@@ -234,7 +272,13 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 	var serial time.Duration
 	var insns uint64
 	var cycles, seconds float64
+	var quarantined int
 	for i, r := range runs {
+		if errs[i] != nil {
+			quarantined++
+			fmt.Printf("%-32s QUARANTINED: %v\n", filepath.Base(files[i]), errs[i])
+			continue
+		}
 		serial += r.host
 		insns += r.st.Instructions
 		cycles += r.st.Cycles
@@ -244,7 +288,7 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 			r.st.RuntimeSeconds(), r.host.Round(time.Millisecond))
 	}
 	fmt.Printf("\n%d checkpoints of %s on %d-core %v system, %d workers:\n",
-		len(runs), w.Name(), cfg.Cores, cfg.Kind, width)
+		len(runs)-quarantined, w.Name(), cfg.Cores, cfg.Kind, width)
 	fmt.Printf("  instructions   %d\n", insns)
 	fmt.Printf("  cycles         %.0f\n", cycles)
 	fmt.Printf("  region runtime %.6f s @ %.2f GHz (summed)\n", seconds, cfg.FreqGHz)
@@ -252,6 +296,15 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 		fmt.Printf("  host wall      %v (serial-equivalent %v, speedup %.2fx)\n",
 			elapsed.Round(time.Millisecond), serial.Round(time.Millisecond),
 			float64(serial)/float64(elapsed))
+	}
+	if quarantined > 0 {
+		coverage := float64(len(files)-quarantined) / float64(len(files))
+		fmt.Printf("  quarantined    %d of %d checkpoints (coverage %.1f%%)\n",
+			quarantined, len(files), coverage*100)
+		if coverage < opts.minCoverage {
+			fail(fmt.Errorf("coverage %.1f%% below -min-coverage %.1f%%",
+				coverage*100, opts.minCoverage*100))
+		}
 	}
 }
 

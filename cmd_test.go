@@ -3,6 +3,7 @@ package looppoint
 import (
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -10,12 +11,21 @@ import (
 // goRun executes one of the repository's commands via `go run`.
 func goRun(t *testing.T, args ...string) string {
 	t.Helper()
-	cmd := exec.Command("go", append([]string{"run"}, args...)...)
-	out, err := cmd.CombinedOutput()
+	out, err := goRunEnv(nil, args...)
 	if err != nil {
 		t.Fatalf("go run %v: %v\n%s", args, err, out)
 	}
-	return string(out)
+	return out
+}
+
+// goRunEnv executes a command with extra environment variables and
+// returns its combined output and exit error (nil on success) — the
+// variant fault-tolerance tests use to assert on nonzero exits.
+func goRunEnv(env []string, args ...string) (string, error) {
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
 }
 
 func TestCmdLooppointList(t *testing.T) {
@@ -109,6 +119,83 @@ func TestCmdCheckpointWorkflow(t *testing.T) {
 		if !strings.Contains(dirSim, want) {
 			t.Fatalf("lpsim directory checkpoint output missing %q:\n%s", want, dirSim)
 		}
+	}
+}
+
+// TestCmdLpsimQuarantine corrupts one exported region pinball and
+// requires directory-mode lpsim to quarantine it, finish the remaining
+// checkpoints, and gate its exit status on -min-coverage.
+func TestCmdLpsimQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	out := goRun(t, "./cmd/lpprofile", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-slice", "3000", "-save-regions", dir, "-verify")
+	if !strings.Contains(out, "verified") {
+		t.Fatalf("lpprofile -verify did not confirm the artifacts:\n%s", out)
+	}
+	pinballs, err := filepath.Glob(filepath.Join(dir, "*.pinball"))
+	if err != nil || len(pinballs) < 2 {
+		t.Fatalf("need >= 2 exported pinballs, got %v (%v)", pinballs, err)
+	}
+	// Flip one bit in the middle of the first pinball.
+	data, err := os.ReadFile(pinballs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(pinballs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tolerant threshold: the sweep quarantines the bad pinball, keeps
+	// going, and exits zero.
+	sim, err := goRunEnv(nil, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", dir, "-min-coverage", "0.5")
+	if err != nil {
+		t.Fatalf("lpsim with tolerant -min-coverage failed: %v\n%s", err, sim)
+	}
+	for _, want := range []string{"QUARANTINED", "quarantined    1 of", "checkpoints of demo-matrix-2"} {
+		if !strings.Contains(sim, want) {
+			t.Errorf("quarantine output missing %q:\n%s", want, sim)
+		}
+	}
+
+	// Default threshold (1.0): same sweep must exit nonzero.
+	strict, err := goRunEnv(nil, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", dir)
+	if err == nil {
+		t.Fatalf("lpsim accepted lost coverage at -min-coverage 1.0:\n%s", strict)
+	}
+	if !strings.Contains(strict, "below -min-coverage") {
+		t.Errorf("strict run does not explain the coverage failure:\n%s", strict)
+	}
+}
+
+// TestCmdLpsimEnvFaultRetry injects a transient region fault through the
+// FAULTS_PLAN environment and requires -retries to absorb it.
+func TestCmdLpsimEnvFaultRetry(t *testing.T) {
+	dir := t.TempDir()
+	goRun(t, "./cmd/lpprofile", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-slice", "3000", "-save-regions", dir)
+	env := []string{"FAULTS_PLAN=lpsim.region:transient:1:1", "FAULTS_SEED=1"}
+
+	// Without retries the injected fault quarantines a checkpoint.
+	out, err := goRunEnv(env, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", dir, "-min-coverage", "0.1")
+	if err != nil {
+		t.Fatalf("faulted sweep failed outright: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "QUARANTINED") {
+		t.Fatalf("injected fault did not quarantine a checkpoint:\n%s", out)
+	}
+
+	// With an attempt budget the retry absorbs the transient fault.
+	out, err = goRunEnv(env, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", dir, "-retries", "3")
+	if err != nil {
+		t.Fatalf("sweep with -retries failed: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "QUARANTINED") {
+		t.Errorf("-retries 3 did not absorb the transient fault:\n%s", out)
 	}
 }
 

@@ -1,0 +1,44 @@
+// Package artifact defines the shared integrity vocabulary for every
+// on-disk artifact this repository produces — pinballs, selection files,
+// and the harness resume journal. Checkpoints are what make LoopPoint's
+// region simulations independent (paper Section III-J); once they are
+// archived and shared across machines (the checkpoint-sharing workflow),
+// the pipeline has to treat their bytes as untrusted input. Loaders
+// classify failures into three typed sentinels so callers can choose a
+// policy per class: quarantine corrupt files, re-fetch truncated ones,
+// and refuse version skew outright.
+package artifact
+
+import "errors"
+
+// Typed load failures. Loaders wrap these with %w plus file path and
+// byte offset; callers match with errors.Is.
+var (
+	// ErrCorrupt means the bytes are structurally present but wrong:
+	// bad magic, checksum mismatch, implausible lengths, or payload
+	// validation failure. Retrying the same file cannot help.
+	ErrCorrupt = errors.New("artifact corrupt")
+	// ErrTruncated means the artifact ends before its declared content
+	// does — a partial copy or an interrupted write.
+	ErrTruncated = errors.New("artifact truncated")
+	// ErrVersion means the artifact was written by an incompatible
+	// format version.
+	ErrVersion = errors.New("artifact version unsupported")
+)
+
+// FNV-1a parameters, shared by every artifact checksum in the repository.
+const (
+	FNVOffset = uint64(14695981039346656037)
+	FNVPrime  = uint64(1099511628211)
+)
+
+// Checksum returns the FNV-1a hash of b — the whole-file integrity hash
+// appended to pinballs and embedded in selection-file envelopes.
+func Checksum(b []byte) uint64 {
+	h := FNVOffset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= FNVPrime
+	}
+	return h
+}

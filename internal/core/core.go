@@ -8,7 +8,6 @@
 package core
 
 import (
-	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -322,61 +321,11 @@ func SimulateRegions(sel *Selection, simCfg timing.Config, parallel bool) ([]Reg
 // width; only host time varies. The first simulation error cancels the
 // remaining unstarted regions.
 func SimulateRegionsN(sel *Selection, simCfg timing.Config, width int) ([]RegionResult, error) {
-	a := sel.Analysis
-	var checkpoints []*pinball.Pinball
-	if a.Config.RegionSim == RegionSimCheckpoint {
-		warmupRegions := a.Config.WarmupRegions
-		if warmupRegions <= 0 {
-			warmupRegions = 1
-		}
-		specs := make([]pinball.RegionSpec, len(sel.Points))
-		for i, lp := range sel.Points {
-			r := lp.Region
-			warmStart := r.StartICount
-			if a.Config.Warmup == timing.WarmupFunctional {
-				back := r.Index - warmupRegions
-				if back < 0 {
-					back = 0
-				}
-				warmStart = a.Profile.Regions[back].StartICount
-			}
-			specs[i] = pinball.RegionSpec{
-				Name:            fmt.Sprintf("%s.r%d", a.Prog.Name, r.Index),
-				WarmupStartStep: warmStart,
-				StartStep:       r.StartICount,
-				EndStep:         r.EndICount,
-				Start:           r.Start,
-				End:             r.End,
-			}
-		}
-		var err error
-		checkpoints, err = a.Pinball.ExtractRegions(a.Prog, specs)
-		if err != nil {
-			return nil, fmt.Errorf("core: extracting region pinballs: %w", err)
-		}
+	results, _, err := SimulateRegionsOpt(sel, simCfg, SimOpts{Width: width})
+	if err != nil {
+		return nil, err
 	}
-
-	return pool.Map(context.Background(), width, len(sel.Points),
-		func(_ context.Context, i int) (RegionResult, error) {
-			lp := sel.Points[i]
-			start := time.Now()
-			sim, err := timing.New(simCfg, a.Prog)
-			if err != nil {
-				return RegionResult{}, err
-			}
-			sim.Seed = a.Config.Seed
-			sim.SlowPath = a.Config.SlowPath
-			var st *timing.Stats
-			if checkpoints != nil {
-				st, err = sim.SimulateCheckpoint(checkpoints[i])
-			} else {
-				st, err = sim.SimulateRegion(lp.Region.Start, lp.Region.End, a.Config.Warmup)
-			}
-			if err != nil {
-				return RegionResult{}, fmt.Errorf("core: region %d: %w", lp.Region.Index, err)
-			}
-			return RegionResult{Point: lp, Stats: st, HostTime: time.Since(start)}, nil
-		})
+	return results, nil
 }
 
 // Prediction is the extrapolated whole-program performance (Equation 1,

@@ -69,6 +69,11 @@ type Report struct {
 	Regions   []RegionResult
 	Predicted Prediction
 
+	// Degradation is non-nil when the region sweep ran in degraded mode
+	// and lost regions; Predicted is then the coverage-reweighted
+	// estimate.
+	Degradation *Degradation
+
 	Full         *timing.Stats
 	FullHostTime time.Duration
 
@@ -97,6 +102,17 @@ type RunOpts struct {
 	// serial simulation otherwise. The prediction is identical at every
 	// width; only host time changes.
 	Width int
+	// Degraded tolerates per-region simulation failures: failed regions
+	// are dropped, recorded in Report.Degradation, and the prediction is
+	// reweighted by the residual coverage.
+	Degraded bool
+	// Retries is the per-region attempt budget (<= 1: single attempt).
+	Retries int
+	// RegionTimeout bounds each region-simulation attempt (0: none).
+	RegionTimeout time.Duration
+	// MinCoverage is the degraded-mode residual-coverage floor
+	// (0: DefaultMinCoverage).
+	MinCoverage float64
 }
 
 // width resolves the effective pool width.
@@ -122,16 +138,23 @@ func Run(prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Re
 	if err != nil {
 		return nil, err
 	}
-	regions, err := SimulateRegionsN(sel, simCfg, opts.width())
+	regions, deg, err := SimulateRegionsOpt(sel, simCfg, SimOpts{
+		Width:         opts.width(),
+		Degraded:      opts.Degraded,
+		Attempts:      opts.Retries,
+		RegionTimeout: opts.RegionTimeout,
+		MinCoverage:   opts.MinCoverage,
+	})
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
-		Name:      prog.Name,
-		Selection: sel,
-		Regions:   regions,
-		Predicted: Extrapolate(regions, simCfg.FreqGHz),
-		Speedups:  ComputeTheoretical(sel),
+		Name:        prog.Name,
+		Selection:   sel,
+		Regions:     regions,
+		Degradation: deg,
+		Predicted:   ExtrapolateDegraded(regions, simCfg.FreqGHz, deg),
+		Speedups:    ComputeTheoretical(sel),
 	}
 	if opts.SimulateFull {
 		start := time.Now()
@@ -174,6 +197,9 @@ func absDiff(a, b float64) float64 {
 func (r *Report) Summary() string {
 	s := fmt.Sprintf("%s: %d regions -> %d looppoints", r.Name,
 		len(r.Selection.Analysis.Profile.Regions), len(r.Selection.Points))
+	if r.Degradation.Degraded() {
+		s += fmt.Sprintf(" [degraded: %s]", r.Degradation.Summary())
+	}
 	if r.Full != nil {
 		s += fmt.Sprintf(", runtime err %.2f%%", r.RuntimeErrPct)
 	}

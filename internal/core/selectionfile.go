@@ -1,12 +1,15 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 
+	"looppoint/internal/artifact"
 	"looppoint/internal/bbv"
+	"looppoint/internal/faults"
 )
 
 // SelectionFile is the JSON-serializable form of a region selection — the
@@ -103,15 +106,59 @@ func (s *Selection) File() *SelectionFile {
 	return f
 }
 
-// WriteJSON writes the selection file.
-func (f *SelectionFile) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(f)
+// Selection files are written inside a versioned integrity envelope:
+//
+//	{"format":"looppoint-selection","version":2,"fnv1a":"0x…","selection":{…}}
+//
+// The checksum covers the json.Compact-normalized payload bytes, so it
+// is insensitive to the indentation the envelope encoder applies (and to
+// any pretty-printing a human round-trips the file through) while still
+// catching every semantic byte flip. Loaders accept legacy bare
+// selection JSON (no "format" key) unchanged for pre-envelope files.
+const (
+	selectionFormat  = "looppoint-selection"
+	selectionVersion = 2
+)
+
+type selectionEnvelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	FNV1a   string          `json:"fnv1a"`
+	Payload json.RawMessage `json:"selection"`
 }
 
-// SaveJSON writes the selection file to path.
+// WriteJSON writes the selection file inside its integrity envelope.
+func (f *SelectionFile) WriteJSON(w io.Writer) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	env := selectionEnvelope{
+		Format:  selectionFormat,
+		Version: selectionVersion,
+		FNV1a:   fmt.Sprintf("%#x", artifact.Checksum(payload)),
+		Payload: payload,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&env)
+}
+
+// SaveJSON writes the selection file to path. Injection site
+// "core.selection.save" can fail the write or corrupt the saved bytes.
 func (f *SelectionFile) SaveJSON(path string) error {
+	if err := faults.Check("core.selection.save"); err != nil {
+		return fmt.Errorf("core: save selection %s: %w", path, err)
+	}
+	if faults.Enabled() {
+		var buf bytes.Buffer
+		if err := f.WriteJSON(&buf); err != nil {
+			return err
+		}
+		data := buf.Bytes()
+		faults.CorruptBytes("core.selection.save", data)
+		return os.WriteFile(path, data, 0o644)
+	}
 	fd, err := os.Create(path)
 	if err != nil {
 		return err
@@ -123,34 +170,111 @@ func (f *SelectionFile) SaveJSON(path string) error {
 	return fd.Close()
 }
 
-// LoadSelectionFile reads and validates a selection file.
+// LoadSelectionFile reads and validates a selection file — the v2
+// integrity envelope, or legacy bare selection JSON. Failures wrap the
+// artifact sentinels: ErrTruncated for input that ends mid-JSON,
+// ErrVersion for envelope version skew, ErrCorrupt for checksum
+// mismatches and payload validation failures. Injection site
+// "core.selection.load" can fail the read or corrupt the bytes.
 func LoadSelectionFile(r io.Reader) (*SelectionFile, error) {
+	if err := faults.Check("core.selection.load"); err != nil {
+		return nil, fmt.Errorf("core: selection file: %w", err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: selection file: %w", err)
+	}
+	faults.CorruptBytes("core.selection.load", data)
+
+	var probe struct {
+		Format string `json:"format"`
+	}
+	// A decode error here is deliberately ignored: garbage input falls
+	// through to the strict legacy decoder, which classifies it.
+	_ = json.Unmarshal(data, &probe)
+	if probe.Format == "" {
+		return decodeSelection(data)
+	}
+	if probe.Format != selectionFormat {
+		return nil, fmt.Errorf("core: selection file format %q: %w", probe.Format, artifact.ErrCorrupt)
+	}
+	var env selectionEnvelope
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: selection envelope: %v: %w", err, classifyJSONErr(err))
+	}
+	if err := expectEOF(dec); err != nil {
+		return nil, fmt.Errorf("core: selection envelope: %w", err)
+	}
+	if env.Version != selectionVersion {
+		return nil, fmt.Errorf("core: selection file version %d (want %d): %w",
+			env.Version, selectionVersion, artifact.ErrVersion)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return nil, fmt.Errorf("core: selection payload: %v: %w", err, artifact.ErrCorrupt)
+	}
+	if got := fmt.Sprintf("%#x", artifact.Checksum(compact.Bytes())); got != env.FNV1a {
+		return nil, fmt.Errorf("core: selection checksum mismatch (file %s, computed %s): %w",
+			env.FNV1a, got, artifact.ErrCorrupt)
+	}
+	return decodeSelection(compact.Bytes())
+}
+
+// classifyJSONErr maps a JSON decode failure onto the artifact
+// sentinels: input that simply stops is truncation, everything else is
+// corruption.
+func classifyJSONErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return artifact.ErrTruncated
+	}
+	return artifact.ErrCorrupt
+}
+
+// expectEOF rejects non-whitespace bytes after the decoded value, so
+// damage past the closing brace cannot slip through unnoticed.
+func expectEOF(dec *json.Decoder) error {
+	if t, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON value (%v): %w", t, artifact.ErrCorrupt)
+	}
+	return nil
+}
+
+// decodeSelection strictly decodes and validates the selection payload
+// (shared by the envelope and legacy paths). Validation failures wrap
+// artifact.ErrCorrupt: the file parsed but its content is inconsistent.
+func decodeSelection(data []byte) (*SelectionFile, error) {
 	var f SelectionFile
-	dec := json.NewDecoder(r)
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: selection file: %v: %w", err, classifyJSONErr(err))
+	}
+	if err := expectEOF(dec); err != nil {
 		return nil, fmt.Errorf("core: selection file: %w", err)
 	}
 	if f.Program == "" || f.Threads < 1 || len(f.Points) == 0 {
-		return nil, fmt.Errorf("core: selection file incomplete (program %q, %d threads, %d points)",
-			f.Program, f.Threads, len(f.Points))
+		return nil, fmt.Errorf("core: selection file incomplete (program %q, %d threads, %d points): %w",
+			f.Program, f.Threads, len(f.Points), artifact.ErrCorrupt)
 	}
 	var mass float64
 	for i, p := range f.Points {
 		if _, err := p.Start.Marker(); err != nil {
-			return nil, fmt.Errorf("core: point %d start: %w", i, err)
+			return nil, fmt.Errorf("core: point %d start: %v: %w", i, err, artifact.ErrCorrupt)
 		}
 		if _, err := p.End.Marker(); err != nil {
-			return nil, fmt.Errorf("core: point %d end: %w", i, err)
+			return nil, fmt.Errorf("core: point %d end: %v: %w", i, err, artifact.ErrCorrupt)
 		}
 		if p.Multiplier < 1 {
-			return nil, fmt.Errorf("core: point %d multiplier %f < 1", i, p.Multiplier)
+			return nil, fmt.Errorf("core: point %d multiplier %f < 1: %w", i, p.Multiplier, artifact.ErrCorrupt)
 		}
 		mass += p.Multiplier * float64(p.Filtered)
 	}
 	if f.TotalFiltered > 0 {
 		if ratio := mass / float64(f.TotalFiltered); ratio < 0.99 || ratio > 1.01 {
-			return nil, fmt.Errorf("core: selection file multiplier mass %.3f of total work (corrupted?)", ratio)
+			return nil, fmt.Errorf("core: selection file multiplier mass %.3f of total work (corrupted?): %w",
+				ratio, artifact.ErrCorrupt)
 		}
 	}
 	return &f, nil

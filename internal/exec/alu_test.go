@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -182,7 +183,7 @@ func TestXchgAndAtomicAdd(t *testing.T) {
 	}
 }
 
-func TestOutOfBoundsAccessPanics(t *testing.T) {
+func TestOutOfBoundsAccessFaults(t *testing.T) {
 	p := isa.NewProgram("oob", 1)
 	p.Alloc("x", 1)
 	img := p.AddImage("main", false)
@@ -196,10 +197,8 @@ func TestOutOfBoundsAccessPanics(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := NewMachine(p, 1)
-	defer func() {
-		if recover() == nil {
-			t.Error("out-of-bounds access did not panic")
-		}
-	}()
-	m.Run(RunOpts{})
+	err := m.Run(RunOpts{})
+	if !errors.Is(err, ErrMachine) {
+		t.Errorf("out-of-bounds access: err = %v, want ErrMachine", err)
+	}
 }

@@ -1,7 +1,6 @@
 package exec
 
 import (
-	"fmt"
 	"math"
 
 	"looppoint/internal/isa"
@@ -280,7 +279,7 @@ passes:
 				break passes
 			case isa.OpRet:
 				if len(t.stack) == 0 {
-					panic(fmt.Sprintf("exec: thread %d returned from entry routine %s", tid, t.cur.rt.Name))
+					throwf("exec: thread %d returned from entry routine %s", tid, t.cur.rt.Name)
 				}
 				t.cur = t.stack[len(t.stack)-1]
 				t.stack = t.stack[:len(t.stack)-1]
@@ -326,7 +325,7 @@ passes:
 			case isa.OpSyscall:
 				t.R[in.Dst] = m.OS.Syscall(m, tid, isa.SyscallNo(in.Imm), t.R[in.A])
 			default:
-				panic(fmt.Sprintf("exec: unimplemented opcode %s", in.Op))
+				throwf("exec: unimplemented opcode %s", in.Op)
 			}
 			idx++
 			t.cur.idx = idx

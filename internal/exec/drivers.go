@@ -114,8 +114,11 @@ func (m *Machine) blockMode() bool {
 // every thread halts, an observer requests a stop, or an error occurs.
 // When block observers are attached (or no observers at all), it retires
 // instructions through the block-batched engine; the schedule it records
-// and the states it visits are identical either way.
-func (m *Machine) Run(opts RunOpts) error {
+// and the states it visits are identical either way. Machine faults
+// raised mid-step (unimplemented opcode, wild address, return past the
+// entry frame) surface as a *ExecError wrapping ErrMachine.
+func (m *Machine) Run(opts RunOpts) (err error) {
+	defer Recover(&err)
 	return m.run(opts, m.blockMode())
 }
 
@@ -123,7 +126,8 @@ func (m *Machine) Run(opts RunOpts) error {
 // batch is delivered to the machine's BlockObservers as one coalesced
 // BlockEvent. Per-instruction observers, if any, still fire exactly —
 // the batches are then assembled from the precise Step path.
-func (m *Machine) RunBlocks(opts RunOpts) error {
+func (m *Machine) RunBlocks(opts RunOpts) (err error) {
+	defer Recover(&err)
 	return m.run(opts, true)
 }
 
@@ -232,7 +236,9 @@ func appendRun(s *Schedule, tid, n int) {
 // run when it cannot, and stops early if an observer requests a stop.
 // Like Run, it retires instructions through the block-batched engine when
 // the observer configuration allows; the replayed execution is identical.
-func (m *Machine) RunSchedule(sched Schedule) error {
+// Machine faults surface as a *ExecError wrapping ErrMachine, as in Run.
+func (m *Machine) RunSchedule(sched Schedule) (err error) {
+	defer Recover(&err)
 	m.stopReq = false
 	if m.blockMode() {
 		ev := m.getBlockEvent()

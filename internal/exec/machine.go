@@ -6,7 +6,6 @@
 package exec
 
 import (
-	"fmt"
 	"math"
 
 	"looppoint/internal/isa"
@@ -308,7 +307,7 @@ func (m *Machine) Step(tid int) (*Event, bool) {
 		ev.IsBranch, ev.Taken = true, true
 	case isa.OpRet:
 		if len(t.stack) == 0 {
-			panic(fmt.Sprintf("exec: thread %d returned from entry routine %s", tid, t.cur.rt.Name))
+			throwf("exec: thread %d returned from entry routine %s", tid, t.cur.rt.Name)
 		}
 		t.cur = t.stack[len(t.stack)-1]
 		t.stack = t.stack[:len(t.stack)-1]
@@ -351,7 +350,7 @@ func (m *Machine) Step(tid int) (*Event, bool) {
 	case isa.OpSyscall:
 		t.R[in.Dst] = m.OS.Syscall(m, tid, isa.SyscallNo(in.Imm), t.R[in.A])
 	default:
-		panic(fmt.Sprintf("exec: unimplemented opcode %s", in.Op))
+		throwf("exec: unimplemented opcode %s", in.Op)
 	}
 
 	if advance && t.State != StateBlocked {
@@ -370,8 +369,8 @@ func (m *Machine) Step(tid int) (*Event, bool) {
 func (m *Machine) effAddr(t *Thread, in *isa.Instr) uint64 {
 	a := uint64(t.R[in.A] + in.Imm)
 	if a >= uint64(len(m.Mem)) {
-		panic(fmt.Sprintf("exec: thread %d: address %d out of range (mem %d words) at %s pc=%#x",
-			t.ID, a, len(m.Mem), in.Op, in.Addr))
+		throwf("exec: thread %d: address %d out of range (mem %d words) at %s pc=%#x",
+			t.ID, a, len(m.Mem), in.Op, in.Addr)
 	}
 	return a
 }

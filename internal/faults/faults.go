@@ -1,0 +1,362 @@
+// Package faults is a deterministic, seed-driven fault injector for the
+// whole sampling pipeline. Production code calls Check/CorruptBytes at
+// named injection sites; with no plan enabled those calls are a single
+// atomic load, so the hot path pays nothing. Tests (and the FAULTS_SEED
+// CI sweep) arm a Plan that decides — purely from the seed, the site
+// name, and the per-site invocation index — which invocations fail and
+// how: a transient error, a deterministic bit flip in an artifact byte
+// stream, a bounded slowdown, or a worker panic. Because the decision is
+// a pure function of (seed, site, index), every recovery path in the
+// repository is exercised by ordinary `go test` with zero wall-clock
+// flakiness, and a failing sweep seed reproduces exactly.
+//
+// Site naming convention: `<package>.<operation>`, lower-case, dots as
+// separators — e.g. "pinball.load", "core.region.sim", "harness.report".
+// DESIGN.md §9 lists the armed sites.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"looppoint/internal/artifact"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// Transient makes Check return an injected error — the "machine
+	// hiccuped" class a retry can absorb.
+	Transient Kind = iota
+	// Corrupt makes CorruptBytes flip one deterministic bit in the
+	// artifact byte stream passing through the site.
+	Corrupt
+	// Slow makes Check sleep for the rule's Delay — long enough to trip
+	// a small per-item timeout in tests, bounded so suites stay fast.
+	Slow
+	// Panic makes Check panic with a *Fault — the crashed-worker class
+	// degraded mode must survive.
+	Panic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Corrupt:
+		return "corrupt"
+	case Slow:
+		return "slow"
+	case Panic:
+		return "panic"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind parses a kind name as used in FAULTS_PLAN specs.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "transient", "error":
+		return Transient, nil
+	case "corrupt":
+		return Corrupt, nil
+	case "slow":
+		return Slow, nil
+	case "panic":
+		return Panic, nil
+	}
+	return 0, fmt.Errorf("faults: unknown kind %q", s)
+}
+
+// ErrInjected is the sentinel wrapped by every injected fault error, so
+// callers (and tests) can tell injected failures from organic ones.
+var ErrInjected = errors.New("injected fault")
+
+// Fault is one fired injection. It is the error returned for Transient
+// faults and the panic value for Panic faults.
+type Fault struct {
+	Site  string
+	Index uint64 // per-site invocation index that fired
+	Kind  Kind
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("faults: injected %s fault at %s[%d]", f.Kind, f.Site, f.Index)
+}
+
+// Unwrap lets errors.Is(err, faults.ErrInjected) match.
+func (f *Fault) Unwrap() error { return ErrInjected }
+
+// DefaultSlowDelay bounds Slow faults when the rule leaves Delay zero:
+// long enough to trip millisecond-scale test timeouts, short enough to
+// keep suites fast.
+const DefaultSlowDelay = 5 * time.Millisecond
+
+// Rule arms one injection site. Which invocations fire is decided by a
+// hash of (plan seed, site, invocation index): with Rate r, roughly one
+// in r invocations at or past After fires, until Count fires have
+// happened. Rate 1 fires every eligible invocation regardless of seed —
+// the deterministic setting tests use when they need an exact script.
+type Rule struct {
+	Site string
+	Kind Kind
+	// Rate selects ~1/Rate of invocations (hash-keyed); 0 disables the
+	// rule, 1 fires every eligible invocation.
+	Rate uint64
+	// Count caps how many times the rule fires (0 = unlimited).
+	Count uint64
+	// After skips the first After invocations of the site — "let some
+	// work finish, then kill it" scripting for resume tests.
+	After uint64
+	// Delay is the added latency for Slow faults (DefaultSlowDelay when
+	// zero).
+	Delay time.Duration
+}
+
+// armedRule pairs a rule with its fire counter.
+type armedRule struct {
+	Rule
+	fired atomic.Uint64
+}
+
+// site tracks one injection point's invocation counter and armed rules.
+type site struct {
+	calls atomic.Uint64
+	rules []*armedRule
+}
+
+// Plan is an immutable set of armed rules plus the seed that drives
+// every firing decision. Safe for concurrent use.
+type Plan struct {
+	Seed  uint64
+	sites map[string]*site
+}
+
+// NewPlan builds a plan from rules. Rules for the same site all get
+// consulted on every invocation, first match fires.
+func NewPlan(seed uint64, rules ...Rule) *Plan {
+	p := &Plan{Seed: seed, sites: make(map[string]*site)}
+	for _, r := range rules {
+		s := p.sites[r.Site]
+		if s == nil {
+			s = &site{}
+			p.sites[r.Site] = s
+		}
+		s.rules = append(s.rules, &armedRule{Rule: r})
+	}
+	return p
+}
+
+// hit reports whether a rule fires at invocation idx — a pure function
+// of (seed, site, idx), so runs are reproducible per seed.
+func (p *Plan) hit(r *armedRule, idx uint64) bool {
+	if r.Rate == 0 || idx < r.After {
+		return false
+	}
+	if r.Count > 0 && r.fired.Load() >= r.Count {
+		return false
+	}
+	if r.Rate > 1 {
+		h := artifact.FNVOffset
+		mix := func(v uint64) {
+			for i := 0; i < 8; i++ {
+				h ^= (v >> (8 * i)) & 0xff
+				h *= artifact.FNVPrime
+			}
+		}
+		mix(p.Seed)
+		for _, c := range []byte(r.Site) {
+			h ^= uint64(c)
+			h *= artifact.FNVPrime
+		}
+		mix(idx)
+		if h%r.Rate != 0 {
+			return false
+		}
+	}
+	// Count re-check under increment: allow a small over-fire race only
+	// between concurrent invocations of the same site, never beyond +P-1
+	// for P simultaneous callers; tests that need an exact count run the
+	// site sequentially.
+	if r.Count > 0 && r.fired.Add(1) > r.Count {
+		return false
+	}
+	if r.Count == 0 {
+		r.fired.Add(1)
+	}
+	return true
+}
+
+// fire looks up the first matching rule of the given kinds at this
+// site's next invocation index.
+func (p *Plan) fire(siteName string, kinds ...Kind) (*Fault, *armedRule) {
+	s := p.sites[siteName]
+	if s == nil {
+		return nil, nil
+	}
+	idx := s.calls.Add(1) - 1
+	for _, r := range s.rules {
+		match := false
+		for _, k := range kinds {
+			if r.Kind == k {
+				match = true
+				break
+			}
+		}
+		if match && p.hit(r, idx) {
+			return &Fault{Site: siteName, Index: idx, Kind: r.Kind}, r
+		}
+	}
+	return nil, nil
+}
+
+// Check is the general injection point: it counts one invocation of the
+// site and, if a Transient/Slow/Panic rule fires, returns an injected
+// error, sleeps, or panics respectively. Corrupt rules never fire here —
+// they belong to CorruptBytes.
+func (p *Plan) Check(siteName string) error {
+	f, r := p.fire(siteName, Transient, Slow, Panic)
+	if f == nil {
+		return nil
+	}
+	switch f.Kind {
+	case Slow:
+		d := r.Delay
+		if d <= 0 {
+			d = DefaultSlowDelay
+		}
+		time.Sleep(d)
+		return nil
+	case Panic:
+		panic(f)
+	default:
+		return f
+	}
+}
+
+// CorruptBytes counts one invocation of the site and, if a Corrupt rule
+// fires, flips one deterministically chosen bit of data in place and
+// reports true. Empty data is never touched.
+func (p *Plan) CorruptBytes(siteName string, data []byte) bool {
+	if len(data) == 0 {
+		return false
+	}
+	f, _ := p.fire(siteName, Corrupt)
+	if f == nil {
+		return false
+	}
+	h := artifact.Checksum([]byte(fmt.Sprintf("%d/%s/%d", p.Seed, siteName, f.Index)))
+	data[h%uint64(len(data))] ^= 1 << ((h >> 32) % 8)
+	return true
+}
+
+// Fired returns how many times any rule at the site has fired — test
+// observability.
+func (p *Plan) Fired(siteName string) uint64 {
+	s := p.sites[siteName]
+	if s == nil {
+		return 0
+	}
+	var n uint64
+	for _, r := range s.rules {
+		n += r.fired.Load()
+	}
+	return n
+}
+
+// active is the process-wide plan; nil means injection is disabled and
+// every Check/CorruptBytes is a single atomic load.
+var active atomic.Pointer[Plan]
+
+// Enable installs a plan globally and returns a restore function that
+// reinstates the previous plan — `defer faults.Enable(plan)()` in tests.
+func Enable(p *Plan) (restore func()) {
+	prev := active.Swap(p)
+	return func() { active.Store(prev) }
+}
+
+// Disable removes any active plan.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Check consults the active plan, if any. The nil fast path is one
+// atomic load.
+func Check(site string) error {
+	if p := active.Load(); p != nil {
+		return p.Check(site)
+	}
+	return nil
+}
+
+// CorruptBytes consults the active plan, if any.
+func CorruptBytes(site string, data []byte) bool {
+	if p := active.Load(); p != nil {
+		return p.CorruptBytes(site, data)
+	}
+	return false
+}
+
+// SeedFromEnv returns FAULTS_SEED when set (the CI sweep knob), else def.
+func SeedFromEnv(def uint64) uint64 {
+	if v := os.Getenv("FAULTS_SEED"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// FromEnv builds a plan from the environment, for injecting faults into
+// the commands without recompiling:
+//
+//	FAULTS_PLAN="site:kind:rate[:count[:after]][;site:kind:rate...]"
+//	FAULTS_SEED=7   # optional, default 1
+//
+// e.g. FAULTS_PLAN="lpsim.region:transient:1:1" fails the first region
+// simulation once. Returns (nil, nil) when FAULTS_PLAN is unset.
+func FromEnv() (*Plan, error) {
+	spec := os.Getenv("FAULTS_PLAN")
+	if spec == "" {
+		return nil, nil
+	}
+	var rules []Rule
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("faults: bad FAULTS_PLAN entry %q (want site:kind:rate[:count[:after]])", entry)
+		}
+		kind, err := ParseKind(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		r := Rule{Site: parts[0], Kind: kind}
+		if r.Rate, err = strconv.ParseUint(parts[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("faults: bad rate in %q: %v", entry, err)
+		}
+		if len(parts) > 3 {
+			if r.Count, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+				return nil, fmt.Errorf("faults: bad count in %q: %v", entry, err)
+			}
+		}
+		if len(parts) > 4 {
+			if r.After, err = strconv.ParseUint(parts[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("faults: bad after in %q: %v", entry, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return NewPlan(SeedFromEnv(1), rules...), nil
+}

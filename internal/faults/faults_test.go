@@ -1,0 +1,261 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRateOneFiresEveryInvocation: Rate 1 is the deterministic setting —
+// every eligible invocation fires regardless of seed.
+func TestRateOneFiresEveryInvocation(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 12345} {
+		p := NewPlan(seed, Rule{Site: "x", Kind: Transient, Rate: 1})
+		for i := 0; i < 10; i++ {
+			err := p.Check("x")
+			if err == nil {
+				t.Fatalf("seed %d: invocation %d did not fire", seed, i)
+			}
+			var f *Fault
+			if !errors.As(err, &f) {
+				t.Fatalf("error %v is not a *Fault", err)
+			}
+			if f.Site != "x" || f.Index != uint64(i) || f.Kind != Transient {
+				t.Fatalf("wrong fault fields: %+v", f)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("fault does not unwrap to ErrInjected")
+			}
+		}
+	}
+}
+
+// TestCountCapsFires: Count bounds total fires; After skips a prefix.
+func TestCountCapsFires(t *testing.T) {
+	p := NewPlan(1, Rule{Site: "x", Kind: Transient, Rate: 1, Count: 2, After: 3})
+	var fired []int
+	for i := 0; i < 10; i++ {
+		if p.Check("x") != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("expected fires at invocations [3 4], got %v", fired)
+	}
+	if got := p.Fired("x"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+// TestHashRateDeterministicPerSeed: with Rate>1 the firing pattern is a
+// pure function of the seed — two plans with the same seed agree
+// invocation-for-invocation, and (for at least one pair of small seeds)
+// different seeds produce different patterns.
+func TestHashRateDeterministicPerSeed(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		p := NewPlan(seed, Rule{Site: "x", Kind: Transient, Rate: 3})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Check("x") != nil
+		}
+		return out
+	}
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		a, b := pattern(seed), pattern(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d not deterministic at invocation %d", seed, i)
+			}
+		}
+		// Roughly 1/3 of invocations should fire; require at least one
+		// fire and at least one non-fire so the rate is plausibly active.
+		n := 0
+		for _, hit := range a {
+			if hit {
+				n++
+			}
+		}
+		if n == 0 || n == len(a) {
+			t.Fatalf("seed %d: degenerate pattern, %d/%d fires", seed, n, len(a))
+		}
+	}
+	a, b := pattern(1), pattern(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 1 and 2 produced identical patterns")
+	}
+}
+
+// TestCorruptBytesFlipsOneBit: corruption flips exactly one bit, at a
+// seed-deterministic position.
+func TestCorruptBytesFlipsOneBit(t *testing.T) {
+	orig := bytes.Repeat([]byte{0xAA}, 256)
+	flip := func(seed uint64) []byte {
+		p := NewPlan(seed, Rule{Site: "x", Kind: Corrupt, Rate: 1, Count: 1})
+		data := append([]byte(nil), orig...)
+		if !p.CorruptBytes("x", data) {
+			t.Fatalf("seed %d: corruption did not fire", seed)
+		}
+		return data
+	}
+	a := flip(9)
+	diff := 0
+	for i := range a {
+		if a[i] != orig[i] {
+			diff++
+			if x := a[i] ^ orig[i]; x&(x-1) != 0 {
+				t.Fatalf("byte %d differs by more than one bit: %02x vs %02x", i, a[i], orig[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("expected exactly 1 corrupted byte, got %d", diff)
+	}
+	if !bytes.Equal(a, flip(9)) {
+		t.Fatalf("same seed corrupted different positions")
+	}
+	// Check never fires Corrupt rules.
+	p := NewPlan(9, Rule{Site: "x", Kind: Corrupt, Rate: 1})
+	if err := p.Check("x"); err != nil {
+		t.Fatalf("Check fired a Corrupt rule: %v", err)
+	}
+	// Empty data is left alone.
+	if p.CorruptBytes("x", nil) {
+		t.Fatalf("CorruptBytes fired on empty data")
+	}
+}
+
+// TestPanicKind: Panic rules panic with a *Fault.
+func TestPanicKind(t *testing.T) {
+	p := NewPlan(1, Rule{Site: "x", Kind: Panic, Rate: 1})
+	defer func() {
+		r := recover()
+		f, ok := r.(*Fault)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not *Fault", r, r)
+		}
+		if f.Kind != Panic || f.Site != "x" {
+			t.Fatalf("wrong fault: %+v", f)
+		}
+	}()
+	p.Check("x")
+	t.Fatalf("Check did not panic")
+}
+
+// TestSlowKind: Slow rules sleep for at least the configured delay and
+// return nil.
+func TestSlowKind(t *testing.T) {
+	p := NewPlan(1, Rule{Site: "x", Kind: Slow, Rate: 1, Delay: 2 * time.Millisecond})
+	start := time.Now()
+	if err := p.Check("x"); err != nil {
+		t.Fatalf("Slow returned error: %v", err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Fatalf("Slow slept only %v", d)
+	}
+}
+
+// TestGlobalEnableDisable: the package-level fast path consults the
+// active plan and restores the previous one.
+func TestGlobalEnableDisable(t *testing.T) {
+	if Enabled() {
+		t.Fatalf("plan active at test start")
+	}
+	if err := Check("x"); err != nil {
+		t.Fatalf("disabled Check returned %v", err)
+	}
+	restore := Enable(NewPlan(1, Rule{Site: "x", Kind: Transient, Rate: 1}))
+	if !Enabled() {
+		t.Fatalf("Enabled false after Enable")
+	}
+	if Check("x") == nil {
+		t.Fatalf("enabled Check did not fire")
+	}
+	restore()
+	if Enabled() {
+		t.Fatalf("restore did not clear plan")
+	}
+	if CorruptBytes("x", []byte{1}) {
+		t.Fatalf("disabled CorruptBytes fired")
+	}
+}
+
+// TestFromEnv: the FAULTS_PLAN / FAULTS_SEED spec grammar.
+func TestFromEnv(t *testing.T) {
+	t.Setenv("FAULTS_PLAN", "")
+	if p, err := FromEnv(); p != nil || err != nil {
+		t.Fatalf("unset FAULTS_PLAN: got %v, %v", p, err)
+	}
+
+	t.Setenv("FAULTS_PLAN", "a.load:transient:1:2; b.sim:panic:3:0:5")
+	t.Setenv("FAULTS_SEED", "42")
+	p, err := FromEnv()
+	if err != nil {
+		t.Fatalf("FromEnv: %v", err)
+	}
+	if p.Seed != 42 {
+		t.Fatalf("seed = %d, want 42", p.Seed)
+	}
+	if err := p.Check("a.load"); err == nil {
+		t.Fatalf("a.load rule did not arm")
+	}
+	if len(p.sites) != 2 {
+		t.Fatalf("expected 2 sites, got %d", len(p.sites))
+	}
+	b := p.sites["b.sim"].rules[0]
+	if b.Kind != Panic || b.Rate != 3 || b.Count != 0 || b.After != 5 {
+		t.Fatalf("b.sim rule misparsed: %+v", b.Rule)
+	}
+
+	for _, bad := range []string{"x", "x:transient", "x:bogus:1", "x:transient:z", "x:transient:1:z", "x:transient:1:1:z"} {
+		t.Setenv("FAULTS_PLAN", bad)
+		if _, err := FromEnv(); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestSeedFromEnv covers the CI sweep knob.
+func TestSeedFromEnv(t *testing.T) {
+	t.Setenv("FAULTS_SEED", "")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Fatalf("default: got %d", got)
+	}
+	t.Setenv("FAULTS_SEED", "31")
+	if got := SeedFromEnv(7); got != 31 {
+		t.Fatalf("env: got %d", got)
+	}
+	t.Setenv("FAULTS_SEED", "nope")
+	if got := SeedFromEnv(7); got != 7 {
+		t.Fatalf("bad env: got %d", got)
+	}
+}
+
+// TestSeedSweepRecovery is the seed-robust invariant the CI FAULTS_SEED
+// sweep exercises: whatever the seed, a hash-rate transient rule fires
+// somewhere in a long run, and a retry loop that tolerates injected
+// errors always completes.
+func TestSeedSweepRecovery(t *testing.T) {
+	seed := SeedFromEnv(1)
+	p := NewPlan(seed, Rule{Site: "work", Kind: Transient, Rate: 4})
+	done := 0
+	for done < 100 {
+		if err := p.Check("work"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			continue // retry
+		}
+		done++
+	}
+	if p.Fired("work") == 0 {
+		t.Logf("seed %d fired no faults in this window (allowed, just unlikely)", seed)
+	}
+}

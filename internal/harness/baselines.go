@@ -3,7 +3,9 @@ package harness
 import (
 	"looppoint/internal/baselines"
 	"looppoint/internal/core"
+	"looppoint/internal/exec"
 	"looppoint/internal/omp"
+	"looppoint/internal/pinball"
 	"looppoint/internal/results"
 	"looppoint/internal/timing"
 )
@@ -122,7 +124,19 @@ func (e *Evaluator) Constrained() (*ConstrainedResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		cst, err := sim.SimulateConstrained(rep.Selection.Analysis.Pinball)
+		pb := rep.Selection.Analysis.Pinball
+		if pb == nil {
+			// A report rehydrated from the resume journal carries no
+			// analysis pinball; recording is fully seeded, so re-recording
+			// reproduces the exact pinball the original analysis used.
+			cfg := e.Opts.config()
+			pb, err = pinball.RecordWithOptions(app.Prog, cfg.Seed,
+				exec.RunOpts{FlowWindow: cfg.FlowWindow})
+			if err != nil {
+				return nil, err
+			}
+		}
+		cst, err := sim.SimulateConstrained(pb)
 		if err != nil {
 			return nil, err
 		}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"looppoint/internal/core"
+	"looppoint/internal/faults"
 	"looppoint/internal/omp"
 	"looppoint/internal/pool"
 	"looppoint/internal/timing"
@@ -58,6 +59,22 @@ type Options struct {
 	// Reports are byte-identical either way; the flag exists for
 	// cross-checking the two engines.
 	SlowPath bool
+	// Resume names a journal file (JSONL) of completed evaluations. When
+	// set, reports already journaled are rehydrated instead of re-run,
+	// and every new evaluation is appended — a killed campaign restarts
+	// where it stopped. Corrupt journal lines are dropped; a journal that
+	// cannot be opened is logged and ignored (the run proceeds fresh).
+	Resume string
+	// Degraded tolerates per-region simulation failures inside each
+	// evaluation (see core.RunOpts.Degraded).
+	Degraded bool
+	// Retries is the per-region attempt budget (<= 1: single attempt).
+	Retries int
+	// RegionTimeout bounds each region-simulation attempt (0: none).
+	RegionTimeout time.Duration
+	// MinCoverage is the degraded-mode residual-coverage floor
+	// (0: core.DefaultMinCoverage).
+	MinCoverage float64
 }
 
 // trainInput returns the SPEC accuracy-experiment input class.
@@ -156,18 +173,57 @@ type Evaluator struct {
 	appFlight    pool.Flight[*workloads.App]
 	selFlight    pool.Flight[*core.Selection]
 
+	journal  *journal
+	restored int
+
 	logMu sync.Mutex
 	evals atomic.Int64
 }
 
-// NewEvaluator creates an evaluator.
+// NewEvaluator creates an evaluator. When Options.Resume names a
+// journal, previously completed evaluations are rehydrated into the
+// report cache and new ones are appended as they finish.
 func NewEvaluator(opts Options) *Evaluator {
-	return &Evaluator{
+	e := &Evaluator{
 		Opts:       opts.fill(),
 		reports:    make(map[string]*core.Report),
 		apps:       make(map[string]*workloads.App),
 		selections: make(map[string]*core.Selection),
 	}
+	if opts.Resume != "" {
+		restored, dropped, err := loadJournal(opts.Resume)
+		if err != nil {
+			e.logf("resume: cannot read journal %s: %v (starting fresh)", opts.Resume, err)
+		} else {
+			e.reports = restored
+			e.restored = len(restored)
+			if dropped > 0 {
+				e.logf("resume: dropped %d corrupt journal line(s) from %s", dropped, opts.Resume)
+			}
+			if len(restored) > 0 {
+				e.logf("resume: restored %d completed evaluation(s) from %s", len(restored), opts.Resume)
+			}
+		}
+		j, err := openJournal(opts.Resume)
+		if err != nil {
+			e.logf("resume: cannot append to journal %s: %v (journaling disabled)", opts.Resume, err)
+		} else {
+			e.journal = j
+		}
+	}
+	return e
+}
+
+// Restored returns how many completed evaluations were rehydrated from
+// the resume journal.
+func (e *Evaluator) Restored() int { return e.restored }
+
+// Close releases the resume journal, if any.
+func (e *Evaluator) Close() error {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Close()
 }
 
 // Evaluations returns how many end-to-end report evaluations have
@@ -255,6 +311,12 @@ func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 		if ok {
 			return rep, nil
 		}
+		// Injection site "harness.report" lets the fault suite kill an
+		// experiment campaign between evaluations and exercise the
+		// resume journal.
+		if err := faults.Check("harness.report"); err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", k.App, err)
+		}
 		e.evals.Add(1)
 		app, err := e.BuildApp(k.App, k.Policy, k.Input, k.Threads)
 		if err != nil {
@@ -269,6 +331,8 @@ func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 		start := time.Now()
 		rep, err = core.Run(app.Prog, e.Opts.config(), simCfg, core.RunOpts{
 			SimulateFull: k.Full, Width: e.Opts.Parallelism,
+			Degraded: e.Opts.Degraded, Retries: e.Opts.Retries,
+			RegionTimeout: e.Opts.RegionTimeout, MinCoverage: e.Opts.MinCoverage,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("harness: %s: %w", k.App, err)
@@ -278,6 +342,11 @@ func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 		e.mu.Lock()
 		e.reports[key] = rep
 		e.mu.Unlock()
+		if e.journal != nil {
+			if jerr := e.journal.append(key, rep); jerr != nil {
+				e.logf("resume: journal append failed: %v (journaling disabled)", jerr)
+			}
+		}
 		return rep, nil
 	})
 	return rep, err

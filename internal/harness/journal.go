@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"looppoint/internal/artifact"
+	"looppoint/internal/bbv"
+	"looppoint/internal/core"
+	"looppoint/internal/timing"
+)
+
+// The resume journal makes a long experiment campaign restartable: every
+// completed evaluation appends one self-checksummed JSONL record keyed
+// by its ReportKey, and a fresh Evaluator pointed at the same journal
+// rehydrates those reports instead of redoing the record/profile/
+// cluster/simulate work. Records hold the scalar subset of a
+// core.Report that the tables and figures consume (prediction, errors,
+// speedups, degradation, and the selection's region/looppoint counts) —
+// everything the renderers read, nothing that cannot be serialized.
+// Lines that fail their checksum or do not parse are dropped silently:
+// a torn final line from a killed run must not poison the restart.
+
+// reportData is the journaled scalar subset of a core.Report.
+type reportData struct {
+	Name           string            `json:"name"`
+	NumRegions     int               `json:"num_regions"`
+	NumPoints      int               `json:"num_points"`
+	Predicted      core.Prediction   `json:"predicted"`
+	Full           *timing.Stats     `json:"full,omitempty"`
+	FullHostTimeNS int64             `json:"full_host_time_ns,omitempty"`
+	RuntimeErrPct  float64           `json:"runtime_err_pct"`
+	CyclesErrPct   float64           `json:"cycles_err_pct"`
+	BranchMPKIDiff float64           `json:"branch_mpki_diff"`
+	L1DMPKIDiff    float64           `json:"l1d_mpki_diff"`
+	L2MPKIDiff     float64           `json:"l2_mpki_diff"`
+	L3MPKIDiff     float64           `json:"l3_mpki_diff"`
+	Speedups       core.Speedups     `json:"speedups"`
+	Degradation    *core.Degradation `json:"degradation,omitempty"`
+}
+
+func newReportData(rep *core.Report) reportData {
+	return reportData{
+		Name:           rep.Name,
+		NumRegions:     len(rep.Selection.Analysis.Profile.Regions),
+		NumPoints:      len(rep.Selection.Points),
+		Predicted:      rep.Predicted,
+		Full:           rep.Full,
+		FullHostTimeNS: int64(rep.FullHostTime),
+		RuntimeErrPct:  rep.RuntimeErrPct,
+		CyclesErrPct:   rep.CyclesErrPct,
+		BranchMPKIDiff: rep.BranchMPKIDiff,
+		L1DMPKIDiff:    rep.L1DMPKIDiff,
+		L2MPKIDiff:     rep.L2MPKIDiff,
+		L3MPKIDiff:     rep.L3MPKIDiff,
+		Speedups:       rep.Speedups,
+		Degradation:    rep.Degradation,
+	}
+}
+
+// report rehydrates a journaled record into a core.Report. The selection
+// is a stub carrying only the region/looppoint counts the renderers
+// read; consumers needing the analysis pinball (Constrained) re-record
+// it deterministically.
+func (d reportData) report() *core.Report {
+	sel := &core.Selection{
+		Analysis: &core.Analysis{
+			Profile: &bbv.Profile{Regions: make([]*bbv.Region, d.NumRegions)},
+		},
+		Points: make([]core.LoopPoint, d.NumPoints),
+	}
+	return &core.Report{
+		Name:           d.Name,
+		Selection:      sel,
+		Predicted:      d.Predicted,
+		Degradation:    d.Degradation,
+		Full:           d.Full,
+		FullHostTime:   time.Duration(d.FullHostTimeNS),
+		RuntimeErrPct:  d.RuntimeErrPct,
+		CyclesErrPct:   d.CyclesErrPct,
+		BranchMPKIDiff: d.BranchMPKIDiff,
+		L1DMPKIDiff:    d.L1DMPKIDiff,
+		L2MPKIDiff:     d.L2MPKIDiff,
+		L3MPKIDiff:     d.L3MPKIDiff,
+		Speedups:       d.Speedups,
+	}
+}
+
+// journalRecord is the checksummed unit: the memoization key plus the
+// report data.
+type journalRecord struct {
+	Key    string     `json:"key"`
+	Report reportData `json:"report"`
+}
+
+// journalEntry is one JSONL line: the FNV-1a checksum of the compact
+// record bytes, then the record itself.
+type journalEntry struct {
+	FNV1a  string          `json:"fnv1a"`
+	Record json.RawMessage `json:"record"`
+}
+
+// journal appends completed evaluations to a JSONL file.
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	dead bool // a write failed; stop appending, keep evaluating
+}
+
+// loadJournal parses an existing journal file into rehydrated reports.
+// A missing file yields an empty map. Lines that fail their checksum or
+// do not parse are skipped and counted in dropped.
+func loadJournal(path string) (restored map[string]*core.Report, dropped int, err error) {
+	restored = make(map[string]*core.Report)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return restored, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(nil, 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ent journalEntry
+		if json.Unmarshal(line, &ent) != nil {
+			dropped++
+			continue
+		}
+		var compact bytes.Buffer
+		if json.Compact(&compact, ent.Record) != nil {
+			dropped++
+			continue
+		}
+		if fmt.Sprintf("%#x", artifact.Checksum(compact.Bytes())) != ent.FNV1a {
+			dropped++
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal(compact.Bytes(), &rec) != nil || rec.Key == "" {
+			dropped++
+			continue
+		}
+		restored[rec.Key] = rec.Report.report()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return restored, dropped, nil
+}
+
+// openJournal opens (creating if needed) the journal for appending.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f}, nil
+}
+
+// append writes one completed evaluation. The line is checksummed so a
+// restart can reject records torn by a mid-write kill.
+func (j *journal) append(key string, rep *core.Report) error {
+	rec, err := json.Marshal(journalRecord{Key: key, Report: newReportData(rep)})
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(journalEntry{
+		FNV1a:  fmt.Sprintf("%#x", artifact.Checksum(rec)),
+		Record: rec,
+	})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead {
+		return nil
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.dead = true
+		return err
+	}
+	return nil
+}
+
+// Close releases the journal's file handle.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

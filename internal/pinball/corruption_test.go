@@ -1,0 +1,147 @@
+package pinball
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"looppoint/internal/artifact"
+	"looppoint/internal/faults"
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+// typed reports whether err wraps one of the artifact sentinels.
+func typed(err error) bool {
+	return errors.Is(err, artifact.ErrCorrupt) ||
+		errors.Is(err, artifact.ErrTruncated) ||
+		errors.Is(err, artifact.ErrVersion)
+}
+
+// savedPinballBytes records a small pinball and returns its serialized
+// form.
+func savedPinballBytes(t *testing.T) []byte {
+	t.Helper()
+	p := testprog.Phased(2, 2, 30, omp.Passive)
+	pb, err := Record(p, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pb.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorruptionMatrixBitFlips flips one bit at every byte offset of a
+// saved pinball — header, snapshot, syscall logs, schedule, and trailing
+// hash — and asserts every flip is rejected with a typed artifact error.
+// Single-byte damage can never slip through: the running FNV-1a state
+// transformation is injective, so one changed payload byte always
+// changes the trailing hash, and flips in the hash itself fail the
+// comparison.
+func TestCorruptionMatrixBitFlips(t *testing.T) {
+	orig := savedPinballBytes(t)
+	for off := 0; off < len(orig); off++ {
+		data := append([]byte(nil), orig...)
+		data[off] ^= 0x10
+		_, err := ReadFrom(bytes.NewReader(data))
+		if err == nil {
+			t.Fatalf("bit flip at byte %d accepted", off)
+		}
+		if !typed(err) {
+			t.Fatalf("bit flip at byte %d: untyped error %v", off, err)
+		}
+	}
+}
+
+// TestCorruptionMatrixTruncation cuts the saved pinball at every prefix
+// length and asserts ErrTruncated (with the byte offset in the message)
+// for all of them.
+func TestCorruptionMatrixTruncation(t *testing.T) {
+	orig := savedPinballBytes(t)
+	for cut := 0; cut < len(orig); cut++ {
+		_, err := ReadFrom(bytes.NewReader(orig[:cut]))
+		if !errors.Is(err, artifact.ErrTruncated) {
+			t.Fatalf("truncation at %d bytes: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestVersionSkewIsTyped: a future version number is ErrVersion, not a
+// generic failure.
+func TestVersionSkewIsTyped(t *testing.T) {
+	orig := savedPinballBytes(t)
+	data := append([]byte(nil), orig...)
+	data[len(magic)] = 99 // version field is the first u64 after the magic
+	if _, err := ReadFrom(bytes.NewReader(data)); !errors.Is(err, artifact.ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+// TestLoadReportsPathAndOffset: file-level loads carry the path, and
+// truncation failures carry the byte offset.
+func TestLoadReportsPathAndOffset(t *testing.T) {
+	orig := savedPinballBytes(t)
+	path := filepath.Join(t.TempDir(), "cut.pinball")
+	if err := os.WriteFile(path, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path)
+	if !errors.Is(err, artifact.ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	msg := err.Error()
+	if !bytes.Contains([]byte(msg), []byte(path)) {
+		t.Errorf("error %q does not name the file", msg)
+	}
+	if !bytes.Contains([]byte(msg), []byte("byte offset")) {
+		t.Errorf("error %q does not carry the byte offset", msg)
+	}
+}
+
+// TestSaveCorruptionFaultCaught: an injected torn write at site
+// "pinball.save" is caught by Load's integrity check — the quarantine
+// path lpsim relies on.
+func TestSaveCorruptionFaultCaught(t *testing.T) {
+	p := testprog.Phased(2, 2, 30, omp.Passive)
+	pb, err := Record(p, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := faults.SeedFromEnv(3)
+	defer faults.Enable(faults.NewPlan(seed,
+		faults.Rule{Site: "pinball.save", Kind: faults.Corrupt, Rate: 1, Count: 1}))()
+	path := filepath.Join(t.TempDir(), "torn.pinball")
+	if err := pb.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if _, err := Load(path); !typed(err) {
+		t.Fatalf("Load of torn file: err = %v, want typed artifact error", err)
+	}
+}
+
+// TestLoadTransientFault: site "pinball.load" can force a retryable
+// failure; a second call succeeds.
+func TestLoadTransientFault(t *testing.T) {
+	p := testprog.Phased(2, 2, 30, omp.Passive)
+	pb, err := Record(p, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ok.pinball")
+	if err := pb.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Enable(faults.NewPlan(1,
+		faults.Rule{Site: "pinball.load", Kind: faults.Transient, Rate: 1, Count: 1}))()
+	if _, err := Load(path); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("first Load: err = %v, want injected", err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("second Load: %v", err)
+	}
+}

@@ -32,7 +32,10 @@ type RegionSpec struct {
 // a snapshot is taken at each requested warmup-start offset. This is how
 // all of an application's looppoint checkpoints are generated with one
 // sweep over the recording (the paper's region-pinball generation).
-func (pb *Pinball) ExtractRegions(p *isa.Program, specs []RegionSpec) ([]*Pinball, error) {
+// Machine faults raised mid-replay surface as errors wrapping
+// exec.ErrMachine, like the exec.Run family.
+func (pb *Pinball) ExtractRegions(p *isa.Program, specs []RegionSpec) (_ []*Pinball, err error) {
+	defer exec.Recover(&err)
 	if err := pb.Verify(); err != nil {
 		return nil, err
 	}

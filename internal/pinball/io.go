@@ -2,14 +2,17 @@ package pinball
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
 
+	"looppoint/internal/artifact"
 	"looppoint/internal/bbv"
 	"looppoint/internal/exec"
+	"looppoint/internal/faults"
 )
 
 // Pinballs are "portable and shareable user-level checkpoints" (the
@@ -18,6 +21,13 @@ import (
 // without rebuilding the workload state. The format is a simple
 // little-endian binary layout with a magic header and the snapshot
 // checksum; Load verifies integrity before returning.
+//
+// Load failures are classified into the artifact package's typed
+// sentinels — errors.Is(err, artifact.ErrTruncated) for files that end
+// early (with the byte offset in the message), artifact.ErrCorrupt for
+// bad magic, implausible lengths, or checksum mismatches, and
+// artifact.ErrVersion for format skew — so callers like lpsim's
+// checkpoint-directory mode can quarantine bad files and continue.
 
 const (
 	magic   = "LOOPPINB"
@@ -58,6 +68,7 @@ func (w *writer) str(s string) {
 type reader struct {
 	r   *bufio.Reader
 	sum uint64
+	off int64 // bytes consumed so far, for truncation diagnostics
 	err error
 }
 
@@ -65,8 +76,14 @@ func (r *reader) raw(b []byte) {
 	if r.err != nil {
 		return
 	}
-	if _, err := io.ReadFull(r.r, b); err != nil {
-		r.err = err
+	n, err := io.ReadFull(r.r, b)
+	r.off += int64(n)
+	if err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			r.err = fmt.Errorf("%w at byte offset %d", artifact.ErrTruncated, r.off)
+		} else {
+			r.err = err
+		}
 		return
 	}
 	for _, c := range b {
@@ -93,7 +110,7 @@ func (r *reader) str() string {
 		return ""
 	}
 	if n > 1<<20 {
-		r.err = fmt.Errorf("pinball: implausible string length %d", n)
+		r.err = fmt.Errorf("implausible string length %d at byte offset %d: %w", n, r.off, artifact.ErrCorrupt)
 		return ""
 	}
 	buf := make([]byte, n)
@@ -176,17 +193,24 @@ func (pb *Pinball) Write(dst io.Writer) error {
 }
 
 // ReadFrom deserializes a pinball and verifies its snapshot checksum.
+// Failures wrap the artifact sentinels: ErrTruncated (with byte offset)
+// for early EOF, ErrCorrupt for structural or checksum damage,
+// ErrVersion for format skew.
 func ReadFrom(src io.Reader) (*Pinball, error) {
 	r := &reader{r: bufio.NewReader(src), sum: 14695981039346656037}
 	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(r.r, head); err != nil {
+	if n, err := io.ReadFull(r.r, head); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("pinball: reading header: %w at byte offset %d", artifact.ErrTruncated, n)
+		}
 		return nil, fmt.Errorf("pinball: reading header: %w", err)
 	}
+	r.off = int64(len(magic))
 	if string(head) != magic {
-		return nil, fmt.Errorf("pinball: bad magic %q", head)
+		return nil, fmt.Errorf("pinball: bad magic %q: %w", head, artifact.ErrCorrupt)
 	}
-	if v := r.u32(); v != version {
-		return nil, fmt.Errorf("pinball: unsupported version %d", v)
+	if v := r.u32(); r.err == nil && v != version {
+		return nil, fmt.Errorf("pinball: version %d (want %d): %w", v, version, artifact.ErrVersion)
 	}
 	pb := &Pinball{}
 	pb.Name = r.str()
@@ -204,15 +228,18 @@ func ReadFrom(src io.Reader) (*Pinball, error) {
 	s.Steps = r.u64()
 	memLen := r.u64()
 	if r.err == nil && memLen > 1<<32 {
-		return nil, fmt.Errorf("pinball: implausible memory size %d", memLen)
+		return nil, fmt.Errorf("pinball: implausible memory size %d: %w", memLen, artifact.ErrCorrupt)
 	}
-	s.Mem = make([]uint64, memLen)
-	for i := range s.Mem {
-		s.Mem[i] = r.u64()
+	// Grow incrementally rather than trusting the declared length: a
+	// corrupted-but-plausible count must fail at the real end of input,
+	// not commit gigabytes first.
+	s.Mem = make([]uint64, 0, min(memLen, uint64(1<<16)))
+	for i := uint64(0); i < memLen && r.err == nil; i++ {
+		s.Mem = append(s.Mem, r.u64())
 	}
 	nThreads := r.u64()
 	if r.err == nil && nThreads > 1<<16 {
-		return nil, fmt.Errorf("pinball: implausible thread count %d", nThreads)
+		return nil, fmt.Errorf("pinball: implausible thread count %d: %w", nThreads, artifact.ErrCorrupt)
 	}
 	for i := uint64(0); i < nThreads && r.err == nil; i++ {
 		var t exec.ThreadSnapshot
@@ -226,7 +253,7 @@ func ReadFrom(src io.Reader) (*Pinball, error) {
 		t.Cur = readFrame(r)
 		stackLen := r.u64()
 		if r.err == nil && stackLen > 1<<20 {
-			return nil, fmt.Errorf("pinball: implausible stack depth %d", stackLen)
+			return nil, fmt.Errorf("pinball: implausible stack depth %d: %w", stackLen, artifact.ErrCorrupt)
 		}
 		for j := uint64(0); j < stackLen && r.err == nil; j++ {
 			t.Stack = append(t.Stack, readFrame(r))
@@ -239,23 +266,23 @@ func ReadFrom(src io.Reader) (*Pinball, error) {
 
 	nLogs := r.u64()
 	if r.err == nil && nLogs > 1<<16 {
-		return nil, fmt.Errorf("pinball: implausible syscall log count %d", nLogs)
+		return nil, fmt.Errorf("pinball: implausible syscall log count %d: %w", nLogs, artifact.ErrCorrupt)
 	}
 	for i := uint64(0); i < nLogs && r.err == nil; i++ {
 		n := r.u64()
 		if r.err == nil && n > 1<<32 {
-			return nil, fmt.Errorf("pinball: implausible syscall log length %d", n)
+			return nil, fmt.Errorf("pinball: implausible syscall log length %d: %w", n, artifact.ErrCorrupt)
 		}
-		log := make([]int64, n)
-		for j := range log {
-			log[j] = r.i64()
+		log := make([]int64, 0, min(n, uint64(1<<16)))
+		for j := uint64(0); j < n && r.err == nil; j++ {
+			log = append(log, r.i64())
 		}
 		pb.Syscalls = append(pb.Syscalls, log)
 	}
 
 	nSched := r.u64()
 	if r.err == nil && nSched > 1<<32 {
-		return nil, fmt.Errorf("pinball: implausible schedule length %d", nSched)
+		return nil, fmt.Errorf("pinball: implausible schedule length %d: %w", nSched, artifact.ErrCorrupt)
 	}
 	for i := uint64(0); i < nSched && r.err == nil; i++ {
 		tid := int(r.u64())
@@ -268,11 +295,14 @@ func ReadFrom(src io.Reader) (*Pinball, error) {
 	// Verify the trailing whole-file hash (read raw, not through raw()).
 	want := r.sum
 	var tail [8]byte
-	if _, err := io.ReadFull(r.r, tail[:]); err != nil {
+	if n, err := io.ReadFull(r.r, tail[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("pinball: reading integrity hash: %w at byte offset %d", artifact.ErrTruncated, r.off+int64(n))
+		}
 		return nil, fmt.Errorf("pinball: reading integrity hash: %w", err)
 	}
 	if got := binary.LittleEndian.Uint64(tail[:]); got != want {
-		return nil, fmt.Errorf("pinball: file integrity hash mismatch (file %#x, computed %#x)", got, want)
+		return nil, fmt.Errorf("pinball: file integrity hash mismatch (file %#x, computed %#x): %w", got, want, artifact.ErrCorrupt)
 	}
 	if err := pb.Verify(); err != nil {
 		return nil, err
@@ -280,8 +310,25 @@ func ReadFrom(src io.Reader) (*Pinball, error) {
 	return pb, nil
 }
 
-// Save writes the pinball to a file.
+// Save writes the pinball to a file. Injection site "pinball.save" can
+// fail the write (Transient) or corrupt the written bytes (Corrupt) —
+// the torn-write scenario the loader's integrity hash must catch.
 func (pb *Pinball) Save(path string) error {
+	if err := faults.Check("pinball.save"); err != nil {
+		return fmt.Errorf("pinball: save %s: %w", path, err)
+	}
+	if faults.Enabled() {
+		// Buffer through memory so an armed Corrupt rule can damage the
+		// byte stream before it reaches disk; the zero-cost direct path
+		// below stays in effect whenever injection is off.
+		var buf bytes.Buffer
+		if err := pb.Write(&buf); err != nil {
+			return err
+		}
+		data := buf.Bytes()
+		faults.CorruptBytes("pinball.save", data)
+		return os.WriteFile(path, data, 0o644)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -293,14 +340,25 @@ func (pb *Pinball) Save(path string) error {
 	return f.Close()
 }
 
-// Load reads a pinball from a file and verifies it.
+// Load reads a pinball from a file and verifies it. Errors carry the
+// file path and wrap the artifact sentinels (plus the byte offset for
+// truncation), so directory sweeps can classify and quarantine bad
+// files. Injection site "pinball.load" can fail the read or corrupt the
+// bytes after they leave disk.
 func Load(path string) (*Pinball, error) {
-	f, err := os.Open(path)
+	if err := faults.Check("pinball.load"); err != nil {
+		return nil, fmt.Errorf("pinball: load %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadFrom(f)
+	faults.CorruptBytes("pinball.load", data)
+	pb, err := ReadFrom(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return pb, nil
 }
 
 func writeMarker(w *writer, m bbv.Marker) {

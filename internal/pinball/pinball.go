@@ -19,6 +19,7 @@ package pinball
 import (
 	"fmt"
 
+	"looppoint/internal/artifact"
 	"looppoint/internal/bbv"
 	"looppoint/internal/exec"
 	"looppoint/internal/isa"
@@ -113,11 +114,12 @@ func RecordWithOptions(p *isa.Program, seed uint64, opts exec.RunOpts) (*Pinball
 	return pb, nil
 }
 
-// Verify checks the snapshot checksum.
+// Verify checks the snapshot checksum. A mismatch wraps
+// artifact.ErrCorrupt.
 func (pb *Pinball) Verify() error {
 	if got := fnv1a(pb.Start.Mem); got != pb.MemChecksum {
-		return fmt.Errorf("pinball %s: snapshot checksum mismatch (got %#x, want %#x)",
-			pb.Name, got, pb.MemChecksum)
+		return fmt.Errorf("pinball %s: snapshot checksum mismatch (got %#x, want %#x): %w",
+			pb.Name, got, pb.MemChecksum, artifact.ErrCorrupt)
 	}
 	return nil
 }

@@ -16,11 +16,13 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultWidth is the width used when a caller passes width <= 0: one
@@ -43,6 +45,35 @@ func (p *PanicError) Error() string {
 	return fmt.Sprintf("pool: worker panic: %v\n%s", p.Value, p.Stack)
 }
 
+// Options extends Run/Map with the fault-tolerance knobs the sampling
+// pipeline uses. The zero value reproduces the historical Run/Map
+// behavior exactly: DefaultWidth workers, one attempt per item, no
+// timeout, strict first-error cancellation with panic re-raise.
+type Options struct {
+	// Width bounds concurrent workers; <= 0 means DefaultWidth.
+	Width int
+	// Attempts is the per-item attempt budget (<= 1 means a single
+	// attempt). Failed attempts are retried with Retry's capped
+	// exponential backoff; Permanent-wrapped errors and *PanicError stop
+	// early.
+	Attempts int
+	// Backoff is the delay before the second attempt, doubling each
+	// retry (default 1ms when retries are armed).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 250ms).
+	MaxBackoff time.Duration
+	// ItemTimeout bounds each attempt; 0 means no timeout. See Retry for
+	// the abandoned-goroutine semantics on CPU-bound work.
+	ItemTimeout time.Duration
+	// Degraded switches the pool from all-or-nothing to collect-what-you-
+	// can: an item's failure (after its attempt budget) no longer cancels
+	// siblings, and a panic in a worker is downgraded to that item's
+	// *PanicError result instead of being re-raised. Per-item errors come
+	// back in the []error slice; callers decide how much failure is
+	// tolerable.
+	Degraded bool
+}
+
 // Run executes fn(ctx, i) for every i in [0, n) on at most width
 // concurrent workers (width <= 0 means DefaultWidth). The first error
 // cancels the derived context and stops unstarted items; items already
@@ -52,9 +83,22 @@ func (p *PanicError) Error() string {
 // is recovered, the pool drains, and the panic is re-raised on the
 // calling goroutine wrapped in *PanicError.
 func Run(ctx context.Context, width, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := RunWith(ctx, n, Options{Width: width}, fn)
+	return err
+}
+
+// RunWith is Run with Options. It returns the per-item error slice
+// (indexed like the items, nil entries for successes) and an aggregate
+// error. In strict mode (Degraded false) the aggregate is the
+// lowest-index item error, matching Run. In degraded mode the aggregate
+// reflects only caller-context cancellation; item failures — including
+// recovered worker panics as *PanicError — are reported solely through
+// the slice, and every item gets its chance to run.
+func RunWith(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) error) ([]error, error) {
 	if n <= 0 {
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
+	width := opts.Width
 	if width <= 0 {
 		width = DefaultWidth()
 	}
@@ -64,6 +108,13 @@ func Run(ctx context.Context, width, n int, fn func(ctx context.Context, i int) 
 	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	item := fn
+	if opts.Attempts > 1 || opts.ItemTimeout > 0 {
+		item = func(ctx context.Context, i int) error {
+			return Retry(ctx, opts, func(ctx context.Context) error { return fn(ctx, i) })
+		}
+	}
 
 	errs := make([]error, n)
 	var (
@@ -78,20 +129,39 @@ func Run(ctx context.Context, width, n int, fn func(ctx context.Context, i int) 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
+				// In degraded mode only the caller's context stops the
+				// sweep (cancel is never called on item failure), so this
+				// one check serves both modes.
 				if i >= n || ctx.Err() != nil {
 					return
 				}
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panicOnce.Do(func() {
-								panicked = &PanicError{Value: r, Stack: debug.Stack()}
-							})
+							pe, ok := r.(*PanicError)
+							if !ok {
+								pe = &PanicError{Value: r, Stack: debug.Stack()}
+							}
+							if opts.Degraded {
+								errs[i] = pe
+								return
+							}
+							panicOnce.Do(func() { panicked = pe })
 							cancel()
 						}
 					}()
-					if err := fn(ctx, i); err != nil {
-						errs[i] = err
+					err := item(ctx, i)
+					if err == nil {
+						return
+					}
+					// Retry surfaces worker panics as *PanicError errors;
+					// strict mode owes the caller a re-raise.
+					var pe *PanicError
+					if !opts.Degraded && errors.As(err, &pe) {
+						panic(pe)
+					}
+					errs[i] = err
+					if !opts.Degraded {
 						cancel()
 					}
 				}()
@@ -102,12 +172,14 @@ func Run(ctx context.Context, width, n int, fn func(ctx context.Context, i int) 
 	if panicked != nil {
 		panic(panicked)
 	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	if !opts.Degraded {
+		for _, err := range errs {
+			if err != nil {
+				return errs, err
+			}
 		}
 	}
-	return parent.Err()
+	return errs, parent.Err()
 }
 
 // Map runs fn over every index in [0, n) with Run's bounding and
@@ -115,17 +187,28 @@ func Run(ctx context.Context, width, n int, fn func(ctx context.Context, i int) 
 // ordering-stability contract every report in this repository relies on.
 // On error the partial results are discarded.
 func Map[T any](ctx context.Context, width, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
-	out := make([]T, n)
-	err := Run(ctx, width, n, func(ctx context.Context, i int) error {
-		v, err := fn(ctx, i)
-		if err != nil {
-			return err
-		}
-		out[i] = v
-		return nil
-	})
+	out, _, err := MapWith(ctx, n, Options{Width: width}, fn)
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// MapWith is Map with Options. Results come back in index order. In
+// degraded mode a failed item leaves its zero value in the result slice
+// with the cause at the same index of the error slice, and the surviving
+// results are kept — the collect-what-you-can contract degradation in
+// core builds on. In strict mode a failure returns the aggregate error
+// and the partial results should be discarded, as with Map.
+func MapWith[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
+	out := make([]T, n)
+	errs, err := RunWith(ctx, n, opts, func(ctx context.Context, i int) error {
+		v, ferr := fn(ctx, i)
+		if ferr != nil {
+			return ferr
+		}
+		out[i] = v
+		return nil
+	})
+	return out, errs, err
 }

@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Default backoff schedule when retries are armed with zero knobs. The
+// schedule is deterministic — no jitter — so fault-injection tests
+// reproduce exactly.
+const (
+	DefaultBackoff    = time.Millisecond
+	DefaultMaxBackoff = 250 * time.Millisecond
+)
+
+// permanentError marks an error as non-retryable.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Retry stops immediately instead of burning the
+// remaining attempt budget — for failures where retrying the same input
+// cannot help (corrupt artifacts, validation errors). Retry returns the
+// unwrapped error. Permanent(nil) is nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// Retry runs fn up to opts.Attempts times (minimum one), sleeping a
+// capped exponential backoff between attempts: Backoff, 2×Backoff,
+// 4×Backoff, … capped at MaxBackoff, with no jitter so schedules are
+// deterministic. It stops early and returns immediately when fn
+// succeeds, when the error is wrapped with Permanent, when the attempt
+// panicked (reported as a *PanicError error — a bug won't be fixed by
+// rerunning it), or when ctx is done.
+//
+// When opts.ItemTimeout > 0 each attempt gets its own deadline via a
+// derived context. Because the simulation kernels are CPU-bound and do
+// not poll ctx, the attempt runs on a helper goroutine and a timeout
+// ABANDONS it: Retry returns (and may start the next attempt) while the
+// stale attempt finishes in the background. Callers opting into
+// ItemTimeout must pass fn whose side effects tolerate a concurrent
+// abandoned run — the pipeline's region simulations qualify because each
+// attempt writes only its own locals until it returns.
+func Retry(ctx context.Context, opts Options, fn func(ctx context.Context) error) error {
+	attempts := opts.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	maxBackoff := opts.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultMaxBackoff
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			d := backoff << (a - 1)
+			if d > maxBackoff || d <= 0 { // <= 0 guards shift overflow
+				d = maxBackoff
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		err = attemptOnce(ctx, opts.ItemTimeout, fn)
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return err
+}
+
+// attemptOnce runs one attempt, converting a panic into a *PanicError
+// error and enforcing the per-attempt timeout.
+func attemptOnce(ctx context.Context, timeout time.Duration, fn func(ctx context.Context) error) error {
+	if timeout <= 0 {
+		return protect(ctx, fn)
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- protect(actx, fn) }()
+	select {
+	case err := <-done:
+		return err
+	case <-actx.Done():
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("pool: attempt timed out after %v: %w", timeout, actx.Err())
+	}
+}
+
+// protect runs fn, converting a panic into a *PanicError error.
+func protect(ctx context.Context, fn func(ctx context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*PanicError); ok {
+				err = pe
+				return
+			}
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx)
+}

@@ -1,0 +1,237 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"looppoint/internal/faults"
+)
+
+// TestRetryTransientSucceeds: a fault that fires a bounded number of
+// times is absorbed by an attempt budget one larger.
+func TestRetryTransientSucceeds(t *testing.T) {
+	p := faults.NewPlan(1, faults.Rule{Site: "work", Kind: faults.Transient, Rate: 1, Count: 2})
+	var calls atomic.Int64
+	err := Retry(context.Background(), Options{Attempts: 3}, func(ctx context.Context) error {
+		calls.Add(1)
+		return p.Check("work")
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+}
+
+// TestRetryExhaustsBudget: the last attempt's error is returned.
+func TestRetryExhaustsBudget(t *testing.T) {
+	p := faults.NewPlan(1, faults.Rule{Site: "work", Kind: faults.Transient, Rate: 1})
+	err := Retry(context.Background(), Options{Attempts: 3}, func(ctx context.Context) error {
+		return p.Check("work")
+	})
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if p.Fired("work") != 3 {
+		t.Fatalf("fired %d times, want 3", p.Fired("work"))
+	}
+}
+
+// TestRetryPermanentStopsEarly: Permanent-wrapped errors burn one
+// attempt only and come back unwrapped.
+func TestRetryPermanentStopsEarly(t *testing.T) {
+	sentinel := errors.New("bad artifact")
+	var calls int
+	err := Retry(context.Background(), Options{Attempts: 5}, func(ctx context.Context) error {
+		calls++
+		return Permanent(fmt.Errorf("load: %w", sentinel))
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	var perm *permanentError
+	if errors.As(err, &perm) {
+		t.Fatalf("Permanent wrapper leaked to caller")
+	}
+	if Permanent(nil) != nil {
+		t.Fatalf("Permanent(nil) != nil")
+	}
+}
+
+// TestRetryPanicIsPermanent: a panicking attempt is reported once as
+// *PanicError, not retried.
+func TestRetryPanicIsPermanent(t *testing.T) {
+	var calls int
+	err := Retry(context.Background(), Options{Attempts: 5}, func(ctx context.Context) error {
+		calls++
+		panic("kaboom")
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" {
+		t.Fatalf("err = %v, want *PanicError(kaboom)", err)
+	}
+}
+
+// TestRetryItemTimeout: a slow attempt is abandoned at the deadline and
+// the next attempt can succeed.
+func TestRetryItemTimeout(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	err := Retry(context.Background(), Options{Attempts: 2, ItemTimeout: 10 * time.Millisecond}, func(ctx context.Context) error {
+		if calls.Add(1) == 1 {
+			<-release // first attempt hangs past the deadline
+		}
+		return nil
+	})
+	close(release)
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+// TestRetryCtxCancelWins: caller cancellation beats the attempt budget
+// and is reported as the context error.
+func TestRetryCtxCancelWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retry(ctx, Options{Attempts: 3}, func(ctx context.Context) error {
+		t.Fatalf("attempt ran under canceled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunWithDegradedCollectsAll: degraded mode runs every item, turns
+// panics into per-item *PanicError results, and never cancels siblings.
+func TestRunWithDegradedCollectsAll(t *testing.T) {
+	const n = 16
+	var ran atomic.Int64
+	errs, err := RunWith(context.Background(), n, Options{Width: 4, Degraded: true}, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		switch i {
+		case 3:
+			return errors.New("item 3 failed")
+		case 7:
+			panic("item 7 crashed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("aggregate err = %v", err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d items, want %d", ran.Load(), n)
+	}
+	for i, e := range errs {
+		switch i {
+		case 3:
+			if e == nil {
+				t.Fatalf("item 3 error missing")
+			}
+		case 7:
+			var pe *PanicError
+			if !errors.As(e, &pe) || pe.Value != "item 7 crashed" {
+				t.Fatalf("item 7: %v, want *PanicError", e)
+			}
+		default:
+			if e != nil {
+				t.Fatalf("item %d: unexpected error %v", i, e)
+			}
+		}
+	}
+}
+
+// TestRunWithStrictMatchesRun: the zero Options preserve historical Run
+// semantics — lowest-index error, sibling cancellation, panic re-raise.
+func TestRunWithStrictMatchesRun(t *testing.T) {
+	errs, err := RunWith(context.Background(), 8, Options{Width: 1}, func(ctx context.Context, i int) error {
+		if i >= 2 {
+			return fmt.Errorf("item %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 2" {
+		t.Fatalf("err = %v, want item 2", err)
+	}
+	if errs[2] == nil {
+		t.Fatalf("per-item slice missing the failure")
+	}
+
+	defer func() {
+		var pe *PanicError
+		r := recover()
+		if err, ok := r.(error); !ok || !errors.As(err, &pe) {
+			t.Fatalf("recover = %v, want *PanicError", r)
+		}
+	}()
+	RunWith(context.Background(), 4, Options{Attempts: 2}, func(ctx context.Context, i int) error {
+		if i == 1 {
+			panic("strict crash")
+		}
+		return nil
+	})
+	t.Fatalf("strict panic was not re-raised")
+}
+
+// TestMapWithDegradedKeepsSurvivors: failed items leave zero values but
+// surviving results are returned in index order.
+func TestMapWithDegradedKeepsSurvivors(t *testing.T) {
+	out, errs, err := MapWith(context.Background(), 6, Options{Degraded: true}, func(ctx context.Context, i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("nope")
+		}
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatalf("aggregate err = %v", err)
+	}
+	for i := range out {
+		if i == 4 {
+			if errs[i] == nil || out[i] != 0 {
+				t.Fatalf("item 4: out=%d errs=%v", out[i], errs[i])
+			}
+			continue
+		}
+		if out[i] != i*10 || errs[i] != nil {
+			t.Fatalf("item %d: out=%d errs=%v", i, out[i], errs[i])
+		}
+	}
+}
+
+// TestMapWithRetriesPerItem: per-item attempts absorb a transient fault
+// rate across a wide map, byte-identically to a clean run.
+func TestMapWithRetriesPerItem(t *testing.T) {
+	seed := faults.SeedFromEnv(1)
+	p := faults.NewPlan(seed, faults.Rule{Site: "map.item", Kind: faults.Transient, Rate: 3, Count: 8})
+	defer faults.Enable(p)()
+	out, errs, err := MapWith(context.Background(), 32, Options{Width: 4, Attempts: 10}, func(ctx context.Context, i int) (int, error) {
+		if err := faults.Check("map.item"); err != nil {
+			return 0, err
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatalf("aggregate err = %v (seed %d)", err, seed)
+	}
+	for i, v := range out {
+		if v != i || errs[i] != nil {
+			t.Fatalf("item %d: out=%d errs=%v", i, v, errs[i])
+		}
+	}
+}

@@ -100,7 +100,8 @@ func (s *Simulator) SimulateCheckpoint(pb *pinball.Pinball) (*Stats, error) {
 // machine, warming until the start marker and measuring until the end
 // marker. startBase/endBase rebase global marker counts for machines that
 // begin mid-program.
-func (s *Simulator) runMarked(m *exec.Machine, start, end bbv.Marker, startBase, endBase uint64, warm WarmupMode) (*Stats, error) {
+func (s *Simulator) runMarked(m *exec.Machine, start, end bbv.Marker, startBase, endBase uint64, warm WarmupMode) (_ *Stats, err error) {
+	defer exec.Recover(&err)
 	sys := newSystem(s.Cfg, m)
 	inDetail := start.IsStart() || (!start.IsICount() && !start.IsEnd && start.Count <= startBase)
 	warming := warm == WarmupFunctional
@@ -321,7 +322,8 @@ func (s *Simulator) runMarked(m *exec.Machine, start, end bbv.Marker, startBase,
 // scaled by period/detail). The whole application is still visited
 // functionally, which is precisely why this methodology's speedup is
 // bounded by application length (Section II).
-func (s *Simulator) SimulatePeriodic(detail, period uint64) (*Stats, error) {
+func (s *Simulator) SimulatePeriodic(detail, period uint64) (_ *Stats, err error) {
+	defer exec.Recover(&err)
 	if detail == 0 || period == 0 || detail > period {
 		return nil, fmt.Errorf("timing: invalid periodic sampling %d/%d", detail, period)
 	}
@@ -429,7 +431,8 @@ func (s *Simulator) batchAllowance(m *exec.Machine, sys *system, tid int, delta 
 // artificial stalls the paper warns about (Section V-A1): results can
 // diverge badly from unconstrained behaviour, especially for
 // low-synchronization applications.
-func (s *Simulator) SimulateConstrained(pb *pinball.Pinball) (*Stats, error) {
+func (s *Simulator) SimulateConstrained(pb *pinball.Pinball) (_ *Stats, err error) {
+	defer exec.Recover(&err)
 	if err := pb.Verify(); err != nil {
 		return nil, err
 	}
