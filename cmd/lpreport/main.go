@@ -47,7 +47,7 @@ func main() {
 		degraded  = flag.Bool("degraded", false, "tolerate per-region simulation failures: drop the region, reweight the prediction, and mark the report degraded")
 		retries   = flag.Int("retries", 1, "attempts per region simulation (transient failures are retried with backoff)")
 		regionTO  = flag.Duration("region-timeout", 0, "per-attempt time limit for one region simulation (0 = none)")
-		minCov    = flag.Float64("min-coverage", 0, "degraded mode: minimum surviving fraction of extrapolation weight (0 = default 0.9)")
+		minCov    = flag.Float64("min-coverage", 0, "degraded mode: minimum surviving fraction of extrapolation weight (0 = default 0.9, negative = no floor)")
 		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile to this file")
 		pprofHeap = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)

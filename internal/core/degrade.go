@@ -70,8 +70,10 @@ type SimOpts struct {
 	Attempts int
 	// RegionTimeout bounds each simulation attempt (0: none).
 	RegionTimeout time.Duration
-	// MinCoverage is the residual-coverage floor in degraded mode
-	// (0: DefaultMinCoverage). Falling below it returns ErrLowCoverage.
+	// MinCoverage is the residual-coverage floor in degraded mode.
+	// Falling below it returns ErrLowCoverage. Zero means
+	// DefaultMinCoverage; a negative value disables the floor entirely
+	// (any surviving coverage is accepted).
 	MinCoverage float64
 }
 
@@ -200,8 +202,11 @@ func SimulateRegionsOpt(sel *Selection, simCfg timing.Config, opts SimOpts) ([]R
 		return survivors, nil, nil
 	}
 	minCov := opts.MinCoverage
-	if minCov == 0 {
+	switch {
+	case minCov == 0:
 		minCov = DefaultMinCoverage
+	case minCov < 0:
+		minCov = 0 // explicit "no floor": accept any surviving coverage
 	}
 	if deg.ResidualCoverage < minCov {
 		return survivors, deg, fmt.Errorf(

@@ -111,7 +111,7 @@ type RunOpts struct {
 	// RegionTimeout bounds each region-simulation attempt (0: none).
 	RegionTimeout time.Duration
 	// MinCoverage is the degraded-mode residual-coverage floor
-	// (0: DefaultMinCoverage).
+	// (0: DefaultMinCoverage; negative: no floor).
 	MinCoverage float64
 }
 

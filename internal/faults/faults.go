@@ -104,6 +104,9 @@ const DefaultSlowDelay = 5 * time.Millisecond
 // in r invocations at or past After fires, until Count fires have
 // happened. Rate 1 fires every eligible invocation regardless of seed —
 // the deterministic setting tests use when they need an exact script.
+// Invocation indices are counted per class: Check calls and
+// CorruptBytes calls on the same site each have their own counter, so
+// After/Rate always index logical operations of the rule's own kind.
 type Rule struct {
 	Site string
 	Kind Kind
@@ -126,9 +129,21 @@ type armedRule struct {
 	fired atomic.Uint64
 }
 
-// site tracks one injection point's invocation counter and armed rules.
+// Invocation classes: Check and CorruptBytes keep separate per-site
+// counters, so a site armed at both call sites (e.g. pinball.save calls
+// Check then CorruptBytes per Save) counts logical operations in each
+// class — Rule.After/Rate indices mean "Nth Check" or "Nth CorruptBytes",
+// never a merged stream where one Save consumes two indices.
+const (
+	classCheck = iota
+	classCorrupt
+	numClasses
+)
+
+// site tracks one injection point's per-class invocation counters and
+// armed rules.
 type site struct {
-	calls atomic.Uint64
+	calls [numClasses]atomic.Uint64
 	rules []*armedRule
 }
 
@@ -195,13 +210,13 @@ func (p *Plan) hit(r *armedRule, idx uint64) bool {
 }
 
 // fire looks up the first matching rule of the given kinds at this
-// site's next invocation index.
-func (p *Plan) fire(siteName string, kinds ...Kind) (*Fault, *armedRule) {
+// site's next invocation index of the given class.
+func (p *Plan) fire(siteName string, class int, kinds ...Kind) (*Fault, *armedRule) {
 	s := p.sites[siteName]
 	if s == nil {
 		return nil, nil
 	}
-	idx := s.calls.Add(1) - 1
+	idx := s.calls[class].Add(1) - 1
 	for _, r := range s.rules {
 		match := false
 		for _, k := range kinds {
@@ -217,12 +232,13 @@ func (p *Plan) fire(siteName string, kinds ...Kind) (*Fault, *armedRule) {
 	return nil, nil
 }
 
-// Check is the general injection point: it counts one invocation of the
-// site and, if a Transient/Slow/Panic rule fires, returns an injected
-// error, sleeps, or panics respectively. Corrupt rules never fire here —
-// they belong to CorruptBytes.
+// Check is the general injection point: it counts one Check-class
+// invocation of the site and, if a Transient/Slow/Panic rule fires,
+// returns an injected error, sleeps, or panics respectively. Corrupt
+// rules never fire here — they belong to CorruptBytes, whose invocations
+// are counted separately.
 func (p *Plan) Check(siteName string) error {
-	f, r := p.fire(siteName, Transient, Slow, Panic)
+	f, r := p.fire(siteName, classCheck, Transient, Slow, Panic)
 	if f == nil {
 		return nil
 	}
@@ -241,14 +257,15 @@ func (p *Plan) Check(siteName string) error {
 	}
 }
 
-// CorruptBytes counts one invocation of the site and, if a Corrupt rule
+// CorruptBytes counts one Corrupt-class invocation of the site
+// (independent of the site's Check counter) and, if a Corrupt rule
 // fires, flips one deterministically chosen bit of data in place and
 // reports true. Empty data is never touched.
 func (p *Plan) CorruptBytes(siteName string, data []byte) bool {
 	if len(data) == 0 {
 		return false
 	}
-	f, _ := p.fire(siteName, Corrupt)
+	f, _ := p.fire(siteName, classCorrupt, Corrupt)
 	if f == nil {
 		return false
 	}

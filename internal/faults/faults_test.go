@@ -132,6 +132,33 @@ func TestCorruptBytesFlipsOneBit(t *testing.T) {
 	}
 }
 
+// TestCheckAndCorruptCountSeparately: a site armed at both a Check and
+// a CorruptBytes call site (as pinball.save is — one of each per Save)
+// keeps independent invocation counters per class, so After indexes
+// logical operations of the rule's own kind instead of a merged stream
+// where each save consumes two indices.
+func TestCheckAndCorruptCountSeparately(t *testing.T) {
+	p := NewPlan(1,
+		Rule{Site: "x", Kind: Transient, Rate: 1, After: 2, Count: 1},
+		Rule{Site: "x", Kind: Corrupt, Rate: 1, After: 2, Count: 1})
+	var checkFired, corruptFired []int
+	for i := 0; i < 4; i++ {
+		// One logical operation: Check then CorruptBytes, like a Save.
+		if p.Check("x") != nil {
+			checkFired = append(checkFired, i)
+		}
+		if p.CorruptBytes("x", []byte{0}) {
+			corruptFired = append(corruptFired, i)
+		}
+	}
+	if len(checkFired) != 1 || checkFired[0] != 2 {
+		t.Fatalf("Check fired at %v, want [2] (After counts Check invocations)", checkFired)
+	}
+	if len(corruptFired) != 1 || corruptFired[0] != 2 {
+		t.Fatalf("CorruptBytes fired at %v, want [2] (After counts CorruptBytes invocations)", corruptFired)
+	}
+}
+
 // TestPanicKind: Panic rules panic with a *Fault.
 func TestPanicKind(t *testing.T) {
 	p := NewPlan(1, Rule{Site: "x", Kind: Panic, Rate: 1})

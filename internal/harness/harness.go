@@ -62,8 +62,11 @@ type Options struct {
 	// Resume names a journal file (JSONL) of completed evaluations. When
 	// set, reports already journaled are rehydrated instead of re-run,
 	// and every new evaluation is appended — a killed campaign restarts
-	// where it stopped. Corrupt journal lines are dropped; a journal that
-	// cannot be opened is logged and ignored (the run proceeds fresh).
+	// where it stopped. Corrupt journal lines are dropped, and records
+	// journaled under a different evaluator configuration (slice, seed,
+	// slowpath, degraded/retry knobs) are skipped with a warning rather
+	// than served as this run's numbers; a journal that cannot be opened
+	// is logged and ignored (the run proceeds fresh).
 	Resume string
 	// Degraded tolerates per-region simulation failures inside each
 	// evaluation (see core.RunOpts.Degraded).
@@ -73,7 +76,7 @@ type Options struct {
 	// RegionTimeout bounds each region-simulation attempt (0: none).
 	RegionTimeout time.Duration
 	// MinCoverage is the degraded-mode residual-coverage floor
-	// (0: core.DefaultMinCoverage).
+	// (0: core.DefaultMinCoverage; negative: no floor).
 	MinCoverage float64
 }
 
@@ -191,7 +194,8 @@ func NewEvaluator(opts Options) *Evaluator {
 		selections: make(map[string]*core.Selection),
 	}
 	if opts.Resume != "" {
-		restored, dropped, err := loadJournal(opts.Resume)
+		config := configFingerprint(e.Opts)
+		restored, dropped, mismatched, err := loadJournal(opts.Resume, config)
 		if err != nil {
 			e.logf("resume: cannot read journal %s: %v (starting fresh)", opts.Resume, err)
 		} else {
@@ -200,11 +204,14 @@ func NewEvaluator(opts Options) *Evaluator {
 			if dropped > 0 {
 				e.logf("resume: dropped %d corrupt journal line(s) from %s", dropped, opts.Resume)
 			}
+			if mismatched > 0 {
+				e.logf("resume: skipped %d journal record(s) in %s computed under a different configuration (slice/seed/slowpath/degraded/retry flags); they will be re-evaluated", mismatched, opts.Resume)
+			}
 			if len(restored) > 0 {
 				e.logf("resume: restored %d completed evaluation(s) from %s", len(restored), opts.Resume)
 			}
 		}
-		j, err := openJournal(opts.Resume)
+		j, err := openJournal(opts.Resume, config)
 		if err != nil {
 			e.logf("resume: cannot append to journal %s: %v (journaling disabled)", opts.Resume, err)
 		} else {

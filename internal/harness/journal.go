@@ -25,6 +25,31 @@ import (
 // everything the renderers read, nothing that cannot be serialized.
 // Lines that fail their checksum or do not parse are dropped silently:
 // a torn final line from a killed run must not poison the restart.
+//
+// ReportKey alone does not pin down a report's numbers — -slice, -seed,
+// -slowpath, and the degraded/retry knobs all change what an evaluation
+// produces without appearing in the key. Each record therefore also
+// carries a fingerprint of the evaluator configuration it was computed
+// under, and resume skips (with a warning) records whose fingerprint
+// does not match the current run instead of silently serving numbers
+// from a different configuration.
+
+// journalConfigVersion is bumped whenever the journaled record schema or
+// the fingerprinted configuration surface changes, invalidating older
+// journals wholesale.
+const journalConfigVersion = 1
+
+// configFingerprint hashes the evaluator configuration that determines a
+// report's numbers beyond its ReportKey: the resolved core config
+// (slice unit, seed, slow path, …) plus the degraded-mode and retry
+// knobs. Threads and input are omitted — they are part of every
+// ReportKey — as are Parallelism, Quick, Log, and Resume, which cannot
+// change report bytes.
+func configFingerprint(o Options) string {
+	sig := fmt.Sprintf("v%d|cfg=%+v|degraded=%v|retries=%d|region_timeout=%v|min_coverage=%v",
+		journalConfigVersion, o.config(), o.Degraded, o.Retries, o.RegionTimeout, o.MinCoverage)
+	return fmt.Sprintf("%#x", artifact.Checksum([]byte(sig)))
+}
 
 // reportData is the journaled scalar subset of a core.Report.
 type reportData struct {
@@ -91,10 +116,12 @@ func (d reportData) report() *core.Report {
 	}
 }
 
-// journalRecord is the checksummed unit: the memoization key plus the
-// report data.
+// journalRecord is the checksummed unit: the memoization key, the
+// fingerprint of the configuration the report was computed under, and
+// the report data.
 type journalRecord struct {
 	Key    string     `json:"key"`
+	Config string     `json:"config"`
 	Report reportData `json:"report"`
 }
 
@@ -107,22 +134,26 @@ type journalEntry struct {
 
 // journal appends completed evaluations to a JSONL file.
 type journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	dead bool // a write failed; stop appending, keep evaluating
+	config string // fingerprint stamped on every appended record
+	mu     sync.Mutex
+	f      *os.File
+	dead   bool // a write failed; stop appending, keep evaluating
 }
 
 // loadJournal parses an existing journal file into rehydrated reports.
 // A missing file yields an empty map. Lines that fail their checksum or
-// do not parse are skipped and counted in dropped.
-func loadJournal(path string) (restored map[string]*core.Report, dropped int, err error) {
+// do not parse are skipped and counted in dropped; well-formed records
+// whose config fingerprint differs from config (including records from
+// before fingerprinting existed) are skipped and counted in mismatched —
+// they are valid journal lines, just from a different run configuration.
+func loadJournal(path, config string) (restored map[string]*core.Report, dropped, mismatched int, err error) {
 	restored = make(map[string]*core.Report)
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return restored, 0, nil
+		return restored, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(nil, 16<<20)
@@ -150,27 +181,32 @@ func loadJournal(path string) (restored map[string]*core.Report, dropped int, er
 			dropped++
 			continue
 		}
+		if rec.Config != config {
+			mismatched++
+			continue
+		}
 		restored[rec.Key] = rec.Report.report()
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return restored, dropped, nil
+	return restored, dropped, mismatched, nil
 }
 
-// openJournal opens (creating if needed) the journal for appending.
-func openJournal(path string) (*journal, error) {
+// openJournal opens (creating if needed) the journal for appending
+// records stamped with the given config fingerprint.
+func openJournal(path, config string) (*journal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	return &journal{f: f}, nil
+	return &journal{config: config, f: f}, nil
 }
 
 // append writes one completed evaluation. The line is checksummed so a
 // restart can reject records torn by a mid-write kill.
 func (j *journal) append(key string, rep *core.Report) error {
-	rec, err := json.Marshal(journalRecord{Key: key, Report: newReportData(rep)})
+	rec, err := json.Marshal(journalRecord{Key: key, Config: j.config, Report: newReportData(rep)})
 	if err != nil {
 		return err
 	}

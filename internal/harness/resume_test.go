@@ -140,6 +140,48 @@ func TestResumeJournalRejectsCorruptLines(t *testing.T) {
 	}
 }
 
+// TestResumeJournalRejectsConfigMismatch: a journal written under one
+// evaluator configuration must not satisfy a resume under another —
+// -slice (like -seed or -slowpath) changes every report's numbers
+// without appearing in the ReportKey, so rehydrating across it would
+// silently serve wrong tables.
+func TestResumeJournalRejectsConfigMismatch(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "journal.jsonl")
+	opts := smokeOpts()
+	opts.Resume = jpath
+	e1 := NewEvaluator(opts)
+	k := resumeKeys(e1)[0]
+	if _, err := e1.Report(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same key set, different slice unit: the journaled record is valid
+	// but was computed under another configuration.
+	mopts := opts
+	mopts.SliceUnit = opts.config().SliceUnit * 2
+	e2 := NewEvaluator(mopts)
+	defer e2.Close()
+	if e2.Restored() != 0 {
+		t.Fatalf("restored %d reports across a config change, want 0", e2.Restored())
+	}
+	if _, err := e2.Report(k); err != nil {
+		t.Fatal(err)
+	}
+	if n := e2.Evaluations(); n != 1 {
+		t.Errorf("evaluations = %d, want 1 (mismatched record must not satisfy the cache)", n)
+	}
+
+	// The matching configuration still resumes both runs' records.
+	e3 := NewEvaluator(opts)
+	defer e3.Close()
+	if e3.Restored() != 1 {
+		t.Errorf("restored %d reports under the original config, want 1", e3.Restored())
+	}
+}
+
 // TestDegradedEvaluatorSurvivesRegionLoss: with a region fault injected
 // and degraded mode on, an evaluation completes and the report carries
 // the loss.

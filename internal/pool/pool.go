@@ -63,7 +63,10 @@ type Options struct {
 	// MaxBackoff caps the doubling (default 250ms).
 	MaxBackoff time.Duration
 	// ItemTimeout bounds each attempt; 0 means no timeout. See Retry for
-	// the abandoned-goroutine semantics on CPU-bound work.
+	// the abandoned-goroutine semantics on CPU-bound work: Run/RunWith fn
+	// side effects must tolerate a concurrent abandoned attempt, while
+	// MapWith results are published only after a non-abandoned attempt
+	// succeeds, so pure value-returning fn need no extra care.
 	ItemTimeout time.Duration
 	// Degraded switches the pool from all-or-nothing to collect-what-you-
 	// can: an item's failure (after its attempt budget) no longer cancels
@@ -200,10 +203,27 @@ func Map[T any](ctx context.Context, width, n int, fn func(ctx context.Context, 
 // results are kept — the collect-what-you-can contract degradation in
 // core builds on. In strict mode a failure returns the aggregate error
 // and the partial results should be discarded, as with Map.
+//
+// Retries and ItemTimeout are applied here via RetryValue rather than
+// through RunWith's wrapper, so the shared result slice is written only
+// by the pool worker after an attempt RetryValue actually waited for
+// succeeds: an attempt abandoned by ItemTimeout has its value discarded
+// inside RetryValue and can never race a later attempt's write or the
+// caller's read of the results.
 func MapWith[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, []error, error) {
 	out := make([]T, n)
-	errs, err := RunWith(ctx, n, opts, func(ctx context.Context, i int) error {
-		v, ferr := fn(ctx, i)
+	retried := opts.Attempts > 1 || opts.ItemTimeout > 0
+	runOpts := opts
+	runOpts.Attempts = 0
+	runOpts.ItemTimeout = 0
+	errs, err := RunWith(ctx, n, runOpts, func(ctx context.Context, i int) error {
+		var v T
+		var ferr error
+		if retried {
+			v, ferr = RetryValue(ctx, opts, func(ctx context.Context) (T, error) { return fn(ctx, i) })
+		} else {
+			v, ferr = fn(ctx, i)
+		}
 		if ferr != nil {
 			return ferr
 		}

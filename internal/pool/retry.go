@@ -47,9 +47,24 @@ func Permanent(err error) error {
 // ABANDONS it: Retry returns (and may start the next attempt) while the
 // stale attempt finishes in the background. Callers opting into
 // ItemTimeout must pass fn whose side effects tolerate a concurrent
-// abandoned run — the pipeline's region simulations qualify because each
-// attempt writes only its own locals until it returns.
+// abandoned run; fn that only computes a value and writes shared state
+// afterwards should use RetryValue, which discards an abandoned
+// attempt's value instead of letting it race the winner's.
 func Retry(ctx context.Context, opts Options, fn func(ctx context.Context) error) error {
+	_, err := RetryValue(ctx, opts, func(ctx context.Context) (struct{}, error) {
+		return struct{}{}, fn(ctx)
+	})
+	return err
+}
+
+// RetryValue is Retry for value-producing attempts. Each attempt's
+// result travels from the attempt goroutine to the caller through a
+// buffered channel, so when a timeout abandons an attempt the value it
+// eventually produces is dropped on the floor — never published — and
+// only the returned value (from the attempt RetryValue actually waited
+// for) is visible to the caller. This is what lets MapWith write shared
+// result slices safely under ItemTimeout.
+func RetryValue[T any](ctx context.Context, opts Options, fn func(ctx context.Context) (T, error)) (T, error) {
 	attempts := opts.Attempts
 	if attempts <= 0 {
 		attempts = 1
@@ -62,7 +77,10 @@ func Retry(ctx context.Context, opts Options, fn func(ctx context.Context) error
 	if maxBackoff <= 0 {
 		maxBackoff = DefaultMaxBackoff
 	}
-	var err error
+	var (
+		zero T
+		err  error
+	)
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			d := backoff << (a - 1)
@@ -73,57 +91,70 @@ func Retry(ctx context.Context, opts Options, fn func(ctx context.Context) error
 			select {
 			case <-ctx.Done():
 				t.Stop()
-				return ctx.Err()
+				return zero, ctx.Err()
 			case <-t.C:
 			}
 		}
 		if ctx.Err() != nil {
-			return ctx.Err()
+			return zero, ctx.Err()
 		}
-		err = attemptOnce(ctx, opts.ItemTimeout, fn)
+		var v T
+		v, err = attemptOnce(ctx, opts.ItemTimeout, fn)
 		if err == nil {
-			return nil
+			return v, nil
 		}
 		var perm *permanentError
 		if errors.As(err, &perm) {
-			return perm.err
+			return zero, perm.err
 		}
 		var pe *PanicError
 		if errors.As(err, &pe) {
-			return err
+			return zero, err
 		}
 		if ctx.Err() != nil {
-			return err
+			return zero, err
 		}
 	}
-	return err
+	return zero, err
 }
 
 // attemptOnce runs one attempt, converting a panic into a *PanicError
-// error and enforcing the per-attempt timeout.
-func attemptOnce(ctx context.Context, timeout time.Duration, fn func(ctx context.Context) error) error {
+// error and enforcing the per-attempt timeout. On timeout the attempt
+// goroutine keeps running, but its eventual result lands in the buffered
+// channel nobody reads — abandoned values are discarded, not published.
+func attemptOnce[T any](ctx context.Context, timeout time.Duration, fn func(ctx context.Context) (T, error)) (T, error) {
 	if timeout <= 0 {
 		return protect(ctx, fn)
 	}
 	actx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- protect(actx, fn) }()
+	type result struct {
+		v   T
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		v, err := protect(actx, fn)
+		done <- result{v, err}
+	}()
+	var zero T
 	select {
-	case err := <-done:
-		return err
+	case r := <-done:
+		return r.v, r.err
 	case <-actx.Done():
 		if err := ctx.Err(); err != nil {
-			return err
+			return zero, err
 		}
-		return fmt.Errorf("pool: attempt timed out after %v: %w", timeout, actx.Err())
+		return zero, fmt.Errorf("pool: attempt timed out after %v: %w", timeout, actx.Err())
 	}
 }
 
 // protect runs fn, converting a panic into a *PanicError error.
-func protect(ctx context.Context, fn func(ctx context.Context) error) (err error) {
+func protect[T any](ctx context.Context, fn func(ctx context.Context) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			var zero T
+			v = zero
 			if pe, ok := r.(*PanicError); ok {
 				err = pe
 				return

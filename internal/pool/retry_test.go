@@ -103,6 +103,37 @@ func TestRetryItemTimeout(t *testing.T) {
 	}
 }
 
+// TestMapWithAbandonedAttemptDiscarded: an attempt abandoned by
+// ItemTimeout must not publish its value into the shared result slice —
+// the retry's winning attempt owns the slot. Under the old wiring the
+// abandoned goroutine wrote out[i] after MapWith returned (a torn-write
+// race -race flags and this assertion catches).
+func TestMapWithAbandonedAttemptDiscarded(t *testing.T) {
+	var calls atomic.Int64
+	proceed := make(chan struct{})  // released after MapWith returns
+	finished := make(chan struct{}) // closed when the abandoned attempt returns
+	out, errs, err := MapWith(context.Background(), 1,
+		Options{Attempts: 2, ItemTimeout: 5 * time.Millisecond},
+		func(ctx context.Context, i int) (int, error) {
+			if calls.Add(1) == 1 {
+				defer close(finished)
+				<-proceed // hang past the deadline, then produce a stale value
+				return 999, nil
+			}
+			return 42, nil
+		})
+	if err != nil || errs[0] != nil {
+		t.Fatalf("MapWith: err=%v errs=%v", err, errs)
+	}
+	// Let the abandoned first attempt complete, then prove its value was
+	// discarded rather than overwriting the winner's.
+	close(proceed)
+	<-finished
+	if out[0] != 42 {
+		t.Fatalf("out[0] = %d, want the retry's 42 (abandoned attempt leaked its value)", out[0])
+	}
+}
+
 // TestRetryCtxCancelWins: caller cancellation beats the attempt budget
 // and is reported as the context error.
 func TestRetryCtxCancelWins(t *testing.T) {
