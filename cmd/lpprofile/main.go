@@ -4,6 +4,11 @@
 // looppoints with their (PC, count) boundaries and multipliers — without
 // any timing simulation. Useful for ref-scale inputs and for inspecting
 // the region structure of a workload.
+//
+// The clustering stage fans out over a worker pool (-j N; 0 = one worker
+// per CPU) and the selection is byte-identical at every width. -slowpath
+// forces the naive reference engines for cross-checking; -pprof-cpu /
+// -pprof-heap write standard runtime/pprof profiles.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"looppoint/internal/core"
 	"looppoint/internal/faults"
 	"looppoint/internal/pinball"
+	"looppoint/internal/prof"
 	"looppoint/internal/results"
 )
 
@@ -34,8 +40,18 @@ func main() {
 		jsonOut    = flag.String("json", "", "write the selection (markers + multipliers) as JSON to this file")
 		dot        = flag.String("dot", "", "write the dynamic control-flow graph as Graphviz DOT to this file")
 		verify     = flag.Bool("verify", false, "re-load every artifact written this run and check its integrity (checksums, version, structure)")
+		jobs       = flag.Int("j", 0, "worker-pool width for the clustering stage — BBV projection and the k=1..maxK BIC sweep (0 = one worker per CPU); the selection is byte-identical at every setting")
+		slowPath   = flag.Bool("slowpath", false, "force the naive reference paths (per-instruction engine, serial naive clustering) instead of the fast ones; identical output, slower")
+		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile to this file")
+		pprofHeap  = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*pprofCPU, *pprofHeap)
+	if err != nil {
+		fail(err)
+	}
+	defer stopProf()
 
 	// FAULTS_PLAN/FAULTS_SEED inject deterministic faults without
 	// recompiling (see internal/faults).
@@ -62,6 +78,8 @@ func main() {
 	if *maxK != 0 {
 		cfg.MaxK = *maxK
 	}
+	cfg.ClusterWorkers = *jobs
+	cfg.SlowPath = *slowPath
 	if *disasm {
 		if err := w.App.Prog.Disassemble(os.Stdout); err != nil {
 			fail(err)

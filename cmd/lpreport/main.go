@@ -9,8 +9,9 @@
 //	lpreport -out results/           # also write per-figure text files
 //	lpreport -quick -j 8             # 8 evaluation workers, same output
 //
-// The -j flag bounds the worker pool that experiments fan out on;
-// reports are byte-identical at every -j setting.
+// The -j flag bounds the worker pool that experiments fan out on — and,
+// within each evaluation, the clustering stage's BBV projections and
+// k=1..maxK BIC sweep; reports are byte-identical at every -j setting.
 package main
 
 import (

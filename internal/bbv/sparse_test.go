@@ -1,0 +1,64 @@
+package bbv
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSparseVectorSortedAndComplete(t *testing.T) {
+	r := &Region{Vectors: []map[int]float64{
+		{5: 2.5, 1: 1, 9: 4},
+		{},
+		{0: 7, 9: 3},
+	}}
+	const nblocks = 10
+	sv := r.SparseVector(nblocks)
+
+	want := 5 // total entries across threads
+	if len(sv) != want {
+		t.Fatalf("%d entries, want %d", len(sv), want)
+	}
+	if !sort.SliceIsSorted(sv, func(i, j int) bool { return sv[i].Index < sv[j].Index }) {
+		t.Errorf("entries not sorted: %+v", sv)
+	}
+	// Every (thread, block, weight) must appear at index t*nblocks+b.
+	got := map[int]float64{}
+	for _, e := range sv {
+		if _, dup := got[e.Index]; dup {
+			t.Errorf("duplicate index %d", e.Index)
+		}
+		got[e.Index] = e.Weight
+	}
+	for tid, tv := range r.Vectors {
+		for blk, w := range tv {
+			if got[tid*nblocks+blk] != w {
+				t.Errorf("thread %d block %d: weight %v, want %v",
+					tid, blk, got[tid*nblocks+blk], w)
+			}
+		}
+	}
+}
+
+func TestSparseVectorEmptyRegion(t *testing.T) {
+	r := &Region{Vectors: []map[int]float64{{}, {}}}
+	if sv := r.SparseVector(8); len(sv) != 0 {
+		t.Errorf("empty region produced %d entries", len(sv))
+	}
+}
+
+// BenchmarkSparseVector measures materialization cost — the per-region
+// setup work the sparse projection fast path performs.
+func BenchmarkSparseVector(b *testing.B) {
+	vecs := make([]map[int]float64, 8)
+	for t := range vecs {
+		vecs[t] = map[int]float64{}
+		for k := 0; k < 40; k++ {
+			vecs[t][(t*3+k*13)%500] = float64(k + 1)
+		}
+	}
+	r := &Region{Vectors: vecs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.SparseVector(500)
+	}
+}

@@ -67,12 +67,19 @@ type Config struct {
 	// early at a worker-loop entry when the basic-block mix shifts.
 	VariableSlices bool
 	// SlowPath forces the per-instruction reference engine everywhere the
-	// pipeline would otherwise use the block-batched fast path: the BBV
-	// collector attaches to the per-instruction observer tier and region
-	// simulators fast-forward one instruction at a time. Model-derived
+	// pipeline would otherwise use the block-batched fast path — the BBV
+	// collector attaches to the per-instruction observer tier, region
+	// simulators fast-forward one instruction at a time — and forces the
+	// naive serial clustering reference path (ProjectRegionsSlow +
+	// KMeansSlow) instead of the sparse/Hamerly fast engine. Model-derived
 	// output is byte-identical either way (pinned by the determinism
 	// tests); the flag exists for cross-checking and debugging.
 	SlowPath bool
+	// ClusterWorkers bounds the worker pool the clustering stage fans out
+	// on — the BBV projections and the k=1..MaxK BIC sweep (0 = one
+	// worker per CPU, 1 = serial). Selections are byte-identical at every
+	// width; only host time changes.
+	ClusterWorkers int
 }
 
 // DefaultConfig returns the paper's parameters at this repository's scale.
@@ -225,11 +232,21 @@ type Selection struct {
 func Select(a *Analysis) (*Selection, error) {
 	cfg := a.Config
 	regions := a.Profile.Regions
+	// The fast clustering engine (sparse projections, Hamerly-bounded
+	// k-means, parallel BIC sweep) and the naive -slowpath reference are
+	// byte-identical (pinned by TestFastSlowPathsByteIdentical and the
+	// simpoint identity suite), so selections, journals, and golden files
+	// never depend on which path produced them.
 	var vectors [][]float64
-	if cfg.SumBBVs {
-		vectors = simpoint.SumProjectRegions(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed)
-	} else {
-		vectors = simpoint.ProjectRegions(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed)
+	switch {
+	case cfg.SumBBVs && cfg.SlowPath:
+		vectors = simpoint.SumProjectRegionsSlow(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed)
+	case cfg.SumBBVs:
+		vectors = simpoint.SumProjectRegionsN(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed, cfg.ClusterWorkers)
+	case cfg.SlowPath:
+		vectors = simpoint.ProjectRegionsSlow(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed)
+	default:
+		vectors = simpoint.ProjectRegionsN(regions, a.Profile.NumBlocks, cfg.Dims, cfg.Seed, cfg.ClusterWorkers)
 	}
 	weights := make([]float64, len(regions))
 	for i, r := range regions {
@@ -237,6 +254,7 @@ func Select(a *Analysis) (*Selection, error) {
 	}
 	res, err := simpoint.Cluster(vectors, weights, simpoint.Options{
 		MaxK: cfg.MaxK, Seed: cfg.Seed,
+		Workers: cfg.ClusterWorkers, Slow: cfg.SlowPath,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: clustering %s: %w", a.Prog.Name, err)

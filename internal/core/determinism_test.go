@@ -55,6 +55,46 @@ func TestSimulateRegionsWidthInvariant(t *testing.T) {
 	}
 }
 
+// TestSelectClusterWorkersInvariant requires the clustering stage — BBV
+// projection and the parallel k=1..maxK BIC sweep — to produce an
+// identical selection at every worker width: per-k seeding is fixed and
+// attempts are gathered by k, so pool scheduling must not leak into the
+// chosen k, the assignments, or the multipliers.
+func TestSelectClusterWorkersInvariant(t *testing.T) {
+	p := testprog.Phased(4, 10, 150, omp.Passive)
+	base := func() *Selection {
+		cfg := testConfig()
+		cfg.ClusterWorkers = 1
+		a, err := Analyze(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := Select(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}()
+	for _, workers := range []int{2, 8} {
+		cfg := testConfig()
+		cfg.ClusterWorkers = workers
+		a, err := Analyze(p, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		sel, err := Select(a)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(base.Result, sel.Result) {
+			t.Errorf("workers=%d: clustering Result differs from workers=1", workers)
+		}
+		if !reflect.DeepEqual(base.Points, sel.Points) {
+			t.Errorf("workers=%d: looppoint selection differs from workers=1", workers)
+		}
+	}
+}
+
 // TestFastSlowPathsByteIdentical runs the entire methodology — analysis,
 // clustering, checkpoint extraction, region simulation, extrapolation —
 // once on the block-batched fast path and once on the per-instruction

@@ -132,6 +132,9 @@ func (o Options) config() core.Config {
 		cfg.SliceUnit = o.SliceUnit
 	}
 	cfg.SlowPath = o.SlowPath
+	// The clustering stage (projection + BIC sweep) shares the -j width;
+	// selections are byte-identical at every setting.
+	cfg.ClusterWorkers = o.Parallelism
 	return cfg
 }
 

@@ -5,14 +5,27 @@
 // clusters is chosen with the Bayesian Information Criterion up to maxK.
 // One representative region per cluster (the one nearest the centroid) is
 // selected, weighted by the work its cluster represents.
+//
+// The package keeps two implementations of the pipeline. The fast engine
+// (the default) materializes regions as sorted sparse vectors, caches
+// projection-matrix rows so each touched row is hashed exactly once,
+// accelerates Lloyd's iterations with Hamerly-style triangle-inequality
+// bounds over flat contiguous arrays, and fans the k=1..maxK BIC sweep
+// out over a worker pool. The naive reference path (ProjectRegionsSlow,
+// KMeansSlow, Options.Slow) is the original straight-line implementation.
+// Both produce byte-identical Results for the same inputs and seeds —
+// pinned by the identity tests — so selections, resume journals, and
+// golden files are interchangeable between them.
 package simpoint
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"looppoint/internal/bbv"
+	"looppoint/internal/pool"
 )
 
 // DefaultDims is the projected dimensionality used by the paper.
@@ -41,85 +54,143 @@ func projEntry(seed uint64, row, col int) float64 {
 	return float64(h>>11)/float64(1<<53)*2 - 1
 }
 
+// projRows lazily materializes projection-matrix rows into one flat
+// backing array, so each touched row costs its dims splitmix64 hashes
+// exactly once per projection pass instead of once per (region, entry).
+type projRows struct {
+	seed uint64
+	dims int
+	off  map[int]int // row index → offset into flat
+	flat []float64
+}
+
+func newProjRows(seed uint64, dims int) *projRows {
+	return &projRows{seed: seed, dims: dims, off: make(map[int]int)}
+}
+
+// row returns the dims projection entries of the given matrix row. The
+// returned slice aliases the cache and is only valid until the next call
+// (growth may reallocate the backing array).
+func (p *projRows) row(r int) []float64 {
+	off, ok := p.off[r]
+	if !ok {
+		off = len(p.flat)
+		for d := 0; d < p.dims; d++ {
+			p.flat = append(p.flat, projEntry(p.seed, r, d))
+		}
+		p.off[r] = off
+	}
+	return p.flat[off : off+p.dims]
+}
+
 // ProjectRegions concatenates each region's per-thread BBVs into one
 // global sparse vector (thread t's block b maps to row t*nblocks+b),
 // normalizes it to unit L1 mass, and projects it to dims dimensions.
 // The concatenation preserves per-thread behaviour so heterogeneous
 // regions cluster apart (Section III-B).
+//
+// This is the sparse fast path: regions are materialized as sorted
+// (index, weight) vectors and projected by sparse dot products against
+// cached matrix rows. The accumulation order — threads in order, block
+// indices ascending — matches ProjectRegionsSlow term for term, so the
+// output is byte-identical to the naive path. It runs serially; see
+// ProjectRegionsN for the parallel variant (same output).
 func ProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) [][]float64 {
-	out := make([][]float64, len(regions))
-	for i, r := range regions {
-		v := make([]float64, dims)
-		// Sparse BBVs are maps; a fixed traversal order keeps the
-		// floating-point accumulation reproducible run to run (map order
-		// would perturb vectors by ULPs and flip k-means tie-breaks).
-		keys := make([][]int, len(r.Vectors))
-		total := 0.0
-		for t, tv := range r.Vectors {
-			keys[t] = sortedBlocks(tv)
-			for _, blk := range keys[t] {
-				total += tv[blk]
-			}
-		}
-		if total == 0 {
-			out[i] = v
-			continue
-		}
-		for t, tv := range r.Vectors {
-			base := t * nblocks
-			for _, blk := range keys[t] {
-				row := base + blk
-				nw := tv[blk] / total
-				for d := 0; d < dims; d++ {
-					v[d] += nw * projEntry(seed, row, d)
-				}
-			}
-		}
-		out[i] = v
-	}
-	return out
+	return ProjectRegionsN(regions, nblocks, dims, seed, 1)
 }
 
-// sortedBlocks returns a sparse BBV's block indices in increasing order.
-func sortedBlocks(tv map[int]float64) []int {
-	blocks := make([]int, 0, len(tv))
-	for blk := range tv {
-		blocks = append(blocks, blk)
-	}
-	sort.Ints(blocks)
-	return blocks
+// ProjectRegionsN is ProjectRegions fanned out over a worker pool
+// (workers <= 0 means one per CPU). Each region's projection is an
+// independent computation and results are gathered by region index, so
+// the output is byte-identical at every width.
+func ProjectRegionsN(regions []*bbv.Region, nblocks, dims int, seed uint64, workers int) [][]float64 {
+	return projectAll(regions, nblocks, dims, seed, 0, workers)
 }
 
 // SumProjectRegions is the naive alternative used by the baseline
 // multi-threaded SimPoint adaptation: per-thread vectors are summed
 // instead of concatenated, losing thread-heterogeneity information.
+// Like ProjectRegions it runs on the sparse fast path (rows are folded
+// modulo nblocks, preserving the per-(thread, block) accumulation order
+// of SumProjectRegionsSlow, which keeps the floats identical).
 func SumProjectRegions(regions []*bbv.Region, nblocks, dims int, seed uint64) [][]float64 {
-	out := make([][]float64, len(regions))
-	for i, r := range regions {
-		v := make([]float64, dims)
-		keys := make([][]int, len(r.Vectors))
-		total := 0.0
-		for t, tv := range r.Vectors {
-			keys[t] = sortedBlocks(tv)
-			for _, blk := range keys[t] {
-				total += tv[blk]
-			}
-		}
-		if total == 0 {
-			out[i] = v
-			continue
-		}
-		for t, tv := range r.Vectors {
-			for _, blk := range keys[t] {
-				nw := tv[blk] / total
-				for d := 0; d < dims; d++ {
-					v[d] += nw * projEntry(seed, blk, d)
-				}
-			}
-		}
-		out[i] = v
+	return SumProjectRegionsN(regions, nblocks, dims, seed, 1)
+}
+
+// SumProjectRegionsN is SumProjectRegions on a worker pool; output is
+// byte-identical at every width.
+func SumProjectRegionsN(regions []*bbv.Region, nblocks, dims int, seed uint64, workers int) [][]float64 {
+	return projectAll(regions, nblocks, dims, seed, nblocks, workers)
+}
+
+// projectAll materializes every region as a sorted sparse vector,
+// populates the projection-row cache for the union of touched rows, and
+// projects each region by sparse dot products. The three phases exist so
+// the parallel ones touch only per-region state: materialization and
+// projection fan out over the pool (independent per region, gathered by
+// index), while the shared row cache is filled in between by one
+// goroutine and is read-only afterwards.
+func projectAll(regions []*bbv.Region, nblocks, dims int, seed uint64, foldMod, workers int) [][]float64 {
+	n := len(regions)
+	svs := make([][]bbv.SparseEntry, n)
+	if n == 0 {
+		return nil
 	}
+	// Phase 1: materialize sparse vectors (parallel).
+	mapNoErr(workers, n, func(i int) { svs[i] = regions[i].SparseVector(nblocks) })
+	// Phase 2: populate the row cache once per touched row (serial).
+	rows := newProjRows(seed, dims)
+	for _, sv := range svs {
+		for _, e := range sv {
+			rows.row(foldRow(e.Index, foldMod))
+		}
+	}
+	// Phase 3: project (parallel; cache is read-only now).
+	out := make([][]float64, n)
+	mapNoErr(workers, n, func(i int) { out[i] = projectSparse(svs[i], rows, dims, foldMod) })
 	return out
+}
+
+// mapNoErr runs fn over [0, n) on the pool; the closure cannot fail and
+// the pool only errors on context cancellation, which Background never
+// does.
+func mapNoErr(workers, n int, fn func(i int)) {
+	_ = pool.Run(context.Background(), workers, n, func(_ context.Context, i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// foldRow maps a sparse-entry index to its projection-matrix row: the
+// index itself for the concatenated layout, index % foldMod for the
+// summed baseline (every thread shares the first nblocks rows).
+func foldRow(idx, foldMod int) int {
+	if foldMod > 0 {
+		return idx % foldMod
+	}
+	return idx
+}
+
+// projectSparse projects one materialized sparse BBV. Contributions are
+// accumulated entry by entry in sorted order — the same term order as the
+// naive per-map traversal — so results match the slow path bit for bit.
+func projectSparse(sv []bbv.SparseEntry, rows *projRows, dims, foldMod int) []float64 {
+	v := make([]float64, dims)
+	var total float64
+	for _, e := range sv {
+		total += e.Weight
+	}
+	if total == 0 {
+		return v
+	}
+	for _, e := range sv {
+		nw := e.Weight / total
+		pr := rows.row(foldRow(e.Index, foldMod))[:len(v)]
+		for d := range v {
+			v[d] += nw * pr[d]
+		}
+	}
+	return v
 }
 
 // Result describes a clustering outcome.
@@ -145,6 +216,16 @@ type Options struct {
 	Seed         uint64  // deterministic seeding
 	BICThreshold float64 // default DefaultBICThreshold
 	MaxIter      int     // Lloyd iterations per k (default 100)
+	// Workers bounds the parallel k=1..maxK BIC sweep (0 = one worker
+	// per CPU, 1 = serial). Every k is an independent k-means run with
+	// its own seed, and attempts are gathered by k, so the Result is
+	// byte-identical at every width.
+	Workers int
+	// Slow forces the naive reference path: serial sweep over KMeansSlow
+	// with no triangle-inequality acceleration. Output is identical to
+	// the fast path (the identity tests pin this); the flag exists for
+	// cross-checking and for the -slowpath plumbing.
+	Slow bool
 }
 
 func (o *Options) fill() {
@@ -159,9 +240,23 @@ func (o *Options) fill() {
 	}
 }
 
+// attempt is one k-means run of the BIC sweep.
+type attempt struct {
+	k      int
+	assign []int
+	cents  [][]float64
+	bic    float64
+	dist   float64
+}
+
 // Cluster clusters the projected vectors. weights give each region's work
 // (filtered instruction count); they drive representative weighting only,
 // not the geometry.
+//
+// The k=1..maxK sweep runs on a worker pool (Options.Workers): each k is
+// seeded independently (Seed+k) exactly as the serial sweep always was,
+// and attempts are collected by k before the BIC threshold scan, so the
+// chosen k, assignments, and scores do not depend on the width.
 func Cluster(vectors [][]float64, weights []float64, opts Options) (*Result, error) {
 	if len(vectors) == 0 {
 		return nil, fmt.Errorf("simpoint: no regions to cluster")
@@ -193,25 +288,36 @@ func Cluster(vectors [][]float64, weights []float64, opts Options) (*Result, err
 		varFloor = 1e-12
 	}
 
-	type attempt struct {
-		k      int
-		assign []int
-		cents  [][]float64
-		bic    float64
-		dist   float64
-	}
 	var attempts []attempt
-	best := math.Inf(-1)
-	for k := 1; k <= maxK; k++ {
-		assign, cents, dist := kmeans(vectors, k, opts.Seed+uint64(k), opts.MaxIter)
-		b := bic(vectors, assign, cents, dist, varFloor)
-		attempts = append(attempts, attempt{k, assign, cents, b, dist})
-		if b > best {
-			best = b
+	if opts.Slow {
+		for k := 1; k <= maxK; k++ {
+			assign, cents, dist := KMeansSlow(vectors, k, opts.Seed+uint64(k), opts.MaxIter)
+			attempts = append(attempts, attempt{k, assign, cents, bic(vectors, assign, cents, dist, varFloor), dist})
+		}
+	} else {
+		dims := len(vectors[0])
+		flat := make([]float64, n*dims)
+		for i, v := range vectors {
+			copy(flat[i*dims:(i+1)*dims], v)
+		}
+		var err error
+		attempts, err = pool.Map(context.Background(), opts.Workers, maxK,
+			func(_ context.Context, i int) (attempt, error) {
+				k := i + 1
+				assign, cents, dist := kmeansFast(flat, n, dims, k, opts.Seed+uint64(k), opts.MaxIter)
+				return attempt{k, assign, cents, bic(vectors, assign, cents, dist, varFloor), dist}, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("simpoint: BIC sweep: %w", err)
 		}
 	}
+
+	best := math.Inf(-1)
 	worst := math.Inf(1)
 	for _, a := range attempts {
+		if a.bic > best {
+			best = a.bic
+		}
 		if a.bic < worst {
 			worst = a.bic
 		}
@@ -286,98 +392,6 @@ func (r *Result) compact() {
 	}
 	r.Reps, r.ClusterWeight, r.Centroids = reps, ws, cents
 	r.K = len(reps)
-}
-
-// kmeans runs k-means++ seeding followed by Lloyd iterations.
-func kmeans(vectors [][]float64, k int, seed uint64, maxIter int) ([]int, [][]float64, float64) {
-	n := len(vectors)
-	dims := len(vectors[0])
-	rng := seed | 1
-
-	next := func() uint64 {
-		rng = splitmix64(rng)
-		return rng
-	}
-
-	// k-means++ seeding.
-	cents := make([][]float64, 0, k)
-	first := int(next() % uint64(n))
-	cents = append(cents, append([]float64(nil), vectors[first]...))
-	d2 := make([]float64, n)
-	for len(cents) < k {
-		var sum float64
-		for i, v := range vectors {
-			d := sqDist(v, cents[0])
-			for _, c := range cents[1:] {
-				if dd := sqDist(v, c); dd < d {
-					d = dd
-				}
-			}
-			d2[i] = d
-			sum += d
-		}
-		var pick int
-		if sum == 0 {
-			pick = int(next() % uint64(n))
-		} else {
-			target := float64(next()>>11) / float64(1<<53) * sum
-			acc := 0.0
-			for i, d := range d2 {
-				acc += d
-				if acc >= target {
-					pick = i
-					break
-				}
-			}
-		}
-		cents = append(cents, append([]float64(nil), vectors[pick]...))
-	}
-
-	assign := make([]int, n)
-	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for i, v := range vectors {
-			bestJ, bestD := 0, math.Inf(1)
-			for j, c := range cents {
-				if d := sqDist(v, c); d < bestD {
-					bestJ, bestD = j, d
-				}
-			}
-			if assign[i] != bestJ {
-				assign[i] = bestJ
-				changed = true
-			}
-		}
-		if !changed && iter > 0 {
-			break
-		}
-		counts := make([]int, k)
-		for j := range cents {
-			for d := 0; d < dims; d++ {
-				cents[j][d] = 0
-			}
-		}
-		for i, v := range vectors {
-			j := assign[i]
-			counts[j]++
-			for d, x := range v {
-				cents[j][d] += x
-			}
-		}
-		for j := range cents {
-			if counts[j] == 0 {
-				continue // dead centroid; stays at origin, compacted later
-			}
-			for d := 0; d < dims; d++ {
-				cents[j][d] /= float64(counts[j])
-			}
-		}
-	}
-	var dist float64
-	for i, v := range vectors {
-		dist += sqDist(v, cents[assign[i]])
-	}
-	return assign, cents, dist
 }
 
 // dataVariance returns the average squared distance of the vectors from

@@ -155,7 +155,7 @@ func TestKMeansDistortionNonIncreasingInK(t *testing.T) {
 	vecs, _ := blobs(60, 4, 6, 17)
 	prev := math.Inf(1)
 	for k := 1; k <= 8; k++ {
-		_, _, dist := kmeans(vecs, k, 3, 100)
+		_, _, dist := KMeansSlow(vecs, k, 3, 100)
 		if dist > prev*1.10 {
 			t.Errorf("distortion rose sharply at k=%d: %f -> %f", k, prev, dist)
 		}
