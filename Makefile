@@ -1,6 +1,6 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test test-race test-faults bench report report-full demo clean
+.PHONY: build test test-race test-faults serve-smoke bench report report-full demo clean
 
 build:
 	go build ./...
@@ -22,9 +22,15 @@ test-faults:
 		FAULTS_SEED=$$seed go test -race \
 			-run 'Fault|Corrupt|Quarantine|Degrad|Resume|Retry|Truncat|Panic' \
 			./internal/faults/ ./internal/pool/ ./internal/pinball/ \
-			./internal/core/ ./internal/harness/ ./internal/exec/ . \
+			./internal/core/ ./internal/harness/ ./internal/exec/ \
+			./internal/serve/ . \
 			|| exit 1; \
 	done
+
+# Boot the lpserved daemon, hit /readyz and one job endpoint, then
+# SIGTERM it and assert a clean drain and exit 0.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # One benchmark per paper table/figure plus ablations (quick subsets).
 bench:

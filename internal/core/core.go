@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -339,7 +340,14 @@ func SimulateRegions(sel *Selection, simCfg timing.Config, parallel bool) ([]Reg
 // width; only host time varies. The first simulation error cancels the
 // remaining unstarted regions.
 func SimulateRegionsN(sel *Selection, simCfg timing.Config, width int) ([]RegionResult, error) {
-	results, _, err := SimulateRegionsOpt(sel, simCfg, SimOpts{Width: width})
+	return SimulateRegionsNCtx(context.Background(), sel, simCfg, width)
+}
+
+// SimulateRegionsNCtx is SimulateRegionsN under a caller context:
+// cancellation or deadline expiry stops the sweep at the next region
+// boundary instead of draining the remaining queue.
+func SimulateRegionsNCtx(ctx context.Context, sel *Selection, simCfg timing.Config, width int) ([]RegionResult, error) {
+	results, _, err := SimulateRegionsOptCtx(ctx, sel, simCfg, SimOpts{Width: width})
 	if err != nil {
 		return nil, err
 	}

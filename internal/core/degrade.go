@@ -117,8 +117,14 @@ func extractCheckpoints(sel *Selection) ([]*pinball.Pinball, error) {
 
 // simulateOneRegion runs one looppoint's detailed simulation. Injection
 // site "core.region.sim" can force transient failures, slow calls, or
-// panics here — the unit of failure the degraded mode tolerates.
-func simulateOneRegion(sel *Selection, simCfg timing.Config, checkpoints []*pinball.Pinball, i int) (RegionResult, error) {
+// panics here — the unit of failure the degraded mode tolerates. The
+// simulation kernel itself is CPU-bound and does not poll ctx; the
+// entry check plus the pool's per-item claim check are what make a
+// cancelled sweep stop at region boundaries.
+func simulateOneRegion(ctx context.Context, sel *Selection, simCfg timing.Config, checkpoints []*pinball.Pinball, i int) (RegionResult, error) {
+	if err := ctx.Err(); err != nil {
+		return RegionResult{}, err
+	}
 	if err := faults.Check("core.region.sim"); err != nil {
 		return RegionResult{}, err
 	}
@@ -152,6 +158,18 @@ func simulateOneRegion(sel *Selection, simCfg timing.Config, checkpoints []*pinb
 // returned in region order. If the surviving extrapolation mass falls
 // below MinCoverage the sweep fails with ErrLowCoverage.
 func SimulateRegionsOpt(sel *Selection, simCfg timing.Config, opts SimOpts) ([]RegionResult, *Degradation, error) {
+	return SimulateRegionsOptCtx(context.Background(), sel, simCfg, opts)
+}
+
+// SimulateRegionsOptCtx is SimulateRegionsOpt under a caller context:
+// cancellation or deadline expiry stops the sweep at the next region
+// boundary instead of draining the queue, unstarted regions report
+// ctx.Err(), and the aggregate error is the cancellation. The serving
+// layer uses this to bound jobs by per-request deadlines.
+func SimulateRegionsOptCtx(ctx context.Context, sel *Selection, simCfg timing.Config, opts SimOpts) ([]RegionResult, *Degradation, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	checkpoints, err := extractCheckpoints(sel)
 	if err != nil {
 		return nil, nil, err
@@ -162,9 +180,9 @@ func SimulateRegionsOpt(sel *Selection, simCfg timing.Config, opts SimOpts) ([]R
 		ItemTimeout: opts.RegionTimeout,
 		Degraded:    opts.Degraded,
 	}
-	results, errs, err := pool.MapWith(context.Background(), len(sel.Points), popts,
-		func(_ context.Context, i int) (RegionResult, error) {
-			return simulateOneRegion(sel, simCfg, checkpoints, i)
+	results, errs, err := pool.MapWith(ctx, len(sel.Points), popts,
+		func(ctx context.Context, i int) (RegionResult, error) {
+			return simulateOneRegion(ctx, sel, simCfg, checkpoints, i)
 		})
 	if err != nil {
 		return nil, nil, err

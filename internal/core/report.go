@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -130,6 +131,18 @@ func (o RunOpts) width() int {
 // select, simulate the looppoints, extrapolate, and (optionally) compare
 // against the full detailed simulation.
 func Run(prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Report, error) {
+	return RunCtx(context.Background(), prog, cfg, simCfg, opts)
+}
+
+// RunCtx is Run under a caller context. The analysis and full-simulation
+// phases are CPU-bound kernels that do not poll ctx, so cancellation is
+// honored at phase boundaries and — within the region sweep — at region
+// boundaries; a cancelled run returns ctx's error instead of finishing
+// the remaining work.
+func RunCtx(ctx context.Context, prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	a, err := Analyze(prog, cfg)
 	if err != nil {
 		return nil, err
@@ -138,7 +151,7 @@ func Run(prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Re
 	if err != nil {
 		return nil, err
 	}
-	regions, deg, err := SimulateRegionsOpt(sel, simCfg, SimOpts{
+	regions, deg, err := SimulateRegionsOptCtx(ctx, sel, simCfg, SimOpts{
 		Width:         opts.width(),
 		Degraded:      opts.Degraded,
 		Attempts:      opts.Retries,
@@ -157,6 +170,9 @@ func Run(prog *isa.Program, cfg Config, simCfg timing.Config, opts RunOpts) (*Re
 		Speedups:    ComputeTheoretical(sel),
 	}
 	if opts.SimulateFull {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start := time.Now()
 		sim, err := timing.New(simCfg, prog)
 		if err != nil {

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -154,5 +156,31 @@ func TestReportsIdenticalAcrossEnginePaths(t *testing.T) {
 	if fast.pred != slow.pred {
 		t.Errorf("prediction differs between engine paths:\nfast: %+v\nslow: %+v",
 			fast.pred, slow.pred)
+	}
+}
+
+// TestReportCtxCancelledFailsFast: a cancelled context fails the
+// evaluation before any work (or journaling) happens, and the failure is
+// not cached — a later call with a live context evaluates normally.
+func TestReportCtxCancelledFailsFast(t *testing.T) {
+	e := smokeEvaluator()
+	k := ReportKey{App: "644.nab_s.1", Policy: omp.Passive, Input: e.Opts.trainInput(), Threads: e.Opts.Threads}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ReportCtx(ctx, k); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReportCtx err = %v, want context.Canceled", err)
+	}
+	if n := e.Evaluations(); n != 0 {
+		t.Fatalf("%d evaluations ran under a cancelled context, want 0", n)
+	}
+	if _, _, err := e.AnalyzeOnlyCtx(ctx, "644.nab_s.1", omp.Passive, e.Opts.trainInput(), e.Opts.Threads); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeOnlyCtx err = %v, want context.Canceled", err)
+	}
+	rep, err := e.ReportCtx(context.Background(), k)
+	if err != nil {
+		t.Fatalf("ReportCtx after cancellation was sticky: %v", err)
+	}
+	if rep == nil || e.Evaluations() != 1 {
+		t.Fatalf("live-context evaluation did not run (evals=%d)", e.Evaluations())
 	}
 }

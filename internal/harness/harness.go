@@ -307,6 +307,20 @@ type ReportKey struct {
 // Concurrent callers of the same key block on one in-flight evaluation
 // instead of duplicating the record/profile/cluster/simulate run.
 func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
+	return e.ReportCtx(context.Background(), k)
+}
+
+// ReportCtx is Report under a caller context: cancellation or deadline
+// expiry stops the evaluation at the next phase or region boundary with
+// ctx's error instead of finishing the remaining work — the contract the
+// serving layer's per-request deadlines rely on. Cache hits ignore ctx.
+//
+// Singleflight caveat: concurrent callers of the same key share the
+// first caller's evaluation, so cancelling that first caller's context
+// fails the shared attempt for everyone waiting on it (failures are not
+// cached; a later call re-evaluates). Callers that must not be coupled
+// should use distinct keys or an outer retry.
+func (e *Evaluator) ReportCtx(ctx context.Context, k ReportKey) (*core.Report, error) {
 	key := fmt.Sprintf("%+v", k)
 	e.mu.Lock()
 	rep, ok := e.reports[key]
@@ -320,6 +334,9 @@ func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 		e.mu.Unlock()
 		if ok {
 			return rep, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		// Injection site "harness.report" lets the fault suite kill an
 		// experiment campaign between evaluations and exercise the
@@ -339,7 +356,7 @@ func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 		e.logf("evaluating %s (%v, %s, %d threads, %v core, full=%v)",
 			k.App, k.Policy, k.Input, app.Prog.NumThreads(), k.Core, k.Full)
 		start := time.Now()
-		rep, err = core.Run(app.Prog, e.Opts.config(), simCfg, core.RunOpts{
+		rep, err = core.RunCtx(ctx, app.Prog, e.Opts.config(), simCfg, core.RunOpts{
 			SimulateFull: k.Full, Width: e.Opts.Parallelism,
 			Degraded: e.Opts.Degraded, Retries: e.Opts.Retries,
 			RegionTimeout: e.Opts.RegionTimeout, MinCoverage: e.Opts.MinCoverage,
@@ -366,6 +383,16 @@ func (e *Evaluator) Report(k ReportKey) (*core.Report, error) {
 // (used for the ref-input speedup studies, where full simulation is the
 // very thing being avoided). Concurrent callers share one analysis.
 func (e *Evaluator) AnalyzeOnly(name string, policy omp.WaitPolicy, input workloads.InputClass, threads int) (*core.Selection, *workloads.App, error) {
+	return e.AnalyzeOnlyCtx(context.Background(), name, policy, input, threads)
+}
+
+// AnalyzeOnlyCtx is AnalyzeOnly under a caller context. Analysis is one
+// CPU-bound phase, so cancellation is honored at phase boundaries (the
+// same singleflight coupling as ReportCtx applies).
+func (e *Evaluator) AnalyzeOnlyCtx(ctx context.Context, name string, policy omp.WaitPolicy, input workloads.InputClass, threads int) (*core.Selection, *workloads.App, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	app, err := e.BuildApp(name, policy, input, threads)
 	if err != nil {
 		return nil, nil, err
@@ -383,6 +410,9 @@ func (e *Evaluator) AnalyzeOnly(name string, policy omp.WaitPolicy, input worklo
 		e.mu.Unlock()
 		if ok {
 			return sel, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		e.logf("analyzing %s (%v, %s)", name, policy, input)
 		start := time.Now()

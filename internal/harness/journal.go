@@ -194,8 +194,14 @@ func loadJournal(path, config string) (restored map[string]*core.Report, dropped
 }
 
 // openJournal opens (creating if needed) the journal for appending
-// records stamped with the given config fingerprint.
+// records stamped with the given config fingerprint. A final line torn
+// by a mid-write kill is truncated away first, so the next append starts
+// on a fresh line instead of corrupt-concatenating with the torn bytes
+// (which would lose both the torn record and the new one).
 func openJournal(path, config string) (*journal, error) {
+	if err := repairTornTail(path); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -203,8 +209,55 @@ func openJournal(path, config string) (*journal, error) {
 	return &journal{config: config, f: f}, nil
 }
 
+// repairTornTail truncates a trailing unterminated line — a record torn
+// by a SIGKILL mid-write. The repair itself is crash-safe: the retained
+// prefix is written to a sibling temp file, fsynced BEFORE the atomic
+// rename over the journal, so a kill at any point during the repair
+// leaves either the old journal or the fully repaired one on disk,
+// never a half-truncated file (a rename that outruns its data's fsync
+// can publish an empty or partial file after a power cut).
+func repairTornTail(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil // every line complete; nothing to repair
+	}
+	keep := 0
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		keep = i + 1
+	}
+	tmp := path + ".repair"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(data[:keep]); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // append writes one completed evaluation. The line is checksummed so a
-// restart can reject records torn by a mid-write kill.
+// restart can reject records torn by a mid-write kill, and fsynced so a
+// SIGKILL right after a drain checkpoint (the serving layer journals
+// in-flight work on SIGTERM) never loses an acknowledged record to the
+// page cache.
 func (j *journal) append(key string, rep *core.Report) error {
 	rec, err := json.Marshal(journalRecord{Key: key, Config: j.config, Report: newReportData(rep)})
 	if err != nil {
@@ -223,6 +276,10 @@ func (j *journal) append(key string, rep *core.Report) error {
 		return nil
 	}
 	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.dead = true
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
 		j.dead = true
 		return err
 	}

@@ -75,6 +75,20 @@ type Options struct {
 	// back in the []error slice; callers decide how much failure is
 	// tolerable.
 	Degraded bool
+	// JitterSeed seeds the deterministic full-jitter stream applied to
+	// Retry's backoff (each delay is drawn uniformly from [0, d] where d
+	// is the capped exponential schedule). Zero draws a distinct seed per
+	// Retry call from a process-wide counter, which desynchronizes
+	// concurrent retriers; tests that need an exact, reproducible delay
+	// schedule fix the seed. RunWith/MapWith derive a distinct per-item
+	// stream from a fixed seed, so sibling items never back off in
+	// lockstep.
+	JitterSeed uint64
+	// NoJitter disables backoff jitter entirely: delays follow the exact
+	// Backoff, 2×Backoff, … doubling. Only for tests that script precise
+	// timing; production callers should keep jitter to avoid synchronized
+	// retry storms.
+	NoJitter bool
 }
 
 // Run executes fn(ctx, i) for every i in [0, n) on at most width
@@ -97,6 +111,14 @@ func Run(ctx context.Context, width, n int, fn func(ctx context.Context, i int) 
 // reflects only caller-context cancellation; item failures — including
 // recovered worker panics as *PanicError — are reported solely through
 // the slice, and every item gets its chance to run.
+//
+// Once the sweep is cancelled — by the caller's context or, in strict
+// mode, by an earlier item's failure — the remaining items are not run;
+// each gets the cancellation error in its slot instead of a silent nil,
+// so callers can always tell "never ran" from "succeeded". An abandoned
+// caller (context cancelled mid-queue) therefore stops the workers at
+// their next item boundary rather than leaving them grinding through
+// the rest of the queue.
 func RunWith(ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) error) ([]error, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
@@ -115,7 +137,11 @@ func RunWith(ctx context.Context, n int, opts Options, fn func(ctx context.Conte
 	item := fn
 	if opts.Attempts > 1 || opts.ItemTimeout > 0 {
 		item = func(ctx context.Context, i int) error {
-			return Retry(ctx, opts, func(ctx context.Context) error { return fn(ctx, i) })
+			iopts := opts
+			if iopts.JitterSeed != 0 {
+				iopts.JitterSeed = mixSeed(iopts.JitterSeed, uint64(i))
+			}
+			return Retry(ctx, iopts, func(ctx context.Context) error { return fn(ctx, i) })
 		}
 	}
 
@@ -132,11 +158,20 @@ func RunWith(ctx context.Context, n int, opts Options, fn func(ctx context.Conte
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				// In degraded mode only the caller's context stops the
 				// sweep (cancel is never called on item failure), so this
-				// one check serves both modes.
-				if i >= n || ctx.Err() != nil {
-					return
+				// one check serves both modes. A cancelled sweep still
+				// claims the remaining items, marking each with the
+				// cancellation error: claims are monotonic, so these
+				// markers sit above every index that actually ran, and the
+				// strict-mode lowest-index scan still reports the organic
+				// failure that triggered the cancel.
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
 				}
 				func() {
 					defer func() {
@@ -220,7 +255,11 @@ func MapWith[T any](ctx context.Context, n int, opts Options, fn func(ctx contex
 		var v T
 		var ferr error
 		if retried {
-			v, ferr = RetryValue(ctx, opts, func(ctx context.Context) (T, error) { return fn(ctx, i) })
+			iopts := opts
+			if iopts.JitterSeed != 0 {
+				iopts.JitterSeed = mixSeed(iopts.JitterSeed, uint64(i))
+			}
+			v, ferr = RetryValue(ctx, iopts, func(ctx context.Context) (T, error) { return fn(ctx, i) })
 		} else {
 			v, ferr = fn(ctx, i)
 		}

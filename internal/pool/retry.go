@@ -5,16 +5,78 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 	"time"
 )
 
-// Default backoff schedule when retries are armed with zero knobs. The
-// schedule is deterministic — no jitter — so fault-injection tests
-// reproduce exactly.
+// Default backoff schedule when retries are armed with zero knobs. Each
+// delay is full-jittered — drawn uniformly from [0, d] where d follows
+// the capped doubling — so many jobs failing together never retry in
+// lockstep (a synchronized retry storm re-kills the very resource the
+// backoff is protecting). The jitter stream is seeded (Options.JitterSeed)
+// and pure, so tests reproduce exact schedules; Options.NoJitter restores
+// the bare doubling.
 const (
 	DefaultBackoff    = time.Millisecond
 	DefaultMaxBackoff = 250 * time.Millisecond
 )
+
+// splitmix64 is the SplitMix64 finalizer: a cheap bijective avalanche
+// used both to step the jitter PRNG and to derive independent per-item
+// streams from one seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mixSeed derives the jitter stream for item i from a caller-fixed seed,
+// so sibling items of one sweep back off on decorrelated schedules while
+// the whole sweep stays reproducible.
+func mixSeed(seed, i uint64) uint64 { return splitmix64(seed ^ splitmix64(i+1)) }
+
+// jitterCounter hands each unseeded Retry call a distinct stream.
+var jitterCounter atomic.Uint64
+
+// JitterState returns the initial jitter-PRNG state for one retry loop
+// under opts: the fixed JitterSeed when set, else a fresh process-unique
+// stream. Callers hand the state to BackoffDelay by pointer.
+func JitterState(opts Options) uint64 {
+	if opts.JitterSeed != 0 {
+		return opts.JitterSeed
+	}
+	return splitmix64(jitterCounter.Add(1))
+}
+
+// BackoffDelay returns the sleep before retry attempt a (a >= 1, i.e.
+// the delay between attempt a and attempt a+1) under opts' backoff
+// policy: Backoff<<(a-1) capped at MaxBackoff, full-jittered to a
+// uniform draw from [0, d] unless opts.NoJitter. state is the jitter
+// PRNG, advanced in place — a pure function of (seed, call sequence),
+// so a fixed JitterSeed reproduces the schedule exactly.
+func BackoffDelay(opts Options, a int, state *uint64) time.Duration {
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	maxBackoff := opts.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultMaxBackoff
+	}
+	if a < 1 {
+		a = 1
+	}
+	d := backoff << (a - 1)
+	if d > maxBackoff || d <= 0 { // <= 0 guards shift overflow
+		d = maxBackoff
+	}
+	if opts.NoJitter {
+		return d
+	}
+	*state = splitmix64(*state)
+	return time.Duration(*state % uint64(d+1))
+}
 
 // permanentError marks an error as non-retryable.
 type permanentError struct{ err error }
@@ -35,8 +97,9 @@ func Permanent(err error) error {
 
 // Retry runs fn up to opts.Attempts times (minimum one), sleeping a
 // capped exponential backoff between attempts: Backoff, 2×Backoff,
-// 4×Backoff, … capped at MaxBackoff, with no jitter so schedules are
-// deterministic. It stops early and returns immediately when fn
+// 4×Backoff, … capped at MaxBackoff, each delay full-jittered (see
+// BackoffDelay; Options.JitterSeed/NoJitter control the stream). It
+// stops early and returns immediately when fn
 // succeeds, when the error is wrapped with Permanent, when the attempt
 // panicked (reported as a *PanicError error — a bug won't be fixed by
 // rerunning it), or when ctx is done.
@@ -69,25 +132,14 @@ func RetryValue[T any](ctx context.Context, opts Options, fn func(ctx context.Co
 	if attempts <= 0 {
 		attempts = 1
 	}
-	backoff := opts.Backoff
-	if backoff <= 0 {
-		backoff = DefaultBackoff
-	}
-	maxBackoff := opts.MaxBackoff
-	if maxBackoff <= 0 {
-		maxBackoff = DefaultMaxBackoff
-	}
+	jitter := JitterState(opts)
 	var (
 		zero T
 		err  error
 	)
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			d := backoff << (a - 1)
-			if d > maxBackoff || d <= 0 { // <= 0 guards shift overflow
-				d = maxBackoff
-			}
-			t := time.NewTimer(d)
+			t := time.NewTimer(BackoffDelay(opts, a, &jitter))
 			select {
 			case <-ctx.Done():
 				t.Stop()

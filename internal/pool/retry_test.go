@@ -266,3 +266,160 @@ func TestMapWithRetriesPerItem(t *testing.T) {
 		}
 	}
 }
+
+// TestBackoffDelayJitterDeterministic: a fixed JitterSeed reproduces the
+// exact delay schedule, every delay stays within the capped exponential
+// envelope, and distinct seeds give distinct (desynchronized) schedules.
+func TestBackoffDelayJitterDeterministic(t *testing.T) {
+	opts := Options{Backoff: 4 * time.Millisecond, MaxBackoff: 64 * time.Millisecond, JitterSeed: 7}
+	schedule := func(seed uint64) []time.Duration {
+		o := opts
+		o.JitterSeed = seed
+		state := JitterState(o)
+		var ds []time.Duration
+		for a := 1; a <= 8; a++ {
+			ds = append(ds, BackoffDelay(o, a, &state))
+		}
+		return ds
+	}
+	first, second := schedule(7), schedule(7)
+	for a, d := range first {
+		if d != second[a] {
+			t.Fatalf("attempt %d: same seed gave %v then %v", a+1, d, second[a])
+		}
+		env := opts.Backoff << a
+		if env > opts.MaxBackoff || env <= 0 {
+			env = opts.MaxBackoff
+		}
+		if d < 0 || d > env {
+			t.Fatalf("attempt %d: delay %v outside [0, %v]", a+1, d, env)
+		}
+	}
+	other := schedule(8)
+	same := true
+	for a := range first {
+		if first[a] != other[a] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("seeds 7 and 8 produced identical schedules %v", first)
+	}
+}
+
+// TestBackoffDelayNoJitter: NoJitter restores the exact historical
+// doubling, capped at MaxBackoff.
+func TestBackoffDelayNoJitter(t *testing.T) {
+	opts := Options{Backoff: 2 * time.Millisecond, MaxBackoff: 10 * time.Millisecond, NoJitter: true}
+	state := JitterState(opts)
+	want := []time.Duration{2, 4, 8, 10, 10}
+	for a, w := range want {
+		if d := BackoffDelay(opts, a+1, &state); d != w*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v, want %v", a+1, d, w*time.Millisecond)
+		}
+	}
+}
+
+// TestMixSeedDecorrelatesItems: sibling items of one sweep must not
+// share a jitter stream, or they would all back off in lockstep.
+func TestMixSeedDecorrelatesItems(t *testing.T) {
+	seen := map[uint64]uint64{}
+	for i := uint64(0); i < 64; i++ {
+		s := mixSeed(42, i)
+		if s == 0 {
+			t.Fatalf("item %d: zero stream (would fall back to the global counter)", i)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("items %d and %d share jitter stream %#x", prev, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+// TestRunWithCancelMarksUnrunItems: cancelling the caller's context
+// mid-queue stops the sweep at the next item boundary and marks every
+// item that never ran with the cancellation error — abandoned callers
+// must not leave workers grinding through the rest of the queue.
+func TestRunWithCancelMarksUnrunItems(t *testing.T) {
+	const n = 64
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	errs, err := RunWith(ctx, n, Options{Width: 1}, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if i == 0 {
+			cancel()
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("aggregate err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("%d items ran after cancellation, want 1", got)
+	}
+	for i, e := range errs {
+		if !errors.Is(e, context.Canceled) {
+			t.Fatalf("item %d: err = %v, want context.Canceled marker", i, e)
+		}
+	}
+}
+
+// TestMapWithCancelMarksUnrunItems: same contract through MapWith in
+// degraded mode — the per-item error slice distinguishes "never ran"
+// (ctx.Err()) from "succeeded" (nil) after a mid-queue cancellation.
+func TestMapWithCancelMarksUnrunItems(t *testing.T) {
+	const n = 32
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, errs, err := MapWith(ctx, n, Options{Width: 2, Degraded: true}, func(ctx context.Context, i int) (int, error) {
+		if ran.Add(1) == 2 {
+			cancel()
+		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("aggregate err = %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("%d items ran, want exactly the 2 admitted before cancellation", got)
+	}
+	marked := 0
+	for i, e := range errs {
+		if e == nil {
+			t.Fatalf("item %d: nil error after cancelled sweep", i)
+		}
+		if errors.Is(e, context.Canceled) {
+			marked++
+		}
+	}
+	if marked != n {
+		t.Fatalf("%d items marked cancelled, want %d", marked, n)
+	}
+}
+
+// TestRunWithStrictFailurePrecedesMarkers: after an organic item failure
+// cancels a strict sweep, the aggregate must still be the organic error,
+// not a cancellation marker from a skipped later item.
+func TestRunWithStrictFailurePrecedesMarkers(t *testing.T) {
+	organic := errors.New("item 1 broke")
+	errs, err := RunWith(context.Background(), 16, Options{Width: 1}, func(ctx context.Context, i int) error {
+		if i == 1 {
+			return organic
+		}
+		return nil
+	})
+	if !errors.Is(err, organic) {
+		t.Fatalf("aggregate err = %v, want the organic failure", err)
+	}
+	if errs[0] != nil || !errors.Is(errs[1], organic) {
+		t.Fatalf("errs[0..1] = %v, %v", errs[0], errs[1])
+	}
+	for i := 2; i < 16; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("item %d: err = %v, want cancellation marker", i, errs[i])
+		}
+	}
+}

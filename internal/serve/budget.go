@@ -1,0 +1,76 @@
+package serve
+
+import "sync"
+
+// Budget defaults: up to eight banked retry tokens, each admitted job
+// depositing a tenth of one — so sustained retries are bounded at ~10%
+// of admitted traffic, the classic retry-budget shape.
+const (
+	DefaultRetryBudget = 8.0
+	DefaultRetryRatio  = 0.1
+)
+
+// Budget is the server-wide retry budget: a token bucket where every
+// admitted job deposits Ratio tokens (capped at Max) and every retry
+// attempt withdraws one whole token. When the bucket is empty, retries
+// are denied and jobs fail with their first attempt's error — client-
+// requested retries can therefore never amplify an overload: the retry
+// volume the server adds on top of admitted traffic is bounded by
+// Ratio, no matter what clients ask for. Purely counter-driven (no
+// clock), so tests are deterministic.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	ratio  float64
+	denied uint64
+}
+
+// NewBudget builds a budget that starts full. max <= 0 disables retries
+// entirely (every Withdraw is denied); ratio <= 0 uses DefaultRetryRatio.
+func NewBudget(max, ratio float64) *Budget {
+	if ratio <= 0 {
+		ratio = DefaultRetryRatio
+	}
+	if max < 0 {
+		max = 0
+	}
+	return &Budget{tokens: max, max: max, ratio: ratio}
+}
+
+// Deposit credits one admitted job's share of retry headroom.
+func (b *Budget) Deposit() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Withdraw spends one token for one retry attempt; false means the
+// budget is exhausted and the retry must not run.
+func (b *Budget) Withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current balance — observability for /healthz.
+func (b *Budget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Denied returns how many retries the budget has refused.
+func (b *Budget) Denied() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.denied
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — boot lpserved, prove the serving loop end to end, and
+# assert a clean SIGTERM drain:
+#   1. build and start the daemon on an ephemeral port
+#   2. /readyz answers ready
+#   3. one analyze job round-trips with a 200
+#   4. SIGTERM → the daemon drains, reports it, and exits 0
+# Used by `make serve-smoke` and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+workdir=$(mktemp -d)
+srvlog="$workdir/lpserved.log"
+pid=""
+cleanup() {
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+        kill -KILL "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- lpserved log ---" >&2
+    cat "$srvlog" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building lpserved"
+go build -o "$workdir/lpserved" ./cmd/lpserved
+
+# Quick evaluator configuration so the job finishes in seconds; tiny
+# drain deadline so shutdown is snappy.
+"$workdir/lpserved" -addr 127.0.0.1:0 -quick -slice 2000 -input test \
+    -drain-deadline 10s -pending "$workdir/pending.jsonl" \
+    >"$srvlog" 2>&1 &
+pid=$!
+
+# The daemon prints "listening on http://<addr>" once bound.
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's/^lpserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$srvlog" | head -1)
+    [[ -n "$base" ]] && break
+    kill -0 "$pid" 2>/dev/null || fail "daemon exited before binding"
+    sleep 0.1
+done
+[[ -n "$base" ]] || fail "daemon never printed its listen address"
+echo "serve-smoke: daemon up at $base (pid $pid)"
+
+ready=$(curl -fsS "$base/readyz")
+echo "$ready" | grep -q '"ready":true' || fail "/readyz not ready: $ready"
+
+echo "serve-smoke: submitting analyze job"
+job=$(curl -fsS -m 120 -H 'Content-Type: application/json' \
+    -d '{"class":"analyze","app":"npb-cg","input":"test","threads":4}' \
+    "$base/v1/jobs")
+echo "$job" | grep -q '"summary"' || fail "job did not return a summary: $job"
+echo "$job" | grep -q 'looppoints' || fail "unexpected job payload: $job"
+echo "serve-smoke: job ok: $job"
+
+health=$(curl -fsS "$base/healthz")
+echo "$health" | grep -q '"completed":1' || fail "/healthz does not count the job: $health"
+
+echo "serve-smoke: sending SIGTERM"
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+[[ "$rc" -eq 0 ]] || fail "daemon exited $rc after SIGTERM, want 0"
+grep -q 'drained clean=true' "$srvlog" || fail "daemon did not report a clean drain"
+[[ ! -e "$workdir/pending.jsonl" ]] || fail "clean drain left a pending checkpoint"
+pid=""
+
+echo "serve-smoke: PASS"
