@@ -1,6 +1,6 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test test-race test-faults serve-smoke bench report report-full demo clean
+.PHONY: build test test-race test-faults test-stats serve-smoke bench report report-full demo clean
 
 build:
 	go build ./...
@@ -26,6 +26,16 @@ test-faults:
 			./internal/serve/ . \
 			|| exit 1; \
 	done
+
+# Statistical verification of the selection engines: the estimator
+# unit suite, the seeded calibration sweeps (empirical coverage of the
+# nominal 95% interval, Neyman-vs-proportional half-widths, estimator
+# bias — hundreds of fully seeded trials, so the verdicts are
+# deterministic), and the per-engine property/fuzz invariants.
+test-stats:
+	go test -count=1 ./internal/stats/
+	go test -count=1 -run 'Calibration|Selector|Stratified|Golden|Fuzz' \
+		-v ./internal/simpoint/
 
 # Boot the lpserved daemon, hit /readyz and one job endpoint, then
 # SIGTERM it and assert a clean drain and exit 0.

@@ -31,6 +31,9 @@ func main() {
 		serial     = flag.Bool("serial", false, "simulate regions back-to-back instead of in parallel")
 		sliceUnit  = flag.Uint64("slice", 0, "per-thread slice unit in instructions (default 100000)")
 		maxK       = flag.Int("maxk", 0, "maximum clusters (default 50)")
+		selector   = flag.String("selector", "", "selection engine: "+strings.Join(looppoint.Selectors(), ", ")+" (default simpoint)")
+		budget     = flag.Int("budget", 0, "stratified engine: total region draw budget (default 2x cluster count)")
+		confidence = flag.Float64("confidence", 0, "confidence level for extrapolated intervals, in (0,1) (default 0.95)")
 		inorder    = flag.Bool("inorder", false, "simulate on the in-order core model")
 		native     = flag.Bool("native", false, "run the application functionally without any sampling or timing (smoke test)")
 		list       = flag.Bool("list", false, "list available programs and exit")
@@ -58,6 +61,9 @@ func main() {
 	if *maxK != 0 {
 		cfg.MaxK = *maxK
 	}
+	cfg.Selector = *selector
+	cfg.SampleBudget = *budget
+	cfg.Confidence = *confidence
 
 	for _, name := range strings.Split(*programs, ",") {
 		name = strings.TrimSpace(name)
@@ -99,6 +105,17 @@ func printReport(rep *looppoint.Report) {
 	fmt.Fprintf(tw, "looppoints selected\t%d\n", len(rep.Selection.Points))
 	fmt.Fprintf(tw, "total instructions\t%d (filtered %d)\n", prof.TotalICount, prof.TotalFiltered)
 	fmt.Fprintf(tw, "predicted runtime\t%.6f s (%.0f cycles)\n", rep.Predicted.Seconds, rep.Predicted.Cycles)
+	if iv := rep.Intervals; iv != nil {
+		fmt.Fprintf(tw, "runtime %.0f%% CI\t%.6f ± %.6f s\n", iv.Level*100, iv.Seconds.Mean, iv.Seconds.HalfWidth)
+		fmt.Fprintf(tw, "cycles %.0f%% CI\t%.0f ± %.0f\n", iv.Level*100, iv.Cycles.Mean, iv.Cycles.HalfWidth)
+		if rep.Full != nil {
+			covered := "outside"
+			if iv.Seconds.Covers(rep.Full.RuntimeSeconds()) {
+				covered = "inside"
+			}
+			fmt.Fprintf(tw, "measured vs CI\t%s the interval\n", covered)
+		}
+	}
 	if rep.Full != nil {
 		fmt.Fprintf(tw, "measured runtime\t%.6f s\n", rep.Full.RuntimeSeconds())
 		fmt.Fprintf(tw, "runtime error\t%.2f %%\n", rep.RuntimeErrPct)

@@ -32,6 +32,8 @@ func main() {
 		waitPolicy = flag.String("w", "passive", "wait policy: passive or active")
 		sliceUnit  = flag.Uint64("slice", 0, "per-thread slice unit (default 100000)")
 		maxK       = flag.Int("maxk", 0, "maximum clusters (default 50)")
+		selector   = flag.String("selector", "", "selection engine: simpoint, stratified, barrierpoint, timebased (default simpoint)")
+		budget     = flag.Int("budget", 0, "stratified engine: total region draw budget (0 = 2x cluster count)")
 		regions    = flag.Bool("regions", false, "also dump every profiled region")
 		csv        = flag.Bool("csv", false, "emit CSV instead of a table")
 		saveWhole  = flag.String("save-pinball", "", "save the whole-program pinball to this file")
@@ -80,6 +82,8 @@ func main() {
 	}
 	cfg.ClusterWorkers = *jobs
 	cfg.SlowPath = *slowPath
+	cfg.Selector = *selector
+	cfg.SampleBudget = *budget
 	if *disasm {
 		if err := w.App.Prog.Disassemble(os.Stdout); err != nil {
 			fail(err)
@@ -174,13 +178,30 @@ func main() {
 	emit(t, *csv)
 
 	if *regions {
+		// Non-clustering engines (e.g. timebased) carry no k-means result;
+		// recover each region's stratum from the sample's membership lists.
+		cluster := make([]int, len(prof.Regions))
+		for i := range cluster {
+			cluster[i] = -1
+		}
+		if sel.Result != nil {
+			cluster = sel.Result.Assign
+		} else if sel.Sample != nil {
+			for h, st := range sel.Sample.Strata {
+				for _, m := range st.Members {
+					if m >= 0 && m < len(cluster) {
+						cluster[m] = h
+					}
+				}
+			}
+		}
 		rt := &results.Table{
 			Title:   "all regions",
 			Headers: []string{"region", "start", "end", "filtered", "unfiltered", "cluster"},
 		}
 		for i, r := range prof.Regions {
 			rt.AddRow(r.Index, r.Start.String(), r.End.String(), r.Filtered,
-				r.UnfilteredLen(), sel.Result.Assign[i])
+				r.UnfilteredLen(), cluster[i])
 		}
 		emit(rt, *csv)
 	}

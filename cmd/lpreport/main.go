@@ -36,7 +36,7 @@ type experiment struct {
 func main() {
 	var (
 		quick     = flag.Bool("quick", false, "use representative workload subsets")
-		figures   = flag.String("figures", "all", "comma-separated experiments: tables,1,3,4,5a,5b,6,7,8,9,10,naive,constrained,hybrid,ablations or all")
+		figures   = flag.String("figures", "all", "comma-separated experiments: tables,1,3,4,5a,5b,6,7,8,9,10,naive,constrained,hybrid,engines,ablations or all")
 		outDir    = flag.String("out", "", "directory to also write per-figure text files into")
 		threads   = flag.Int("n", 8, "SPEC thread count")
 		jobs      = flag.Int("j", 0, "worker-pool width for parallel evaluation (0 = one worker per CPU); output is identical at every setting")
@@ -49,6 +49,9 @@ func main() {
 		retries   = flag.Int("retries", 1, "attempts per region simulation (transient failures are retried with backoff)")
 		regionTO  = flag.Duration("region-timeout", 0, "per-attempt time limit for one region simulation (0 = none)")
 		minCov    = flag.Float64("min-coverage", 0, "degraded mode: minimum surviving fraction of extrapolation weight (0 = default 0.9, negative = no floor)")
+		selector  = flag.String("selector", "", "selection engine for every experiment (default simpoint); the engines experiment always sweeps all of them")
+		budget    = flag.Int("budget", 0, "stratified engine: total region draw budget (0 = 2x cluster count)")
+		confid    = flag.Float64("confidence", 0, "confidence level for extrapolated intervals (0 = 0.95)")
 		pprofCPU  = flag.String("pprof-cpu", "", "write a CPU profile to this file")
 		pprofHeap = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)
@@ -82,6 +85,9 @@ func main() {
 		Retries:       *retries,
 		RegionTimeout: *regionTO,
 		MinCoverage:   *minCov,
+		Selector:      *selector,
+		SampleBudget:  *budget,
+		Confidence:    *confid,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -111,6 +117,13 @@ func main() {
 		{"naive", wrap(e.NaiveSimPoint)},
 		{"constrained", wrap(e.Constrained)},
 		{"hybrid", wrap(e.Hybrid)},
+		{"engines", func(e *harness.Evaluator) (string, error) {
+			res, err := e.Engines(nil)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		}},
 		{"ablations", runAblations},
 	}
 

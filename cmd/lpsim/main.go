@@ -22,6 +22,7 @@ import (
 	"looppoint/internal/pinball"
 	"looppoint/internal/pool"
 	"looppoint/internal/prof"
+	"looppoint/internal/stats"
 	"looppoint/internal/timing"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		retries    = flag.Int("retries", 1, "attempts per checkpoint simulation in directory mode (transient failures are retried with backoff)")
 		regionTO   = flag.Duration("region-timeout", 0, "per-attempt time limit for one checkpoint simulation in directory mode (0 = none)")
 		minCov     = flag.Float64("min-coverage", 1.0, "directory mode: minimum fraction of checkpoints that must simulate; bad pinballs are quarantined and the rest continue, but falling below this exits nonzero")
+		confid     = flag.Float64("confidence", 0.95, "directory mode: level for the across-checkpoint IPC confidence interval")
 		pprofCPU   = flag.String("pprof-cpu", "", "write a CPU profile to this file")
 		pprofHeap  = flag.String("pprof-heap", "", "write a heap profile to this file at exit")
 	)
@@ -139,6 +141,7 @@ func main() {
 			simulateCheckpointDir(w, cfg, *checkpoint, dirOpts{
 				jobs: *jobs, constrain: *constrain, slowPath: *slowPath,
 				retries: *retries, regionTimeout: *regionTO, minCoverage: *minCov,
+				confidence: *confid,
 			})
 			return
 		}
@@ -197,6 +200,7 @@ type dirOpts struct {
 	retries       int
 	regionTimeout time.Duration
 	minCoverage   float64
+	confidence    float64
 }
 
 // simulateCheckpointDir simulates every region pinball in dir on a
@@ -273,6 +277,7 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 	var insns uint64
 	var cycles, seconds float64
 	var quarantined int
+	var ipcs []float64
 	for i, r := range runs {
 		if errs[i] != nil {
 			quarantined++
@@ -283,6 +288,7 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 		insns += r.st.Instructions
 		cycles += r.st.Cycles
 		seconds += r.st.RuntimeSeconds()
+		ipcs = append(ipcs, r.st.IPC())
 		fmt.Printf("%-32s %12d insns  IPC %6.3f  runtime %.6f s  [host %v]\n",
 			filepath.Base(files[i]), r.st.Instructions, r.st.IPC(),
 			r.st.RuntimeSeconds(), r.host.Round(time.Millisecond))
@@ -292,6 +298,11 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 	fmt.Printf("  instructions   %d\n", insns)
 	fmt.Printf("  cycles         %.0f\n", cycles)
 	fmt.Printf("  region runtime %.6f s @ %.2f GHz (summed)\n", seconds, cfg.FreqGHz)
+	if len(ipcs) >= 2 && opts.confidence > 0 && opts.confidence < 1 {
+		iv := stats.MeanInterval(ipcs, opts.confidence)
+		fmt.Printf("  IPC per ckpt   %.3f ± %.3f (%.0f%% CI over %d checkpoints)\n",
+			iv.Mean, iv.HalfWidth, opts.confidence*100, len(ipcs))
+	}
 	if elapsed > 0 {
 		fmt.Printf("  host wall      %v (serial-equivalent %v, speedup %.2fx)\n",
 			elapsed.Round(time.Millisecond), serial.Round(time.Millisecond),

@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"fmt"
+
+	"looppoint/internal/simpoint"
+)
+
+// The prior-work baselines are registered as selection engines beside
+// "simpoint" and "stratified", so the -selector flag (and the harness
+// engine-comparison experiment) can address every methodology through
+// one interface:
+//
+//   - "barrierpoint": the BarrierPoint selection rule. Identical to the
+//     SimPoint medoid rule — BarrierPoint's novelty is the region
+//     definition (inter-barrier regions, see AnalyzeBarrierPoint), not
+//     the draw — so the engine delegates to simpoint.SimPointSelector
+//     and exists to make barrier-profiled analyses addressable by name.
+//   - "timebased": periodic sampling. The region list is cut into
+//     Budget contiguous segments and the first region of each segment is
+//     simulated in detail, weighted by its segment's work — the
+//     detail-window-every-period scheme of the time-based baseline,
+//     expressed over profiled regions. No clustering is involved
+//     (Selection.Result is nil) and every stratum holds one draw, so
+//     like the medoid rule it yields a point estimate.
+
+func init() {
+	simpoint.RegisterSelector("barrierpoint", func() simpoint.Selector { return BarrierPointSelector{} })
+	simpoint.RegisterSelector("timebased", func() simpoint.Selector { return TimeBasedSelector{} })
+}
+
+// DefaultTimeBasedSegments is the segment count the time-based engine
+// uses when no budget is given.
+const DefaultTimeBasedSegments = 10
+
+// BarrierPointSelector applies the SimPoint medoid rule under the
+// BarrierPoint name (the region definition upstream is what differs).
+type BarrierPointSelector struct{}
+
+// Name implements simpoint.Selector.
+func (BarrierPointSelector) Name() string { return "barrierpoint" }
+
+// Select implements simpoint.Selector.
+func (BarrierPointSelector) Select(vectors [][]float64, weights []float64, copts simpoint.Options, sopts simpoint.SelectorOpts) (*simpoint.Selection, error) {
+	sel, err := simpoint.SimPointSelector{}.Select(vectors, weights, copts, sopts)
+	if err != nil {
+		return nil, err
+	}
+	sel.Engine = "barrierpoint"
+	return sel, nil
+}
+
+// TimeBasedSelector picks the first region of every fixed-length segment
+// of the region timeline.
+type TimeBasedSelector struct{}
+
+// Name implements simpoint.Selector.
+func (TimeBasedSelector) Name() string { return "timebased" }
+
+// Select implements simpoint.Selector.
+func (TimeBasedSelector) Select(vectors [][]float64, weights []float64, copts simpoint.Options, sopts simpoint.SelectorOpts) (*simpoint.Selection, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("baselines: no regions to select from")
+	}
+	if len(weights) != n {
+		return nil, fmt.Errorf("baselines: %d weights for %d regions", len(weights), n)
+	}
+	segments := sopts.Budget
+	if segments <= 0 {
+		segments = DefaultTimeBasedSegments
+	}
+	if segments > n {
+		segments = n
+	}
+	// Segment h covers regions [h·n/segments, (h+1)·n/segments) — the
+	// balanced split whose segment lengths differ by at most one.
+	sel := &simpoint.Selection{Engine: "timebased"}
+	for h := 0; h < segments; h++ {
+		lo, hi := h*n/segments, (h+1)*n/segments
+		st := simpoint.Stratum{Sampled: 1}
+		for i := lo; i < hi; i++ {
+			st.Members = append(st.Members, i)
+			st.Work += weights[i]
+		}
+		sel.Strata = append(sel.Strata, st)
+		sel.Regions = append(sel.Regions, simpoint.SelectedRegion{Index: lo, Stratum: h})
+	}
+	simpoint.NormalizeStrata(sel.Strata)
+	simpoint.FinishSelection(sel)
+	return sel, nil
+}

@@ -81,6 +81,23 @@ type Config struct {
 	// worker per CPU, 1 = serial). Selections are byte-identical at every
 	// width; only host time changes.
 	ClusterWorkers int
+	// Selector names the selection engine ("simpoint" by default; see
+	// simpoint.SelectorNames). "stratified" draws multiple seeded random
+	// representatives per cluster with two-phase budget allocation and
+	// makes per-metric confidence intervals estimable.
+	Selector string
+	// SampleBudget is the total region-draw budget for multi-draw
+	// engines (0 = engine default; the medoid engine ignores it).
+	SampleBudget int
+	// PilotPerStratum is the stratified engine's phase-one pilot draw
+	// count per cluster (0 = simpoint.DefaultPilot).
+	PilotPerStratum int
+	// Confidence is the level for extrapolated confidence intervals
+	// (0 = simpoint.DefaultConfidence, i.e. 95%).
+	Confidence float64
+	// ProportionalAlloc switches the stratified engine from Neyman to
+	// proportional phase-two allocation (calibration ablation).
+	ProportionalAlloc bool
 }
 
 // DefaultConfig returns the paper's parameters at this repository's scale.
@@ -118,6 +135,12 @@ func (c *Config) fill() {
 	}
 	if c.WarmupRegions == 0 {
 		c.WarmupRegions = 2
+	}
+	if c.Selector == "" {
+		c.Selector = "simpoint"
+	}
+	if c.Confidence == 0 {
+		c.Confidence = simpoint.DefaultConfidence
 	}
 }
 
@@ -213,23 +236,48 @@ type LoopPoint struct {
 	Cluster     int
 	ClusterSize int
 	// Multiplier is Σ filtered counts of represented regions divided by
-	// this region's filtered count.
+	// this region's filtered count — generalized for multi-draw engines
+	// to W_h / (n_h · w_i), the per-draw share of the stratum's work,
+	// so Σ value_i × multiplier_i stays the stratified ratio estimate.
 	Multiplier float64
 	// Spread is the average distance (in the projected BBV space) from
 	// the cluster's members to this representative — a confidence proxy:
 	// a tight cluster extrapolates reliably, a diffuse one less so.
 	Spread float64
+	// Draws is how many representatives the point's stratum contributed
+	// (n_h; 1 under the classic pick-the-medoid rule).
+	Draws int
+	// Weight is the draw's share of total work; weights sum to 1 across
+	// the selection.
+	Weight float64
 }
 
 // Selection is the set of looppoints chosen for an application.
 type Selection struct {
 	Analysis *Analysis
 	Result   *simpoint.Result
-	Points   []LoopPoint
+	// Sample is the engine-level selection: which engine drew the
+	// points, the sampling strata, and the per-draw weights. It is what
+	// interval estimation consumes; Result is nil for engines that
+	// stratify without clustering (e.g. "timebased").
+	Sample *simpoint.Selection
+	Points []LoopPoint
 }
 
-// Select clusters the profile's regions and picks one looppoint per
-// cluster (Section III-E).
+// Engine names the selection engine that produced the selection
+// ("simpoint" for pre-interface selections restored from journals).
+func (s *Selection) Engine() string {
+	if s.Sample == nil {
+		return "simpoint"
+	}
+	return s.Sample.Engine
+}
+
+// Select projects and clusters the profile's regions, then draws
+// representatives with the configured selection engine (Section III-E;
+// Config.Selector). The default "simpoint" engine picks one medoid per
+// cluster and is byte-identical to the pre-interface pipeline — pinned
+// by the identity suite and the selections golden file.
 func Select(a *Analysis) (*Selection, error) {
 	cfg := a.Config
 	regions := a.Profile.Regions
@@ -253,33 +301,58 @@ func Select(a *Analysis) (*Selection, error) {
 	for i, r := range regions {
 		weights[i] = float64(r.Filtered)
 	}
-	res, err := simpoint.Cluster(vectors, weights, simpoint.Options{
+	engine := cfg.Selector
+	if engine == "" {
+		engine = "simpoint"
+	}
+	sl, err := simpoint.NewSelector(engine)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", a.Prog.Name, err)
+	}
+	sp, err := sl.Select(vectors, weights, simpoint.Options{
 		MaxK: cfg.MaxK, Seed: cfg.Seed,
 		Workers: cfg.ClusterWorkers, Slow: cfg.SlowPath,
+	}, simpoint.SelectorOpts{
+		Budget: cfg.SampleBudget, Pilot: cfg.PilotPerStratum,
+		Proportional: cfg.ProportionalAlloc,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("core: clustering %s: %w", a.Prog.Name, err)
+		return nil, fmt.Errorf("core: selecting %s: %w", a.Prog.Name, err)
 	}
 
-	sel := &Selection{Analysis: a, Result: res}
-	clusterFiltered := make([]uint64, res.K)
-	clusterSize := make([]int, res.K)
-	spread := make([]float64, res.K)
-	for i, r := range regions {
-		j := res.Assign[i]
-		clusterFiltered[j] += r.Filtered
-		clusterSize[j]++
-		spread[j] += dist(vectors[i], vectors[res.Reps[j]])
+	sel := &Selection{Analysis: a, Result: sp.Result, Sample: sp}
+	// Exact per-stratum work totals (uint64 sums — no float rounding).
+	stratumFiltered := make([]uint64, len(sp.Strata))
+	for h, st := range sp.Strata {
+		for _, m := range st.Members {
+			stratumFiltered[h] += regions[m].Filtered
+		}
 	}
-	for j, repIdx := range res.Reps {
-		rep := regions[repIdx]
+	for _, dr := range sp.Regions {
+		st := sp.Strata[dr.Stratum]
+		rep := regions[dr.Index]
+		// Multiplier W_h/(n_h·w_i): for a one-draw stratum this is the
+		// classic Equation-2 multiplier, bit for bit (×1.0 is exact).
 		mult := 0.0
 		if rep.Filtered > 0 {
-			mult = float64(clusterFiltered[j]) / float64(rep.Filtered)
+			mult = float64(stratumFiltered[dr.Stratum]) /
+				(float64(st.Sampled) * float64(rep.Filtered))
+		}
+		// Mean member distance to this representative, accumulated in
+		// ascending member order — the same add sequence the
+		// pre-interface loop produced for medoid selections.
+		var spread float64
+		for _, m := range st.Members {
+			spread += dist(vectors[m], vectors[dr.Index])
 		}
 		sel.Points = append(sel.Points, LoopPoint{
-			Region: rep, Cluster: j, ClusterSize: clusterSize[j], Multiplier: mult,
-			Spread: spread[j] / float64(clusterSize[j]),
+			Region:      rep,
+			Cluster:     dr.Stratum,
+			ClusterSize: st.Size(),
+			Multiplier:  mult,
+			Spread:      spread / float64(st.Size()),
+			Draws:       st.Sampled,
+			Weight:      dr.Weight,
 		})
 	}
 	sort.Slice(sel.Points, func(i, k int) bool {

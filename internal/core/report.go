@@ -75,6 +75,12 @@ type Report struct {
 	// estimate.
 	Degradation *Degradation
 
+	// Intervals carries per-metric confidence intervals around Predicted
+	// (mean ± half-width at Intervals.Level). Nil for point-estimate
+	// selection engines — only engines drawing two or more
+	// representatives from some stratum make variance estimable.
+	Intervals *Intervals
+
 	Full         *timing.Stats
 	FullHostTime time.Duration
 
@@ -167,6 +173,7 @@ func RunCtx(ctx context.Context, prog *isa.Program, cfg Config, simCfg timing.Co
 		Regions:     regions,
 		Degradation: deg,
 		Predicted:   ExtrapolateDegraded(regions, simCfg.FreqGHz, deg),
+		Intervals:   ComputeIntervals(sel, regions, simCfg.FreqGHz, sel.Analysis.Config.Confidence),
 		Speedups:    ComputeTheoretical(sel),
 	}
 	if opts.SimulateFull {
@@ -215,6 +222,10 @@ func (r *Report) Summary() string {
 		len(r.Selection.Analysis.Profile.Regions), len(r.Selection.Points))
 	if r.Degradation.Degraded() {
 		s += fmt.Sprintf(" [degraded: %s]", r.Degradation.Summary())
+	}
+	if r.Intervals != nil {
+		s += fmt.Sprintf(", runtime %s s (%.0f%% CI)",
+			r.Intervals.Seconds, r.Intervals.Level*100)
 	}
 	if r.Full != nil {
 		s += fmt.Sprintf(", runtime err %.2f%%", r.RuntimeErrPct)

@@ -26,6 +26,11 @@ type SelectionFile struct {
 	// TotalFiltered is the whole-program unit-of-work count.
 	TotalFiltered uint64 `json:"total_filtered_instructions"`
 	TotalRegions  int    `json:"total_regions"`
+	// Engine names the selection engine when it differs from the classic
+	// "simpoint" rule. Omitted (empty) for simpoint selections so files
+	// written before engines existed and files written after are
+	// byte-identical for the default path.
+	Engine string `json:"engine,omitempty"`
 	// Points are the selected looppoints.
 	Points []SelectionPoint `json:"looppoints"`
 }
@@ -41,6 +46,11 @@ type SelectionPoint struct {
 	// Spread is the cluster's mean member-to-representative distance in
 	// the projected BBV space (confidence proxy; 0 = perfectly tight).
 	Spread float64 `json:"spread"`
+	// Draws is the number of representatives drawn from this point's
+	// stratum when the engine drew more than one (stratified sampling);
+	// omitted for the classic one-draw-per-cluster engines, preserving
+	// byte-identity of simpoint selection files.
+	Draws int `json:"draws,omitempty"`
 }
 
 // MarkerJSON is the JSON form of a (PC, count) marker.
@@ -92,8 +102,11 @@ func (s *Selection) File() *SelectionFile {
 		TotalFiltered: a.Profile.TotalFiltered,
 		TotalRegions:  len(a.Profile.Regions),
 	}
+	if engine := s.Engine(); engine != "simpoint" {
+		f.Engine = engine
+	}
 	for _, lp := range s.Points {
-		f.Points = append(f.Points, SelectionPoint{
+		p := SelectionPoint{
 			Region:      lp.Region.Index,
 			Start:       toMarkerJSON(lp.Region.Start),
 			End:         toMarkerJSON(lp.Region.End),
@@ -101,7 +114,11 @@ func (s *Selection) File() *SelectionFile {
 			Multiplier:  lp.Multiplier,
 			ClusterSize: lp.ClusterSize,
 			Spread:      lp.Spread,
-		})
+		}
+		if lp.Draws > 1 {
+			p.Draws = lp.Draws
+		}
+		f.Points = append(f.Points, p)
 	}
 	return f
 }

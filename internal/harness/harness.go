@@ -78,6 +78,15 @@ type Options struct {
 	// MinCoverage is the degraded-mode residual-coverage floor
 	// (0: core.DefaultMinCoverage; negative: no floor).
 	MinCoverage float64
+	// Selector names the selection engine ("" = "simpoint"; see
+	// simpoint.SelectorNames) — the -selector flag.
+	Selector string
+	// SampleBudget caps the stratified engine's total region draws
+	// (0 = the engine default of twice the cluster count).
+	SampleBudget int
+	// Confidence is the interval level for multi-draw engines
+	// (0 = simpoint.DefaultConfidence).
+	Confidence float64
 }
 
 // trainInput returns the SPEC accuracy-experiment input class.
@@ -135,6 +144,9 @@ func (o Options) config() core.Config {
 	// The clustering stage (projection + BIC sweep) shares the -j width;
 	// selections are byte-identical at every setting.
 	cfg.ClusterWorkers = o.Parallelism
+	cfg.Selector = o.Selector
+	cfg.SampleBudget = o.SampleBudget
+	cfg.Confidence = o.Confidence
 	return cfg
 }
 
@@ -301,6 +313,10 @@ type ReportKey struct {
 	Threads int
 	Core    timing.CoreKind
 	Full    bool
+	// Selector overrides the evaluator's selection engine for this
+	// evaluation ("" = Options.Selector) — the engine-comparison
+	// experiment evaluates one application under several engines.
+	Selector string
 }
 
 // Report runs (or returns the cached) end-to-end LoopPoint evaluation.
@@ -356,7 +372,11 @@ func (e *Evaluator) ReportCtx(ctx context.Context, k ReportKey) (*core.Report, e
 		e.logf("evaluating %s (%v, %s, %d threads, %v core, full=%v)",
 			k.App, k.Policy, k.Input, app.Prog.NumThreads(), k.Core, k.Full)
 		start := time.Now()
-		rep, err = core.RunCtx(ctx, app.Prog, e.Opts.config(), simCfg, core.RunOpts{
+		cfg := e.Opts.config()
+		if k.Selector != "" {
+			cfg.Selector = k.Selector
+		}
+		rep, err = core.RunCtx(ctx, app.Prog, cfg, simCfg, core.RunOpts{
 			SimulateFull: k.Full, Width: e.Opts.Parallelism,
 			Degraded: e.Opts.Degraded, Retries: e.Opts.Retries,
 			RegionTimeout: e.Opts.RegionTimeout, MinCoverage: e.Opts.MinCoverage,

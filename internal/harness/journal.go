@@ -36,8 +36,9 @@ import (
 
 // journalConfigVersion is bumped whenever the journaled record schema or
 // the fingerprinted configuration surface changes, invalidating older
-// journals wholesale.
-const journalConfigVersion = 1
+// journals wholesale. v2: records gained the confidence-interval block
+// and the fingerprinted config gained the selection-engine knobs.
+const journalConfigVersion = 2
 
 // configFingerprint hashes the evaluator configuration that determines a
 // report's numbers beyond its ReportKey: the resolved core config
@@ -67,6 +68,9 @@ type reportData struct {
 	L3MPKIDiff     float64           `json:"l3_mpki_diff"`
 	Speedups       core.Speedups     `json:"speedups"`
 	Degradation    *core.Degradation `json:"degradation,omitempty"`
+	// Intervals round-trips the confidence-interval block byte-identically
+	// (omitted for point-estimate engines, where it is nil).
+	Intervals *core.Intervals `json:"intervals,omitempty"`
 }
 
 func newReportData(rep *core.Report) reportData {
@@ -85,6 +89,7 @@ func newReportData(rep *core.Report) reportData {
 		L3MPKIDiff:     rep.L3MPKIDiff,
 		Speedups:       rep.Speedups,
 		Degradation:    rep.Degradation,
+		Intervals:      rep.Intervals,
 	}
 }
 
@@ -104,6 +109,7 @@ func (d reportData) report() *core.Report {
 		Selection:      sel,
 		Predicted:      d.Predicted,
 		Degradation:    d.Degradation,
+		Intervals:      d.Intervals,
 		Full:           d.Full,
 		FullHostTime:   time.Duration(d.FullHostTimeNS),
 		RuntimeErrPct:  d.RuntimeErrPct,

@@ -2,12 +2,15 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"looppoint/internal/bbv"
 	"looppoint/internal/core"
+	"looppoint/internal/stats"
 )
 
 // stubReport builds a minimal rehydratable report for journal tests.
@@ -151,5 +154,131 @@ func TestJournalAppendWithoutRepairLosesBoth(t *testing.T) {
 	}
 	if len(restored) != 1 || dropped != 1 {
 		t.Fatalf("raw append: restored %d dropped %d — expected the torn+new merged line to be lost (1 restored, 1 dropped)", len(restored), dropped)
+	}
+}
+
+// intervalsReport builds a rehydratable report carrying a confidence-
+// interval block with bit-patterns that exercise float round-tripping
+// (repeating binary fractions, subnormal-adjacent magnitudes).
+func intervalsReport(name string) *core.Report {
+	rep := stubReport(name, 5, 3)
+	rep.Intervals = &core.Intervals{
+		Level:        0.95,
+		Cycles:       stats.Interval{Mean: 1.0 / 3.0, HalfWidth: 2.0 / 7.0},
+		Seconds:      stats.Interval{Mean: 1.2345678901234567e-9, HalfWidth: 9.87654321e-12},
+		Instructions: stats.Interval{Mean: 1e15 + 1, HalfWidth: 0.1},
+		BranchMisses: stats.Interval{Mean: 42, HalfWidth: 0},
+		Branches:     stats.Interval{Mean: 0.30000000000000004, HalfWidth: 1e-300},
+		L1DMisses:    stats.Interval{Mean: 7, HalfWidth: 0.5},
+		L2Misses:     stats.Interval{Mean: 3, HalfWidth: 0.25},
+		L3Misses:     stats.Interval{Mean: 1, HalfWidth: 0.125},
+	}
+	return rep
+}
+
+// TestJournalIntervalsRoundTrip pins the confidence-interval block to a
+// byte-identical journal round-trip: a journaled report's Intervals must
+// rehydrate to exactly the same JSON bytes (hence the same float bits),
+// and a nil Intervals must stay nil rather than rehydrating as a zero
+// struct.
+func TestJournalIntervalsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	config := "#cfg"
+	j, err := openJournal(path, config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withIV := intervalsReport("with-iv")
+	if err := j.append("with-iv", withIV); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append("point-only", stubReport("point-only", 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, dropped, _, err := loadJournal(path, config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 || len(restored) != 2 {
+		t.Fatalf("restored %d dropped %d, want 2/0", len(restored), dropped)
+	}
+	got := restored["with-iv"]
+	if got == nil || got.Intervals == nil {
+		t.Fatal("intervals lost in journal round-trip")
+	}
+	want, err := json.Marshal(withIV.Intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := json.Marshal(got.Intervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, have) {
+		t.Fatalf("intervals not byte-identical after round-trip:\n want %s\n have %s", want, have)
+	}
+	if !reflect.DeepEqual(withIV.Intervals, got.Intervals) {
+		t.Fatalf("intervals differ structurally: want %+v have %+v", withIV.Intervals, got.Intervals)
+	}
+	if po := restored["point-only"]; po == nil || po.Intervals != nil {
+		t.Fatalf("nil Intervals must rehydrate as nil, got %+v", po.Intervals)
+	}
+}
+
+// TestJournalIntervalsTornRecord tears a record carrying the new
+// interval fields at several byte offsets: the torn line must be dropped
+// whole (never a half-parsed interval) while intact interval records
+// load losslessly.
+func TestJournalIntervalsTornRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	config := "#cfg"
+	j, err := openJournal(path, config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append("intact", intervalsReport("intact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.append("torn", intervalsReport("torn")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("expected 2 journal lines, got %q", full)
+	}
+	prefix := len(lines[0])
+	finalLen := len(lines[1])
+	for _, cut := range []int{1, finalLen / 3, finalLen / 2, finalLen - 2} {
+		if cut < 1 || cut >= finalLen-1 {
+			continue
+		}
+		torn := filepath.Join(dir, "torn.jsonl")
+		if err := os.WriteFile(torn, full[:prefix+cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		restored, dropped, _, err := loadJournal(torn, config)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(restored) != 1 || dropped != 1 {
+			t.Fatalf("cut %d: restored %d dropped %d, want 1/1", cut, len(restored), dropped)
+		}
+		got := restored["intact"]
+		if got == nil || got.Intervals == nil || got.Intervals.Level != 0.95 {
+			t.Fatalf("cut %d: intact interval record damaged: %+v", cut, got)
+		}
 	}
 }

@@ -45,6 +45,13 @@ func formatFloat(v float64) string {
 	}
 }
 
+// FormatCI renders a mean ± half-width confidence interval with the
+// table float formatting, so interval cells align with plain numeric
+// cells in the same table.
+func FormatCI(mean, halfWidth float64) string {
+	return formatFloat(mean) + " ± " + formatFloat(halfWidth)
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	var b strings.Builder

@@ -118,3 +118,20 @@ func TestFormatFloat(t *testing.T) {
 		t.Errorf("integral float: %q", got)
 	}
 }
+
+func TestFormatCI(t *testing.T) {
+	cases := []struct {
+		mean, hw float64
+		want     string
+	}{
+		{1.5, 0.25, "1.50 ± 0.2500"},
+		{1234.5, 10, "1234 ± 10"},
+		{0.001234, 0.0005, "0.0012 ± 0.0005"},
+		{42, 0, "42 ± 0"},
+	}
+	for _, c := range cases {
+		if got := FormatCI(c.mean, c.hw); got != c.want {
+			t.Errorf("FormatCI(%v, %v) = %q, want %q", c.mean, c.hw, got, c.want)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"looppoint/internal/bbv"
@@ -301,5 +302,53 @@ func TestClusterGoldenSelections(t *testing.T) {
 					slow.K, slow.Reps, slow.BICByK, fast.K, fast.Reps, fast.BICByK)
 			}
 		})
+	}
+}
+
+// TestSimPointSelectorMatchesDirectCluster pins the refactored medoid
+// engine to the pre-interface selection rule: SimPointSelector.Select
+// must carry exactly the Result a direct Cluster call produces (same
+// arguments, same floats) and draw exactly its Reps, one per cluster —
+// the identity that keeps every existing selection, golden file, and
+// resume journal valid under the Selector interface.
+func TestSimPointSelectorMatchesDirectCluster(t *testing.T) {
+	rng := testRNG(31)
+	for trial := 0; trial < 5; trial++ {
+		n := 8 + rng.intn(50)
+		vectors, _ := blobs(n, 1+rng.intn(5), 6, uint64(rng.next()))
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = float64(1 + rng.intn(100000))
+		}
+		opts := Options{MaxK: 8, Seed: uint64(trial) + 1, Workers: 1 + rng.intn(4)}
+
+		direct, err := Cluster(vectors, weights, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel, err := SimPointSelector{}.Select(vectors, weights, opts, SelectorOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sel.Result, direct) {
+			t.Fatalf("trial %d: selector's clustering Result differs from a direct Cluster call", trial)
+		}
+		if len(sel.Regions) != direct.K {
+			t.Fatalf("trial %d: %d draws for %d clusters", trial, len(sel.Regions), direct.K)
+		}
+		reps := append([]int(nil), direct.Reps...)
+		sort.Ints(reps)
+		for i, dr := range sel.Regions {
+			if dr.Index != reps[i] {
+				t.Fatalf("trial %d: draw %d is region %d, want medoid %d", trial, i, dr.Index, reps[i])
+			}
+			if direct.Assign[dr.Index] != dr.Stratum {
+				t.Fatalf("trial %d: draw %d stratum %d, assignment says %d",
+					trial, dr.Index, dr.Stratum, direct.Assign[dr.Index])
+			}
+			if st := sel.Strata[dr.Stratum]; st.Sampled != 1 {
+				t.Fatalf("trial %d: medoid stratum %d sampled %d, want exactly 1", trial, dr.Stratum, st.Sampled)
+			}
+		}
 	}
 }

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	// Reference values to 6 decimals (Abramowitz & Stegun / R qnorm).
+	for _, tc := range []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.995, 2.575829},
+		{0.84134474, 0.999999947}, // Φ(1)
+		{0.99, 2.326348},
+		{0.9999, 3.719016},
+	} {
+		got := NormalQuantile(tc.p)
+		if math.Abs(got-tc.want) > 1e-5 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileDomain(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		if got := NormalQuantile(p); !math.IsNaN(got) {
+			t.Errorf("NormalQuantile(%v) = %v, want NaN", p, got)
+		}
+	}
+}
+
+func TestZForLevel(t *testing.T) {
+	if z := ZForLevel(0.95); math.Abs(z-1.959964) > 1e-5 {
+		t.Errorf("ZForLevel(0.95) = %v", z)
+	}
+	if z := ZForLevel(0.99); math.Abs(z-2.575829) > 1e-5 {
+		t.Errorf("ZForLevel(0.99) = %v", z)
+	}
+	if !math.IsNaN(ZForLevel(0)) || !math.IsNaN(ZForLevel(1)) {
+		t.Error("ZForLevel must reject degenerate levels")
+	}
+}
+
+func TestMeanAndVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	// Population variance is 4; the unbiased sample variance is 32/7.
+	if v := SampleVariance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("SampleVariance = %v, want %v", v, 32.0/7)
+	}
+	if Mean(nil) != 0 || SampleVariance(nil) != 0 || SampleVariance([]float64{3}) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+}
+
+func TestIntervalCovers(t *testing.T) {
+	iv := Interval{Mean: 10, HalfWidth: 2}
+	for x, want := range map[float64]bool{8: true, 10: true, 12: true, 7.99: false, 12.01: false} {
+		if iv.Covers(x) != want {
+			t.Errorf("Covers(%v) = %v, want %v", x, !want, want)
+		}
+	}
+}
+
+func TestStratifiedEstimateExhaustiveSampleIsExact(t *testing.T) {
+	// Sampling every unit of every stratum: the estimate equals the true
+	// total and the half-width collapses to zero (FPC = 0).
+	strata := []StratumSample{
+		{Work: 10, Size: 2, Rates: []float64{1.5, 2.5}},
+		{Work: 4, Size: 3, Rates: []float64{1, 2, 3}},
+	}
+	iv := StratifiedEstimate(strata, 0.95)
+	want := 10*2.0 + 4*2.0
+	if math.Abs(iv.Mean-want) > 1e-12 {
+		t.Errorf("mean = %v, want %v", iv.Mean, want)
+	}
+	if iv.HalfWidth != 0 {
+		t.Errorf("exhaustive sample must have zero half-width, got %v", iv.HalfWidth)
+	}
+}
+
+func TestStratifiedEstimateSingleDrawHasZeroWidth(t *testing.T) {
+	iv := StratifiedEstimate([]StratumSample{{Work: 8, Size: 100, Rates: []float64{3}}}, 0.95)
+	if iv.Mean != 24 || iv.HalfWidth != 0 {
+		t.Errorf("got %+v, want mean 24 half-width 0", iv)
+	}
+}
+
+func TestStratifiedEstimateVariance(t *testing.T) {
+	// One stratum, hand-computed: W=6, N=10, rates {1,2,3} → r̄=2, s²=1,
+	// FPC = 1 - 3/10 = 0.7, Var = 36·0.7·1/3 = 8.4.
+	iv := StratifiedEstimate([]StratumSample{{Work: 6, Size: 10, Rates: []float64{1, 2, 3}}}, 0.95)
+	wantHW := ZForLevel(0.95) * math.Sqrt(8.4)
+	if math.Abs(iv.Mean-12) > 1e-12 {
+		t.Errorf("mean = %v, want 12", iv.Mean)
+	}
+	if math.Abs(iv.HalfWidth-wantHW) > 1e-12 {
+		t.Errorf("half-width = %v, want %v", iv.HalfWidth, wantHW)
+	}
+}
+
+func TestStratifiedEstimateSkipsEmptyStrata(t *testing.T) {
+	iv := StratifiedEstimate([]StratumSample{
+		{Work: 5, Size: 4, Rates: nil},
+		{Work: 3, Size: 2, Rates: []float64{2, 2}},
+	}, 0.95)
+	if iv.Mean != 6 {
+		t.Errorf("mean = %v, want 6 (empty stratum skipped)", iv.Mean)
+	}
+}
+
+func TestMeanInterval(t *testing.T) {
+	iv := MeanInterval([]float64{1, 2, 3, 4}, 0.95)
+	if math.Abs(iv.Mean-2.5) > 1e-12 {
+		t.Errorf("mean = %v", iv.Mean)
+	}
+	wantHW := ZForLevel(0.95) * math.Sqrt(SampleVariance([]float64{1, 2, 3, 4})/4)
+	if math.Abs(iv.HalfWidth-wantHW) > 1e-12 {
+		t.Errorf("half-width = %v, want %v", iv.HalfWidth, wantHW)
+	}
+	if iv := MeanInterval([]float64{7}, 0.95); iv.Mean != 7 || iv.HalfWidth != 0 {
+		t.Errorf("single sample: %+v", iv)
+	}
+}
+
+// TestNormalQuantileMonotone guards the piecewise approximation's seams.
+func TestNormalQuantileMonotone(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := 0.001; p < 0.999; p += 0.001 {
+		q := NormalQuantile(p)
+		if q <= prev {
+			t.Fatalf("not monotone at p=%v: %v <= %v", p, q, prev)
+		}
+		prev = q
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"looppoint/internal/harness"
 	"looppoint/internal/omp"
 	"looppoint/internal/pinball"
+	"looppoint/internal/simpoint"
 	"looppoint/internal/timing"
 	"looppoint/internal/workloads"
 )
@@ -83,6 +84,11 @@ const (
 // DefaultConfig returns the paper's parameters (100 K-instruction
 // per-thread slices, maxK 50, 100 projected dimensions).
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Selectors lists the registered selection engines (Config.Selector):
+// the classic "simpoint" medoid rule, the two-phase "stratified"
+// sampler, and the prior-work baselines.
+func Selectors() []string { return simpoint.SelectorNames() }
 
 // Gainestown returns the paper's Table I system configuration for n cores.
 func Gainestown(n int) SimConfig { return timing.Gainestown(n) }
