@@ -1,6 +1,6 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test test-race test-faults test-stats serve-smoke bench report report-full demo clean
+.PHONY: build test test-race test-faults test-stats serve-smoke bench bench-scaling report report-full demo clean
 
 build:
 	go build ./...
@@ -49,6 +49,23 @@ bench:
 # The complete SPEC CPU2017 + NPB suites (much longer).
 bench-full:
 	LOOPPOINT_FULL=1 go test -run xxx -bench . -benchtime 1x .
+
+# Multi-core scaling sweep: the data-plane and kernel benchmarks at
+# GOMAXPROCS widths 1/2/4/8 (results carry a -N suffix per width).
+# Feeds the cpus axis in the BENCH_*.json files; on hosts with fewer
+# cores the wider runs measure oversubscription, which is still worth
+# recording — the pool fan-out must not collapse when oversubscribed.
+bench-scaling:
+	go test -run xxx -cpu 1,2,4,8 -bench . -benchtime 1000x \
+		./internal/pool/
+	go test -run xxx -cpu 1,2,4,8 -bench 'Pinball|Checksum' -benchtime 100x \
+		./internal/pinball/ ./internal/artifact/
+	go test -run xxx -cpu 1,2,4,8 -bench 'PerRegion' -benchtime 20x \
+		./internal/timing/
+	go test -run xxx -cpu 1,2,4,8 -bench 'Interpreter' -benchtime 100000x \
+		./internal/exec/
+	go test -run xxx -cpu 1,2,4,8 -bench 'Cluster' -benchtime 3x \
+		./internal/simpoint/
 
 # Regenerate the evaluation as a text report.
 report:

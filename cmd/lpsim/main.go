@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"looppoint"
@@ -40,6 +41,7 @@ func main() {
 		trace      = flag.Uint64("trace", 0, "emit an IPC trace sampled every N instructions")
 		checkpoint = flag.String("checkpoint", "", "simulate a saved region pinball, or every *.pinball in a directory (from lpprofile -save-regions); build flags must match the profiling run")
 		jobs       = flag.Int("j", 0, "worker-pool width for directory checkpoint simulation (0 = one worker per CPU)")
+		mmapLoad   = flag.Bool("mmap", false, "load pinballs through a read-only memory mapping (zero-copy fast path; falls back to a normal read where unsupported)")
 		constrain  = flag.Bool("constrained", false, "with -checkpoint: constrained replay instead of unconstrained simulation")
 		dumpTrace  = flag.String("dump-trace", "", "record the workload and write an instruction trace to this file (no timing simulation)")
 		fromTrace  = flag.String("from-trace", "", "run a timing-only simulation of a trace file (-n selects the core count; no workload executes)")
@@ -141,11 +143,11 @@ func main() {
 			simulateCheckpointDir(w, cfg, *checkpoint, dirOpts{
 				jobs: *jobs, constrain: *constrain, slowPath: *slowPath,
 				retries: *retries, regionTimeout: *regionTO, minCoverage: *minCov,
-				confidence: *confid,
+				confidence: *confid, mmap: *mmapLoad,
 			})
 			return
 		}
-		pb, err := pinball.Load(*checkpoint)
+		pb, err := loadPinball(*checkpoint, *mmapLoad)
 		if err != nil {
 			fail(err)
 		}
@@ -201,6 +203,16 @@ type dirOpts struct {
 	regionTimeout time.Duration
 	minCoverage   float64
 	confidence    float64
+	mmap          bool
+}
+
+// loadPinball loads one pinball via the flag-selected path: the default
+// copying loader, or the zero-copy mapped loader under -mmap.
+func loadPinball(path string, mmap bool) (*pinball.Pinball, error) {
+	if mmap {
+		return pinball.LoadMapped(path)
+	}
+	return pinball.Load(path)
 }
 
 // simulateCheckpointDir simulates every region pinball in dir on a
@@ -233,6 +245,52 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 		host time.Duration
 	}
 	wall := time.Now()
+
+	// Stage 1: load every pinball concurrently on the same worker width
+	// (decode is CPU work worth parallelizing since the slab fast path;
+	// -mmap additionally skips the file-buffer copy). A pinball that
+	// fails to load is quarantined here and skipped by the simulate
+	// stage; results stay index-ordered, so reports print in name order
+	// no matter which worker finished first.
+	type loaded struct {
+		pb   *pinball.Pinball
+		host time.Duration
+	}
+	pbs, loadErrs, err := pool.MapWith(context.Background(), len(files), pool.Options{
+		Width:    width,
+		Attempts: opts.retries,
+		Degraded: true,
+	},
+		func(_ context.Context, i int) (loaded, error) {
+			start := time.Now()
+			pb, err := loadPinball(files[i], opts.mmap)
+			if err != nil {
+				return loaded{}, err
+			}
+			if pb.NumThreads != w.Threads() {
+				return loaded{}, fmt.Errorf("%s: recorded with %d threads, program built with %d",
+					files[i], pb.NumThreads, w.Threads())
+			}
+			return loaded{pb: pb, host: time.Since(start)}, nil
+		})
+	if err != nil {
+		fail(err)
+	}
+
+	// Stage 2: simulate the surviving checkpoints. Each worker reuses
+	// one Simulator across all the regions it draws (timing-state
+	// arenas); the identity tests pin reused reports byte-identical to
+	// fresh construction at every width.
+	sims := &sync.Pool{}
+	getSim := func() (*timing.Simulator, error) {
+		if v := sims.Get(); v != nil {
+			sim := v.(*timing.Simulator)
+			if err := sim.Reset(w.App.Prog); err == nil {
+				return sim, nil
+			}
+		}
+		return timing.New(cfg, w.App.Prog)
+	}
 	runs, errs, err := pool.MapWith(context.Background(), len(files), pool.Options{
 		Width:       width,
 		Attempts:    opts.retries,
@@ -240,33 +298,29 @@ func simulateCheckpointDir(w *looppoint.Workload, cfg timing.Config, dir string,
 		Degraded:    true,
 	},
 		func(_ context.Context, i int) (regionRun, error) {
+			if loadErrs[i] != nil {
+				return regionRun{}, loadErrs[i]
+			}
 			if err := faults.Check("lpsim.region"); err != nil {
 				return regionRun{}, err
 			}
 			start := time.Now()
-			pb, err := pinball.Load(files[i])
+			sim, err := getSim()
 			if err != nil {
 				return regionRun{}, err
 			}
-			if pb.NumThreads != w.Threads() {
-				return regionRun{}, fmt.Errorf("%s: recorded with %d threads, program built with %d",
-					files[i], pb.NumThreads, w.Threads())
-			}
-			sim, err := timing.New(cfg, w.App.Prog)
-			if err != nil {
-				return regionRun{}, err
-			}
+			defer sims.Put(sim)
 			sim.SlowPath = opts.slowPath
 			var st *timing.Stats
 			if opts.constrain {
-				st, err = sim.SimulateConstrained(pb)
+				st, err = sim.SimulateConstrained(pbs[i].pb)
 			} else {
-				st, err = sim.SimulateCheckpoint(pb)
+				st, err = sim.SimulateCheckpoint(pbs[i].pb)
 			}
 			if err != nil {
 				return regionRun{}, fmt.Errorf("%s: %w", files[i], err)
 			}
-			return regionRun{st: st, host: time.Since(start)}, nil
+			return regionRun{st: st, host: pbs[i].host + time.Since(start)}, nil
 		})
 	if err != nil {
 		fail(err)

@@ -120,6 +120,32 @@ func TestCmdCheckpointWorkflow(t *testing.T) {
 			t.Fatalf("lpsim directory checkpoint output missing %q:\n%s", want, dirSim)
 		}
 	}
+	// The zero-copy mapped loader must report the same per-file results
+	// as the copying loader, in the same name order, at any -j width.
+	mmapSim := goRun(t, "./cmd/lpsim", "-p", "demo-matrix-2", "-n", "4", "-i", "test",
+		"-checkpoint", dir, "-j", "2", "-mmap")
+	if reportLines(dirSim) != reportLines(mmapSim) {
+		t.Fatalf("-mmap directory sweep reports differ from the copying loader:\n--- copy:\n%s\n--- mmap:\n%s",
+			dirSim, mmapSim)
+	}
+}
+
+// reportLines strips the host-timing fields ([host ...], wall-clock
+// summary) from a directory-sweep report, leaving only the
+// deterministic simulation results for comparison across runs.
+func reportLines(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.Index(line, "[host"); i >= 0 {
+			line = strings.TrimRight(line[:i], " ")
+		}
+		if strings.Contains(line, "host wall") || strings.Contains(line, "speedup") ||
+			strings.Contains(line, "workers") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
 }
 
 // TestCmdLpsimQuarantine corrupts one exported region pinball and

@@ -35,10 +35,48 @@ const (
 // Checksum returns the FNV-1a hash of b — the whole-file integrity hash
 // appended to pinballs and embedded in selection-file envelopes.
 func Checksum(b []byte) uint64 {
-	h := FNVOffset
+	return Update(FNVOffset, b)
+}
+
+// Update folds b into a running FNV-1a state and returns the new state,
+// so loaders can hash in chunks: Update(Update(FNVOffset, a), b) ==
+// Checksum(a ++ b). FNV-1a is inherently sequential per byte, so the
+// unrolled eight-byte inner loop below is bit-identical to the naive
+// one-byte loop — the equivalence is pinned by a property test against
+// the reference implementation.
+func Update(h uint64, b []byte) uint64 {
+	for len(b) >= 8 {
+		h = (h ^ uint64(b[0])) * FNVPrime
+		h = (h ^ uint64(b[1])) * FNVPrime
+		h = (h ^ uint64(b[2])) * FNVPrime
+		h = (h ^ uint64(b[3])) * FNVPrime
+		h = (h ^ uint64(b[4])) * FNVPrime
+		h = (h ^ uint64(b[5])) * FNVPrime
+		h = (h ^ uint64(b[6])) * FNVPrime
+		h = (h ^ uint64(b[7])) * FNVPrime
+		b = b[8:]
+	}
 	for _, c := range b {
-		h ^= uint64(c)
-		h *= FNVPrime
+		h = (h ^ uint64(c)) * FNVPrime
+	}
+	return h
+}
+
+// ChecksumWords returns the FNV-1a hash of the little-endian byte
+// serialization of words, without materializing those bytes. It equals
+// Checksum applied to the 8×len(words) LE encoding — the form pinball
+// snapshot checksums have always used.
+func ChecksumWords(words []uint64) uint64 {
+	h := FNVOffset
+	for _, w := range words {
+		h = (h ^ (w & 0xff)) * FNVPrime
+		h = (h ^ (w >> 8 & 0xff)) * FNVPrime
+		h = (h ^ (w >> 16 & 0xff)) * FNVPrime
+		h = (h ^ (w >> 24 & 0xff)) * FNVPrime
+		h = (h ^ (w >> 32 & 0xff)) * FNVPrime
+		h = (h ^ (w >> 40 & 0xff)) * FNVPrime
+		h = (h ^ (w >> 48 & 0xff)) * FNVPrime
+		h = (h ^ (w >> 56)) * FNVPrime
 	}
 	return h
 }

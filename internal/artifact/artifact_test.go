@@ -1,0 +1,89 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// checksumNaive is the reference one-byte-at-a-time FNV-1a loop the
+// repository shipped before the unrolled fast path. The property tests
+// below pin the fast path to it bit-for-bit.
+func checksumNaive(b []byte) uint64 {
+	h := FNVOffset
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= FNVPrime
+	}
+	return h
+}
+
+func TestChecksumMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Every length 0..64 hits all unroll-tail combinations; larger random
+	// lengths exercise the steady-state eight-byte loop.
+	for n := 0; n <= 64; n++ {
+		b := make([]byte, n)
+		rng.Read(b)
+		if got, want := Checksum(b), checksumNaive(b); got != want {
+			t.Fatalf("len %d: Checksum %#x, naive %#x", n, got, want)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		b := make([]byte, rng.Intn(1<<14))
+		rng.Read(b)
+		if got, want := Checksum(b), checksumNaive(b); got != want {
+			t.Fatalf("len %d: Checksum %#x, naive %#x", len(b), got, want)
+		}
+	}
+}
+
+func TestUpdateChunksEqualWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := make([]byte, 4096+5)
+	rng.Read(b)
+	want := Checksum(b)
+	for _, cut := range []int{0, 1, 7, 8, 9, 1000, len(b)} {
+		if got := Update(Update(FNVOffset, b[:cut]), b[cut:]); got != want {
+			t.Fatalf("cut %d: chunked %#x, whole %#x", cut, got, want)
+		}
+	}
+}
+
+func TestChecksumWordsMatchesByteSerialization(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 1, 3, 100, 4096} {
+		words := make([]uint64, n)
+		raw := make([]byte, 8*n)
+		for i := range words {
+			words[i] = rng.Uint64()
+			binary.LittleEndian.PutUint64(raw[8*i:], words[i])
+		}
+		if got, want := ChecksumWords(words), checksumNaive(raw); got != want {
+			t.Fatalf("n %d: ChecksumWords %#x, naive-over-LE %#x", n, got, want)
+		}
+	}
+}
+
+func BenchmarkChecksum(b *testing.B) {
+	buf := make([]byte, 1<<16)
+	rand.New(rand.NewSource(1)).Read(buf)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Checksum(buf)
+	}
+}
+
+func BenchmarkChecksumWords(b *testing.B) {
+	words := make([]uint64, 1<<13)
+	rng := rand.New(rand.NewSource(2))
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	b.SetBytes(int64(8 * len(words)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ChecksumWords(words)
+	}
+}

@@ -29,7 +29,7 @@ func TestSimulateRegionsWidthInvariant(t *testing.T) {
 		t.Fatal(err)
 	}
 	basePred := Extrapolate(base, freq)
-	for _, width := range []int{2, 8} {
+	for _, width := range []int{2, 4, 8} {
 		res, err := SimulateRegionsN(sel, timing.Gainestown(4), width)
 		if err != nil {
 			t.Fatalf("width %d: %v", width, err)
@@ -42,10 +42,13 @@ func TestSimulateRegionsWidthInvariant(t *testing.T) {
 				t.Errorf("width %d: result %d is region %d, want %d (ordering unstable)",
 					width, i, res[i].Point.Region.Index, base[i].Point.Region.Index)
 			}
-			if res[i].Stats.Cycles != base[i].Stats.Cycles ||
-				res[i].Stats.Instructions != base[i].Stats.Instructions ||
-				res[i].Stats.BranchMisses != base[i].Stats.BranchMisses {
-				t.Errorf("width %d: region %d stats differ from width 1", width, i)
+			// Full deep equality: the simulator-arena reuse path must
+			// leave no residue regardless of which worker simulated which
+			// region, so every counter — not just the headline three —
+			// must match the width-1 sweep bit-for-bit.
+			if !reflect.DeepEqual(res[i].Stats, base[i].Stats) {
+				t.Errorf("width %d: region %d stats differ from width 1:\n%+v\nvs\n%+v",
+					width, i, res[i].Stats, base[i].Stats)
 			}
 		}
 		if pred := Extrapolate(res, freq); pred != basePred {

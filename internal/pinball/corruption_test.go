@@ -36,49 +36,120 @@ func savedPinballBytes(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
+// loaders enumerates every in-memory decode path; the corruption and
+// truncation matrices run the full offset sweep against each so the
+// slab decoder inherits the exact classification guarantees of the
+// streaming reader.
+var loaders = []struct {
+	name string
+	load func([]byte) (*Pinball, error)
+}{
+	{"stream", func(b []byte) (*Pinball, error) { return ReadFrom(bytes.NewReader(b)) }},
+	{"slab", Decode},
+}
+
 // TestCorruptionMatrixBitFlips flips one bit at every byte offset of a
 // saved pinball — header, snapshot, syscall logs, schedule, and trailing
-// hash — and asserts every flip is rejected with a typed artifact error.
-// Single-byte damage can never slip through: the running FNV-1a state
-// transformation is injective, so one changed payload byte always
-// changes the trailing hash, and flips in the hash itself fail the
-// comparison.
+// hash — and asserts every flip is rejected with a typed artifact error
+// by both decode paths. Single-byte damage can never slip through: the
+// running FNV-1a state transformation is injective, so one changed
+// payload byte always changes the trailing hash, and flips in the hash
+// itself fail the comparison.
 func TestCorruptionMatrixBitFlips(t *testing.T) {
 	orig := savedPinballBytes(t)
-	for off := 0; off < len(orig); off++ {
-		data := append([]byte(nil), orig...)
-		data[off] ^= 0x10
-		_, err := ReadFrom(bytes.NewReader(data))
-		if err == nil {
-			t.Fatalf("bit flip at byte %d accepted", off)
-		}
-		if !typed(err) {
-			t.Fatalf("bit flip at byte %d: untyped error %v", off, err)
-		}
+	for _, ld := range loaders {
+		t.Run(ld.name, func(t *testing.T) {
+			for off := 0; off < len(orig); off++ {
+				data := append([]byte(nil), orig...)
+				data[off] ^= 0x10
+				_, err := ld.load(data)
+				if err == nil {
+					t.Fatalf("bit flip at byte %d accepted", off)
+				}
+				if !typed(err) {
+					t.Fatalf("bit flip at byte %d: untyped error %v", off, err)
+				}
+			}
+		})
 	}
 }
 
 // TestCorruptionMatrixTruncation cuts the saved pinball at every prefix
-// length and asserts ErrTruncated (with the byte offset in the message)
-// for all of them.
+// length and asserts both decode paths report ErrTruncated (with the
+// byte offset in the message) for all of them.
 func TestCorruptionMatrixTruncation(t *testing.T) {
 	orig := savedPinballBytes(t)
-	for cut := 0; cut < len(orig); cut++ {
-		_, err := ReadFrom(bytes.NewReader(orig[:cut]))
-		if !errors.Is(err, artifact.ErrTruncated) {
-			t.Fatalf("truncation at %d bytes: err = %v, want ErrTruncated", cut, err)
-		}
+	for _, ld := range loaders {
+		t.Run(ld.name, func(t *testing.T) {
+			for cut := 0; cut < len(orig); cut++ {
+				_, err := ld.load(orig[:cut])
+				if !errors.Is(err, artifact.ErrTruncated) {
+					t.Fatalf("truncation at %d bytes: err = %v, want ErrTruncated", cut, err)
+				}
+			}
+		})
 	}
 }
 
+// TestCorruptionMatrixMmap replays representative damage — bad magic, a
+// torn tail, and a flipped byte in each section — through the mmap load
+// path, which must classify exactly like the in-memory loaders.
+func TestCorruptionMatrixMmap(t *testing.T) {
+	orig := savedPinballBytes(t)
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		data []byte
+		want error // nil means any typed artifact error
+	}{
+		{"bad-magic", append([]byte("NOTApinb"), orig[len(magic):]...), artifact.ErrCorrupt},
+		{"torn-tail", orig[:len(orig)-3], artifact.ErrTruncated},
+		{"half-file", orig[:len(orig)/2], artifact.ErrTruncated},
+		{"flip-header", flipAt(orig, len(magic)+8+2), nil},
+		{"flip-snapshot", flipAt(orig, len(orig)/2), nil},
+		{"flip-hash", flipAt(orig, len(orig)-1), artifact.ErrCorrupt},
+		{"version-skew", flipAt(orig, len(magic)), artifact.ErrVersion},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".pinball")
+			if err := os.WriteFile(path, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := LoadMapped(path)
+			if tc.want != nil && !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+			if tc.want == nil && !typed(err) {
+				t.Fatalf("err = %v, want a typed artifact error", err)
+			}
+		})
+	}
+	good := filepath.Join(dir, "good.pinball")
+	if err := os.WriteFile(good, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMapped(good); err != nil {
+		t.Fatalf("LoadMapped of intact file: %v", err)
+	}
+}
+
+func flipAt(orig []byte, off int) []byte {
+	data := append([]byte(nil), orig...)
+	data[off] ^= 0x10
+	return data
+}
+
 // TestVersionSkewIsTyped: a future version number is ErrVersion, not a
-// generic failure.
+// generic failure, on both decode paths.
 func TestVersionSkewIsTyped(t *testing.T) {
 	orig := savedPinballBytes(t)
 	data := append([]byte(nil), orig...)
 	data[len(magic)] = 99 // version field is the first u64 after the magic
-	if _, err := ReadFrom(bytes.NewReader(data)); !errors.Is(err, artifact.ErrVersion) {
-		t.Fatalf("err = %v, want ErrVersion", err)
+	for _, ld := range loaders {
+		if _, err := ld.load(data); !errors.Is(err, artifact.ErrVersion) {
+			t.Fatalf("%s: err = %v, want ErrVersion", ld.name, err)
+		}
 	}
 }
 

@@ -1,13 +1,12 @@
 package pinball
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"sync"
 
 	"looppoint/internal/artifact"
 	"looppoint/internal/bbv"
@@ -20,294 +19,178 @@ import (
 // format so checkpoints can be archived and simulated by other users
 // without rebuilding the workload state. The format is a simple
 // little-endian binary layout with a magic header and the snapshot
-// checksum; Load verifies integrity before returning.
+// checksum; loaders verify integrity before returning.
 //
-// Load failures are classified into the artifact package's typed
-// sentinels — errors.Is(err, artifact.ErrTruncated) for files that end
-// early (with the byte offset in the message), artifact.ErrCorrupt for
-// bad magic, implausible lengths, or checksum mismatches, and
-// artifact.ErrVersion for format skew — so callers like lpsim's
-// checkpoint-directory mode can quarantine bad files and continue.
+// Two code paths produce and consume the same bytes:
+//
+//   - the slab path (AppendBinary / Decode) serializes into one
+//     exact-size buffer and decodes from a byte slice with a single
+//     checksum pass — the hot path used by Save, Load, and LoadMapped;
+//   - the streaming path (ReadFrom) reads incrementally from any
+//     io.Reader with growth caps, so a corrupted-but-plausible length
+//     fails at the real end of input instead of committing gigabytes.
+//
+// Both paths are pinned byte-identical by the compatibility tests, and
+// both classify failures into the artifact package's typed sentinels —
+// errors.Is(err, artifact.ErrTruncated) for files that end early (with
+// the byte offset in the message), artifact.ErrCorrupt for bad magic,
+// implausible lengths, or checksum mismatches, and artifact.ErrVersion
+// for format skew — so callers like lpsim's checkpoint-directory mode
+// can quarantine bad files and continue.
 
 const (
 	magic   = "LOOPPINB"
 	version = uint32(1)
 )
 
-type writer struct {
-	w   *bufio.Writer
-	sum uint64 // running FNV-1a over every payload byte
-	err error
+// Plausibility caps shared by both decode paths. A declared length past
+// its cap is corruption, not truncation: no well-formed pinball is that
+// large.
+const (
+	maxStringLen  = 1 << 20
+	maxMemWords   = 1 << 32
+	maxThreads    = 1 << 16
+	maxStackDepth = 1 << 20
+	maxLogs       = 1 << 16
+	maxLogLen     = 1 << 32
+	maxSchedule   = 1 << 32
+)
+
+// EncodedSize returns the exact serialized length in bytes, including
+// the magic header and the trailing integrity hash. AppendBinary into a
+// buffer with at least this much spare capacity performs no allocation.
+func (pb *Pinball) EncodedSize() int {
+	n := len(magic)
+	n += 8            // version
+	n += 8 + len(pb.Name)
+	n += 6 * 8        // NumThreads … EndHitsAtSnapshot
+	n += 3 * 3 * 8    // region markers
+	s := pb.Start
+	n += 8 + 8 + 8*len(s.Mem) // Steps, memLen, mem words
+	n += 8                    // thread count
+	for i := range s.Threads {
+		// R[32] + F[32] + State + Cur frame (4) + stack len + ICount + Futex
+		n += (32 + 32 + 1 + 4 + 1 + 1 + 1) * 8
+		n += 4 * 8 * len(s.Threads[i].Stack)
+	}
+	n += 8 // syscall log count
+	for _, log := range pb.Syscalls {
+		n += 8 + 8*len(log)
+	}
+	n += 8 + 2*8*len(pb.Schedule) // schedule count + entries
+	n += 8                        // trailing FNV-1a
+	return n
 }
 
-func (w *writer) raw(b []byte) {
-	if w.err != nil {
-		return
+// AppendBinary appends the pinball's serialized form to buf and returns
+// the extended slice. The output is byte-identical to the historical
+// streaming writer: magic, then the payload as little-endian u64s, then
+// a trailing FNV-1a over every payload byte (magic excluded).
+func (pb *Pinball) AppendBinary(buf []byte) []byte {
+	base := len(buf)
+	if need := pb.EncodedSize(); cap(buf)-base < need {
+		grown := make([]byte, base, base+need)
+		copy(grown, buf)
+		buf = grown
 	}
-	for _, c := range b {
-		w.sum ^= uint64(c)
-		w.sum *= 1099511628211
-	}
-	_, w.err = w.w.Write(b)
-}
-
-func (w *writer) u64(v uint64) {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
-	w.raw(buf[:])
-}
-
-func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
-func (w *writer) u32(v uint32) { w.u64(uint64(v)) }
-
-func (w *writer) str(s string) {
-	w.u64(uint64(len(s)))
-	w.raw([]byte(s))
-}
-
-type reader struct {
-	r   *bufio.Reader
-	sum uint64
-	off int64 // bytes consumed so far, for truncation diagnostics
-	err error
-}
-
-func (r *reader) raw(b []byte) {
-	if r.err != nil {
-		return
-	}
-	n, err := io.ReadFull(r.r, b)
-	r.off += int64(n)
-	if err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			r.err = fmt.Errorf("%w at byte offset %d", artifact.ErrTruncated, r.off)
-		} else {
-			r.err = err
-		}
-		return
-	}
-	for _, c := range b {
-		r.sum ^= uint64(c)
-		r.sum *= 1099511628211
-	}
-}
-
-func (r *reader) u64() uint64 {
-	var buf [8]byte
-	r.raw(buf[:])
-	if r.err != nil {
-		return 0
-	}
-	return binary.LittleEndian.Uint64(buf[:])
-}
-
-func (r *reader) i64() int64  { return int64(r.u64()) }
-func (r *reader) u32() uint32 { return uint32(r.u64()) }
-
-func (r *reader) str() string {
-	n := r.u64()
-	if r.err != nil {
-		return ""
-	}
-	if n > 1<<20 {
-		r.err = fmt.Errorf("implausible string length %d at byte offset %d: %w", n, r.off, artifact.ErrCorrupt)
-		return ""
-	}
-	buf := make([]byte, n)
-	r.raw(buf)
-	if r.err != nil {
-		return ""
-	}
-	return string(buf)
-}
-
-// Write serializes the pinball.
-func (pb *Pinball) Write(dst io.Writer) error {
-	w := &writer{w: bufio.NewWriter(dst), sum: 14695981039346656037}
-	if _, err := w.w.WriteString(magic); err != nil {
-		return err
-	}
-	w.u32(version)
-	w.str(pb.Name)
-	w.u64(uint64(pb.NumThreads))
-	w.u64(pb.MemChecksum)
-	w.u64(pb.FinalChecksum)
-	w.u64(pb.WarmupSteps)
-	w.u64(pb.StartHitsAtSnapshot)
-	w.u64(pb.EndHitsAtSnapshot)
-	writeMarker(w, pb.Region.Start)
-	writeMarker(w, pb.Region.End)
-	writeMarker(w, pb.Region.WarmupStart)
+	buf = append(buf, magic...)
+	buf = appendU64(buf, uint64(version))
+	buf = appendU64(buf, uint64(len(pb.Name)))
+	buf = append(buf, pb.Name...)
+	buf = appendU64(buf, uint64(pb.NumThreads))
+	buf = appendU64(buf, pb.MemChecksum)
+	buf = appendU64(buf, pb.FinalChecksum)
+	buf = appendU64(buf, pb.WarmupSteps)
+	buf = appendU64(buf, pb.StartHitsAtSnapshot)
+	buf = appendU64(buf, pb.EndHitsAtSnapshot)
+	buf = appendMarker(buf, pb.Region.Start)
+	buf = appendMarker(buf, pb.Region.End)
+	buf = appendMarker(buf, pb.Region.WarmupStart)
 
 	// Snapshot.
 	s := pb.Start
-	w.u64(s.Steps)
-	w.u64(uint64(len(s.Mem)))
-	for _, word := range s.Mem {
-		w.u64(word)
-	}
-	w.u64(uint64(len(s.Threads)))
-	for _, t := range s.Threads {
+	buf = appendU64(buf, s.Steps)
+	buf = appendU64(buf, uint64(len(s.Mem)))
+	buf = appendWords(buf, s.Mem)
+	buf = appendU64(buf, uint64(len(s.Threads)))
+	for i := range s.Threads {
+		t := &s.Threads[i]
 		for _, r := range t.R {
-			w.i64(r)
+			buf = appendU64(buf, uint64(r))
 		}
 		for _, f := range t.F {
-			w.u64(floatBits(f))
+			buf = appendU64(buf, math.Float64bits(f))
 		}
-		w.u64(uint64(t.State))
-		writeFrame(w, t.Cur)
-		w.u64(uint64(len(t.Stack)))
+		buf = appendU64(buf, uint64(t.State))
+		buf = appendFrame(buf, t.Cur)
+		buf = appendU64(buf, uint64(len(t.Stack)))
 		for _, fr := range t.Stack {
-			writeFrame(w, fr)
+			buf = appendFrame(buf, fr)
 		}
-		w.u64(t.ICount)
-		w.u64(t.Futex)
+		buf = appendU64(buf, t.ICount)
+		buf = appendU64(buf, t.Futex)
 	}
 
 	// Syscall logs.
-	w.u64(uint64(len(pb.Syscalls)))
+	buf = appendU64(buf, uint64(len(pb.Syscalls)))
 	for _, log := range pb.Syscalls {
-		w.u64(uint64(len(log)))
+		buf = appendU64(buf, uint64(len(log)))
 		for _, v := range log {
-			w.i64(v)
+			buf = appendU64(buf, uint64(v))
 		}
 	}
 
 	// Schedule.
-	w.u64(uint64(len(pb.Schedule)))
+	buf = appendU64(buf, uint64(len(pb.Schedule)))
 	for _, e := range pb.Schedule {
-		w.u64(uint64(e.Tid))
-		w.u64(uint64(e.N))
+		buf = appendU64(buf, uint64(e.Tid))
+		buf = appendU64(buf, uint64(e.N))
 	}
-	if w.err != nil {
-		return w.err
-	}
-	// Trailing whole-file integrity hash (covers every payload byte).
-	final := w.sum
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], final)
-	if _, err := w.w.Write(buf[:]); err != nil {
-		return err
-	}
-	return w.w.Flush()
+
+	// Trailing whole-file integrity hash over every payload byte.
+	sum := artifact.Update(artifact.FNVOffset, buf[base+len(magic):])
+	return appendU64(buf, sum)
 }
 
-// ReadFrom deserializes a pinball and verifies its snapshot checksum.
-// Failures wrap the artifact sentinels: ErrTruncated (with byte offset)
-// for early EOF, ErrCorrupt for structural or checksum damage,
-// ErrVersion for format skew.
-func ReadFrom(src io.Reader) (*Pinball, error) {
-	r := &reader{r: bufio.NewReader(src), sum: 14695981039346656037}
-	head := make([]byte, len(magic))
-	if n, err := io.ReadFull(r.r, head); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("pinball: reading header: %w at byte offset %d", artifact.ErrTruncated, n)
-		}
-		return nil, fmt.Errorf("pinball: reading header: %w", err)
-	}
-	r.off = int64(len(magic))
-	if string(head) != magic {
-		return nil, fmt.Errorf("pinball: bad magic %q: %w", head, artifact.ErrCorrupt)
-	}
-	if v := r.u32(); r.err == nil && v != version {
-		return nil, fmt.Errorf("pinball: version %d (want %d): %w", v, version, artifact.ErrVersion)
-	}
-	pb := &Pinball{}
-	pb.Name = r.str()
-	pb.NumThreads = int(r.u64())
-	pb.MemChecksum = r.u64()
-	pb.FinalChecksum = r.u64()
-	pb.WarmupSteps = r.u64()
-	pb.StartHitsAtSnapshot = r.u64()
-	pb.EndHitsAtSnapshot = r.u64()
-	pb.Region.Start = readMarker(r)
-	pb.Region.End = readMarker(r)
-	pb.Region.WarmupStart = readMarker(r)
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
 
-	s := &exec.Snapshot{}
-	s.Steps = r.u64()
-	memLen := r.u64()
-	if r.err == nil && memLen > 1<<32 {
-		return nil, fmt.Errorf("pinball: implausible memory size %d: %w", memLen, artifact.ErrCorrupt)
+func appendWords(b []byte, words []uint64) []byte {
+	for _, w := range words {
+		b = binary.LittleEndian.AppendUint64(b, w)
 	}
-	// Grow incrementally rather than trusting the declared length: a
-	// corrupted-but-plausible count must fail at the real end of input,
-	// not commit gigabytes first.
-	s.Mem = make([]uint64, 0, min(memLen, uint64(1<<16)))
-	for i := uint64(0); i < memLen && r.err == nil; i++ {
-		s.Mem = append(s.Mem, r.u64())
-	}
-	nThreads := r.u64()
-	if r.err == nil && nThreads > 1<<16 {
-		return nil, fmt.Errorf("pinball: implausible thread count %d: %w", nThreads, artifact.ErrCorrupt)
-	}
-	for i := uint64(0); i < nThreads && r.err == nil; i++ {
-		var t exec.ThreadSnapshot
-		for j := range t.R {
-			t.R[j] = r.i64()
-		}
-		for j := range t.F {
-			t.F[j] = floatFromBits(r.u64())
-		}
-		t.State = exec.ThreadState(r.u64())
-		t.Cur = readFrame(r)
-		stackLen := r.u64()
-		if r.err == nil && stackLen > 1<<20 {
-			return nil, fmt.Errorf("pinball: implausible stack depth %d: %w", stackLen, artifact.ErrCorrupt)
-		}
-		for j := uint64(0); j < stackLen && r.err == nil; j++ {
-			t.Stack = append(t.Stack, readFrame(r))
-		}
-		t.ICount = r.u64()
-		t.Futex = r.u64()
-		s.Threads = append(s.Threads, t)
-	}
-	pb.Start = s
+	return b
+}
 
-	nLogs := r.u64()
-	if r.err == nil && nLogs > 1<<16 {
-		return nil, fmt.Errorf("pinball: implausible syscall log count %d: %w", nLogs, artifact.ErrCorrupt)
+func appendMarker(b []byte, m bbv.Marker) []byte {
+	b = appendU64(b, m.PC)
+	b = appendU64(b, m.Count)
+	if m.IsEnd {
+		return appendU64(b, 1)
 	}
-	for i := uint64(0); i < nLogs && r.err == nil; i++ {
-		n := r.u64()
-		if r.err == nil && n > 1<<32 {
-			return nil, fmt.Errorf("pinball: implausible syscall log length %d: %w", n, artifact.ErrCorrupt)
-		}
-		log := make([]int64, 0, min(n, uint64(1<<16)))
-		for j := uint64(0); j < n && r.err == nil; j++ {
-			log = append(log, r.i64())
-		}
-		pb.Syscalls = append(pb.Syscalls, log)
-	}
+	return appendU64(b, 0)
+}
 
-	nSched := r.u64()
-	if r.err == nil && nSched > 1<<32 {
-		return nil, fmt.Errorf("pinball: implausible schedule length %d: %w", nSched, artifact.ErrCorrupt)
-	}
-	for i := uint64(0); i < nSched && r.err == nil; i++ {
-		tid := int(r.u64())
-		n := uint32(r.u64())
-		pb.Schedule = append(pb.Schedule, exec.ScheduleEntry{Tid: tid, N: n})
-	}
-	if r.err != nil {
-		return nil, fmt.Errorf("pinball: decode: %w", r.err)
-	}
-	// Verify the trailing whole-file hash (read raw, not through raw()).
-	want := r.sum
-	var tail [8]byte
-	if n, err := io.ReadFull(r.r, tail[:]); err != nil {
-		if err == io.EOF || err == io.ErrUnexpectedEOF {
-			return nil, fmt.Errorf("pinball: reading integrity hash: %w at byte offset %d", artifact.ErrTruncated, r.off+int64(n))
-		}
-		return nil, fmt.Errorf("pinball: reading integrity hash: %w", err)
-	}
-	if got := binary.LittleEndian.Uint64(tail[:]); got != want {
-		return nil, fmt.Errorf("pinball: file integrity hash mismatch (file %#x, computed %#x): %w", got, want, artifact.ErrCorrupt)
-	}
-	if err := pb.Verify(); err != nil {
-		return nil, err
-	}
-	return pb, nil
+func appendFrame(b []byte, f exec.FrameRef) []byte {
+	b = appendU64(b, uint64(f.Image))
+	b = appendU64(b, uint64(f.Routine))
+	b = appendU64(b, uint64(f.Block))
+	return appendU64(b, uint64(f.Index))
+}
+
+// slabPool recycles encode buffers across Write/Save calls so a region
+// campaign's save loop reaches zero steady-state heap growth. Neither
+// user retains the slab past the call: io.Writer must not keep the
+// bytes, and os.WriteFile copies them into the kernel.
+var slabPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Write serializes the pinball to dst.
+func (pb *Pinball) Write(dst io.Writer) error {
+	bp := slabPool.Get().(*[]byte)
+	data := pb.AppendBinary((*bp)[:0])
+	_, err := dst.Write(data)
+	*bp = data[:0]
+	slabPool.Put(bp)
+	return err
 }
 
 // Save writes the pinball to a file. Injection site "pinball.save" can
@@ -317,27 +200,13 @@ func (pb *Pinball) Save(path string) error {
 	if err := faults.Check("pinball.save"); err != nil {
 		return fmt.Errorf("pinball: save %s: %w", path, err)
 	}
-	if faults.Enabled() {
-		// Buffer through memory so an armed Corrupt rule can damage the
-		// byte stream before it reaches disk; the zero-cost direct path
-		// below stays in effect whenever injection is off.
-		var buf bytes.Buffer
-		if err := pb.Write(&buf); err != nil {
-			return err
-		}
-		data := buf.Bytes()
-		faults.CorruptBytes("pinball.save", data)
-		return os.WriteFile(path, data, 0o644)
-	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := pb.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	bp := slabPool.Get().(*[]byte)
+	data := pb.AppendBinary((*bp)[:0])
+	faults.CorruptBytes("pinball.save", data)
+	err := os.WriteFile(path, data, 0o644)
+	*bp = data[:0]
+	slabPool.Put(bp)
+	return err
 }
 
 // Load reads a pinball from a file and verifies it. Errors carry the
@@ -354,44 +223,217 @@ func Load(path string) (*Pinball, error) {
 		return nil, err
 	}
 	faults.CorruptBytes("pinball.load", data)
-	pb, err := ReadFrom(bytes.NewReader(data))
+	pb, err := Decode(data)
 	if err != nil {
 		return nil, fmt.Errorf("load %s: %w", path, err)
 	}
 	return pb, nil
 }
 
-func writeMarker(w *writer, m bbv.Marker) {
-	w.u64(m.PC)
-	w.u64(m.Count)
-	if m.IsEnd {
-		w.u64(1)
-	} else {
-		w.u64(0)
+// decoder is a bounds-checked cursor over a complete serialized pinball.
+// Structure is decoded first — a read past the end classifies as
+// ErrTruncated with the file length as the offset — and the whole-file
+// hash is verified in one pass afterwards, so truncation and corruption
+// classify exactly as the streaming reader does.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.data) {
+		d.err = fmt.Errorf("%w at byte offset %d", artifact.ErrTruncated, len(d.data))
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+// remaining reports how many u64 words are left in the input; length
+// prefixes are checked against it so a declared count beyond the file
+// fails as truncation before any allocation is sized from it.
+func (d *decoder) remaining() uint64 { return uint64(len(d.data)-d.off) / 8 }
+
+func (d *decoder) truncated() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w at byte offset %d", artifact.ErrTruncated, len(d.data))
 	}
 }
 
-func readMarker(r *reader) bbv.Marker {
-	m := bbv.Marker{PC: r.u64(), Count: r.u64()}
-	m.IsEnd = r.u64() == 1
+func (d *decoder) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		d.err = fmt.Errorf("implausible string length %d at byte offset %d: %w", n, d.off, artifact.ErrCorrupt)
+		return ""
+	}
+	if uint64(len(d.data)-d.off) < n {
+		d.truncated()
+		return ""
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) marker() bbv.Marker {
+	m := bbv.Marker{PC: d.u64(), Count: d.u64()}
+	m.IsEnd = d.u64() == 1
 	return m
 }
 
-func writeFrame(w *writer, f exec.FrameRef) {
-	w.u64(uint64(f.Image))
-	w.u64(uint64(f.Routine))
-	w.u64(uint64(f.Block))
-	w.u64(uint64(f.Index))
-}
-
-func readFrame(r *reader) exec.FrameRef {
+func (d *decoder) frame() exec.FrameRef {
 	return exec.FrameRef{
-		Image:   int(r.u64()),
-		Routine: int(r.u64()),
-		Block:   int(r.u64()),
-		Index:   int(r.u64()),
+		Image:   int(d.u64()),
+		Routine: int(d.u64()),
+		Block:   int(d.u64()),
+		Index:   int(d.u64()),
 	}
 }
 
-func floatBits(f float64) uint64     { return math.Float64bits(f) }
-func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+// Decode deserializes a pinball from its complete serialized form — the
+// slab counterpart of ReadFrom, sharing its format, plausibility caps,
+// and error classification, but decoding in place with a single
+// whole-payload checksum pass instead of per-byte hashing.
+func Decode(data []byte) (*Pinball, error) {
+	if len(data) < len(magic) {
+		return nil, fmt.Errorf("pinball: reading header: %w at byte offset %d", artifact.ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("pinball: bad magic %q: %w", data[:len(magic)], artifact.ErrCorrupt)
+	}
+	d := &decoder{data: data, off: len(magic)}
+	if v := uint32(d.u64()); d.err == nil && v != version {
+		return nil, fmt.Errorf("pinball: version %d (want %d): %w", v, version, artifact.ErrVersion)
+	}
+	pb := &Pinball{}
+	pb.Name = d.str()
+	pb.NumThreads = int(d.u64())
+	pb.MemChecksum = d.u64()
+	pb.FinalChecksum = d.u64()
+	pb.WarmupSteps = d.u64()
+	pb.StartHitsAtSnapshot = d.u64()
+	pb.EndHitsAtSnapshot = d.u64()
+	pb.Region.Start = d.marker()
+	pb.Region.End = d.marker()
+	pb.Region.WarmupStart = d.marker()
+
+	s := &exec.Snapshot{}
+	s.Steps = d.u64()
+	memLen := d.u64()
+	if d.err == nil && memLen > maxMemWords {
+		return nil, fmt.Errorf("pinball: implausible memory size %d: %w", memLen, artifact.ErrCorrupt)
+	}
+	if d.err == nil {
+		if memLen > d.remaining() {
+			d.truncated()
+		} else {
+			s.Mem = make([]uint64, memLen)
+			for i := range s.Mem {
+				s.Mem[i] = binary.LittleEndian.Uint64(d.data[d.off:])
+				d.off += 8
+			}
+		}
+	}
+	nThreads := d.u64()
+	if d.err == nil && nThreads > maxThreads {
+		return nil, fmt.Errorf("pinball: implausible thread count %d: %w", nThreads, artifact.ErrCorrupt)
+	}
+	for i := uint64(0); i < nThreads && d.err == nil; i++ {
+		var t exec.ThreadSnapshot
+		for j := range t.R {
+			t.R[j] = d.i64()
+		}
+		for j := range t.F {
+			t.F[j] = math.Float64frombits(d.u64())
+		}
+		t.State = exec.ThreadState(d.u64())
+		t.Cur = d.frame()
+		stackLen := d.u64()
+		if d.err == nil && stackLen > maxStackDepth {
+			return nil, fmt.Errorf("pinball: implausible stack depth %d: %w", stackLen, artifact.ErrCorrupt)
+		}
+		if d.err == nil && stackLen > 0 {
+			if 4*stackLen > d.remaining() {
+				d.truncated()
+			} else {
+				t.Stack = make([]exec.FrameRef, stackLen)
+				for j := range t.Stack {
+					t.Stack[j] = d.frame()
+				}
+			}
+		}
+		t.ICount = d.u64()
+		t.Futex = d.u64()
+		s.Threads = append(s.Threads, t)
+	}
+	pb.Start = s
+
+	nLogs := d.u64()
+	if d.err == nil && nLogs > maxLogs {
+		return nil, fmt.Errorf("pinball: implausible syscall log count %d: %w", nLogs, artifact.ErrCorrupt)
+	}
+	for i := uint64(0); i < nLogs && d.err == nil; i++ {
+		n := d.u64()
+		if d.err == nil && n > maxLogLen {
+			return nil, fmt.Errorf("pinball: implausible syscall log length %d: %w", n, artifact.ErrCorrupt)
+		}
+		var log []int64
+		if d.err == nil {
+			if n > d.remaining() {
+				d.truncated()
+			} else {
+				log = make([]int64, n)
+				for j := range log {
+					log[j] = int64(binary.LittleEndian.Uint64(d.data[d.off:]))
+					d.off += 8
+				}
+			}
+		}
+		pb.Syscalls = append(pb.Syscalls, log)
+	}
+
+	nSched := d.u64()
+	if d.err == nil && nSched > maxSchedule {
+		return nil, fmt.Errorf("pinball: implausible schedule length %d: %w", nSched, artifact.ErrCorrupt)
+	}
+	if d.err == nil && nSched > 0 {
+		if 2*nSched > d.remaining() {
+			d.truncated()
+		} else {
+			pb.Schedule = make([]exec.ScheduleEntry, nSched)
+			for i := range pb.Schedule {
+				pb.Schedule[i] = exec.ScheduleEntry{
+					Tid: int(binary.LittleEndian.Uint64(d.data[d.off:])),
+					N:   uint32(binary.LittleEndian.Uint64(d.data[d.off+8:])),
+				}
+				d.off += 16
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("pinball: decode: %w", d.err)
+	}
+	// Verify the trailing whole-file hash in one pass over the payload.
+	payloadEnd := d.off
+	if len(d.data)-payloadEnd < 8 {
+		return nil, fmt.Errorf("pinball: reading integrity hash: %w at byte offset %d", artifact.ErrTruncated, len(d.data))
+	}
+	want := artifact.Update(artifact.FNVOffset, d.data[len(magic):payloadEnd])
+	if got := binary.LittleEndian.Uint64(d.data[payloadEnd:]); got != want {
+		return nil, fmt.Errorf("pinball: file integrity hash mismatch (file %#x, computed %#x): %w", got, want, artifact.ErrCorrupt)
+	}
+	if err := pb.Verify(); err != nil {
+		return nil, err
+	}
+	return pb, nil
+}

@@ -1,0 +1,56 @@
+//go:build linux
+
+package pinball
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+
+	"looppoint/internal/artifact"
+	"looppoint/internal/faults"
+)
+
+// LoadMapped reads a pinball through a read-only memory mapping instead
+// of copying the file into a heap buffer first — the zero-copy load
+// path behind lpsim's -mmap flag. Decode copies every field it keeps
+// (strings, memory words, stacks) out of the mapping, so nothing
+// aliases the file after return and the mapping is always unmapped.
+//
+// The mapping is read-only, so the "pinball.load" Corrupt rule cannot
+// damage bytes in place here; fault campaigns exercise corruption
+// through Load, while this path keeps the Transient failure check so
+// retry/quarantine behavior matches.
+func LoadMapped(path string) (*Pinball, error) {
+	if err := faults.Check("pinball.load"); err != nil {
+		return nil, fmt.Errorf("pinball: load %s: %w", path, err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("load %s: pinball: reading header: %w at byte offset 0", path, artifact.ErrTruncated)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("load %s: pinball: implausible file size %d: %w", path, size, artifact.ErrCorrupt)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		// Mapping can fail on filesystems without mmap support; the copying
+		// loader accepts the same bytes.
+		return Load(path)
+	}
+	defer syscall.Munmap(data)
+	pb, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+	return pb, nil
+}

@@ -1,0 +1,8 @@
+//go:build !linux
+
+package pinball
+
+// LoadMapped falls back to the copying loader on platforms where the
+// zero-copy mapping path is not wired up; callers see identical
+// results and error classification either way.
+func LoadMapped(path string) (*Pinball, error) { return Load(path) }

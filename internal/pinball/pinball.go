@@ -64,16 +64,11 @@ type RegionBounds struct {
 	WarmupStart bbv.Marker
 }
 
-func fnv1a(words []uint64) uint64 {
-	h := uint64(14695981039346656037)
-	for _, w := range words {
-		for i := 0; i < 8; i++ {
-			h ^= (w >> (8 * i)) & 0xff
-			h *= 1099511628211
-		}
-	}
-	return h
-}
+// fnv1a hashes a word slice as its little-endian byte serialization.
+// The implementation lives in artifact so the snapshot checksums here,
+// the whole-file integrity hash, and every other artifact checksum in
+// the repository share one FNV-1a source of truth.
+func fnv1a(words []uint64) uint64 { return artifact.ChecksumWords(words) }
 
 // Record executes the whole program from its initial state, recording a
 // whole-program pinball. seed seeds the OS model (the source of

@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// postBatch drives POST /v1/batch directly: returns the HTTP status and
+// the decoded envelope (zero-valued on non-200).
+func postBatch(t *testing.T, s *Server, breq BatchRequest) (int, BatchResponse) {
+	t.Helper()
+	body, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, httptest.NewRequest(http.MethodPost, "/v1/batch", bytes.NewReader(body)))
+	var resp BatchResponse
+	if w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad batch body %q: %v", w.Body.String(), err)
+		}
+	}
+	return w.Code, resp
+}
+
+// TestServeBatchOK: a well-formed batch runs every sub-job, returns
+// index-aligned per-job results, and counts once in the Batches stat
+// while each sub-job counts individually in Admitted/Completed.
+func TestServeBatchOK(t *testing.T) {
+	s := startServer(t, Config{MaxInflight: 2}, okRunner)
+	code, resp := postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+		{ID: "b0", Class: ClassAnalyze, App: "npb-cg"},
+		{ID: "b1", Class: ClassSimulate, App: "npb-cg"},
+		{ID: "b2", Class: ClassReport, App: "npb-ft"},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200", code)
+	}
+	if len(resp.Results) != 3 || resp.Succeeded != 3 || resp.Shed != 0 || resp.Failed != 0 {
+		t.Fatalf("bad envelope: %+v", resp)
+	}
+	for i, it := range resp.Results {
+		if it.ID != fmt.Sprintf("b%d", i) {
+			t.Errorf("result %d has id %q — results not index-aligned", i, it.ID)
+		}
+		if it.Status != http.StatusOK || it.Outcome != "ok" || it.Result == nil || it.Result.Summary != "ok" {
+			t.Errorf("result %d not ok: %+v", i, it)
+		}
+	}
+	st := s.Stats()
+	if st.Batches != 1 || st.Admitted != 3 || st.Completed != 3 {
+		t.Fatalf("stats batches=%d admitted=%d completed=%d, want 1/3/3", st.Batches, st.Admitted, st.Completed)
+	}
+}
+
+// TestServeBatchValidation: structurally bad batches are rejected whole
+// (empty, over the cap), while a bad sub-job inside a good batch fails
+// only that item — the rest still run.
+func TestServeBatchValidation(t *testing.T) {
+	s := startServer(t, Config{MaxInflight: 2}, okRunner)
+
+	if code, _ := postBatch(t, s, BatchRequest{}); code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", code)
+	}
+	big := BatchRequest{Jobs: make([]JobRequest, MaxBatchJobs+1)}
+	for i := range big.Jobs {
+		big.Jobs[i] = JobRequest{Class: ClassAnalyze, App: "npb-cg"}
+	}
+	if code, _ := postBatch(t, s, big); code != http.StatusBadRequest {
+		t.Fatalf("oversized batch: status %d, want 400", code)
+	}
+	if st := s.Stats(); st.Admitted != 0 {
+		t.Fatalf("rejected batches admitted jobs: %+v", st)
+	}
+
+	code, resp := postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+		{ID: "good", Class: ClassAnalyze, App: "npb-cg"},
+		{ID: "bad-class", Class: "mine-bitcoin", App: "x"},
+		{ID: "no-app", Class: ClassAnalyze},
+	}})
+	if code != http.StatusOK {
+		t.Fatalf("mixed batch: status %d, want 200", code)
+	}
+	if resp.Succeeded != 1 || resp.Failed != 2 {
+		t.Fatalf("mixed batch envelope: %+v", resp)
+	}
+	if it := resp.Results[0]; it.Status != http.StatusOK {
+		t.Fatalf("good sub-job failed: %+v", it)
+	}
+	for _, i := range []int{1, 2} {
+		if it := resp.Results[i]; it.Status != http.StatusBadRequest || it.Outcome != "bad_request" || it.Error == nil {
+			t.Fatalf("bad sub-job %d not rejected per-item: %+v", i, it)
+		}
+	}
+}
+
+// TestServeBatchShedsPerSubJob: with the single worker already busy and
+// a one-deep queue, a 2-job batch admits one sub-job and sheds the other
+// with the same 429 shed_queue disposition a single request would get —
+// batches get no admission bypass.
+func TestServeBatchShedsPerSubJob(t *testing.T) {
+	br := newBlockingRunner()
+	s := startServer(t, Config{MaxInflight: 1, QueueDepth: 1}, br.run)
+
+	holder := make(chan int, 1)
+	go func() {
+		code, _ := postJob(t, s, JobRequest{ID: "holder", Class: ClassAnalyze, App: "npb-cg"})
+		holder <- code
+	}()
+	<-br.started // the only worker is now busy; the queue is empty
+
+	done := make(chan BatchResponse, 1)
+	go func() {
+		_, resp := postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+			{ID: "b0", Class: ClassAnalyze, App: "npb-cg"},
+			{ID: "b1", Class: ClassAnalyze, App: "npb-cg"},
+		}})
+		done <- resp
+	}()
+	waitFor(t, func() bool { return s.Stats().ShedQueue == 1 })
+	close(br.release)
+	resp := <-done
+
+	if <-holder != http.StatusOK {
+		t.Fatal("holder job failed")
+	}
+	if resp.Succeeded != 1 || resp.Shed != 1 {
+		t.Fatalf("envelope %+v, want 1 succeeded + 1 shed", resp)
+	}
+	if it := resp.Results[0]; it.Status != http.StatusOK || it.Outcome != "ok" {
+		t.Fatalf("queued sub-job did not finish: %+v", it)
+	}
+	shed := resp.Results[1]
+	if shed.Status != http.StatusTooManyRequests || shed.Outcome != "shed_queue" ||
+		shed.Error == nil || shed.Error.RetryAfterMS <= 0 {
+		t.Fatalf("second sub-job not shed like a single request: %+v", shed)
+	}
+	if st := s.Stats(); st.ShedQueue != 1 || st.Completed != 2 {
+		t.Fatalf("stats %+v, want shed_queue=1 completed=2", st)
+	}
+}
+
+// TestServeBatchDrainMidBatch: draining while a batch is half-done
+// finishes nothing new — the running sub-job is canceled, queued ones
+// are flushed as drained and journaled — and the batch response still
+// arrives with every disposition accounted.
+func TestServeBatchDrainMidBatch(t *testing.T) {
+	br := newBlockingRunner()
+	s := New(Config{
+		MaxInflight: 1, QueueDepth: 4,
+		DrainDeadline: 300 * time.Millisecond,
+	}, br.run)
+	s.Start()
+
+	done := make(chan BatchResponse, 1)
+	go func() {
+		_, resp := postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+			{ID: "b0", Class: ClassAnalyze, App: "npb-cg"},
+			{ID: "b1", Class: ClassAnalyze, App: "npb-cg"},
+			{ID: "b2", Class: ClassAnalyze, App: "npb-cg"},
+		}})
+		done <- resp
+	}()
+	<-br.started // one sub-job running...
+	waitFor(t, func() bool { return s.Stats().Queued == 2 })
+
+	ds := s.Drain()
+	if ds.Clean {
+		t.Fatal("drain reported clean with batch sub-jobs stuck")
+	}
+	resp := <-done
+	if len(resp.Results) != 3 || resp.Succeeded != 0 {
+		t.Fatalf("envelope %+v, want 3 results, none succeeded", resp)
+	}
+	outcomes := map[string]int{}
+	for _, it := range resp.Results {
+		outcomes[it.Outcome]++
+	}
+	if outcomes["drained"] != 2 || outcomes["canceled"] != 1 {
+		t.Fatalf("outcomes %v, want 2 drained + 1 canceled", outcomes)
+	}
+	if ds.JournaledQueued != 2 || ds.JournaledRunning != 1 {
+		t.Fatalf("journaled queued=%d running=%d, want 2/1", ds.JournaledQueued, ds.JournaledRunning)
+	}
+
+	// New batches shed whole while draining: every sub-job is shed_drain.
+	code, resp := postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+		{Class: ClassAnalyze, App: "npb-cg"},
+	}})
+	if code != http.StatusOK || resp.Shed != 1 || resp.Results[0].Outcome != "shed_drain" {
+		t.Fatalf("batch while draining: %d %+v, want shed_drain sub-job", code, resp)
+	}
+}

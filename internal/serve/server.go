@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -204,18 +205,21 @@ type jobDone struct {
 
 // job is one admitted request in flight through the queue.
 type job struct {
-	id      uint64
-	req     *JobRequest
-	ctx     context.Context
-	cancel  context.CancelFunc
-	enq     time.Time
-	started atomic.Bool
-	done    chan jobDone // buffered 1: the worker never blocks on a gone handler
+	id       uint64
+	req      *JobRequest
+	ctx      context.Context
+	cancel   context.CancelFunc
+	deadline time.Duration
+	breaker  *Breaker
+	enq      time.Time
+	started  atomic.Bool
+	done     chan jobDone // buffered 1: the worker never blocks on a gone handler
 }
 
 // Stats is a snapshot of the server's counters.
 type Stats struct {
 	Admitted    uint64 `json:"admitted"`
+	Batches     uint64 `json:"batches"`
 	Completed   uint64 `json:"completed"`
 	Errors      uint64 `json:"errors"`
 	Timeouts    uint64 `json:"timeouts"`
@@ -278,7 +282,7 @@ type Server struct {
 
 	admitted, completed, errsN, timeouts atomic.Uint64
 	shedQueue, shedBreaker, shedDrain    atomic.Uint64
-	journaled                            atomic.Uint64
+	journaled, batches                   atomic.Uint64
 
 	logMu sync.Mutex
 }
@@ -330,6 +334,7 @@ func (s *Server) Breaker(class string) *Breaker { return s.breakers[class] }
 func (s *Server) Stats() Stats {
 	st := Stats{
 		Admitted:      s.admitted.Load(),
+		Batches:       s.batches.Load(),
 		Completed:     s.completed.Load(),
 		Errors:        s.errsN.Load(),
 		Timeouts:      s.timeouts.Load(),
@@ -368,7 +373,130 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 	})
 	mux.HandleFunc("/v1/jobs", s.handleJob)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	return mux
+}
+
+// MaxBatchJobs caps the jobs in one POST /v1/batch request.
+const MaxBatchJobs = 64
+
+// BatchRequest is the JSON body of POST /v1/batch: up to MaxBatchJobs
+// job specs admitted and executed as one request.
+type BatchRequest struct {
+	Jobs []JobRequest `json:"jobs"`
+}
+
+// BatchItem is one sub-job's result inside a BatchResponse: the same
+// payloads the single-job endpoint returns, wrapped with the HTTP
+// status it would have carried.
+type BatchItem struct {
+	ID      string     `json:"id"`
+	Status  int        `json:"status"`
+	Outcome string     `json:"outcome"`
+	Result  *JobResult `json:"result,omitempty"`
+	Error   *errorBody `json:"error,omitempty"`
+}
+
+// BatchResponse is the envelope of POST /v1/batch. The HTTP status is
+// 200 whenever the batch itself was well-formed; per-sub-job dispositions
+// (shed, timeout, error…) are in Results, index-aligned with the
+// request's Jobs.
+type BatchResponse struct {
+	Results   []BatchItem `json:"results"`
+	Succeeded int         `json:"succeeded"`
+	Shed      int         `json:"shed"`
+	Failed    int         `json:"failed"`
+}
+
+// handleBatch admits and runs a batch of jobs as one request. Each
+// sub-job goes through the exact same admission dance as a single POST
+// /v1/jobs — drain check, class breaker, bounded queue — so a batch is
+// individually sheddable per sub-job: an open breaker or a full queue
+// sheds some items while the rest run. Admitted sub-jobs execute
+// concurrently (bounded by the worker pool, like any other jobs) and
+// share the evaluator's memoization, so batches repeating a workload
+// decode and analyze it once. Drain mid-batch finishes or journals each
+// sub-job individually; the batch response reports every disposition.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var breq BatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&breq); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: "bad_request", Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if len(breq.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: "bad_request", Error: "empty batch"})
+		return
+	}
+	if len(breq.Jobs) > MaxBatchJobs {
+		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: "bad_request",
+			Error: fmt.Sprintf("batch of %d jobs exceeds the %d-job cap", len(breq.Jobs), MaxBatchJobs)})
+		return
+	}
+	s.batches.Add(1)
+
+	// Admit every sub-job first (admission is fast and non-blocking), so
+	// the whole batch is enqueued before any awaiting starts: sub-jobs
+	// behind a wide batch overlap on the worker pool instead of
+	// serializing behind their siblings' completions.
+	items := make([]BatchItem, len(breq.Jobs))
+	admitted := make([]*job, len(breq.Jobs))
+	for i := range breq.Jobs {
+		req := &breq.Jobs[i]
+		if bad := s.validateJob(req); bad != nil {
+			items[i] = batchItem(req.ID, *bad)
+			continue
+		}
+		j, shed := s.admit(r.Context(), req)
+		if shed != nil {
+			items[i] = batchItem(req.ID, *shed)
+			continue
+		}
+		admitted[i] = j
+	}
+	var wg sync.WaitGroup
+	for i, j := range admitted {
+		if j == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, j *job) {
+			defer wg.Done()
+			items[i] = batchItem(j.req.ID, s.awaitJob(j))
+		}(i, j)
+	}
+	wg.Wait()
+
+	resp := BatchResponse{Results: items}
+	for _, it := range items {
+		switch {
+		case it.Status == http.StatusOK:
+			resp.Succeeded++
+		case strings.HasPrefix(it.Outcome, "shed_") || it.Outcome == "drained":
+			resp.Shed++
+		default:
+			resp.Failed++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchItem wraps one sub-job's outcome for the batch envelope.
+func batchItem(id string, o jobOutcome) BatchItem {
+	it := BatchItem{ID: id, Status: o.status}
+	if o.res != nil {
+		it.Outcome = "ok"
+		it.Result = o.res
+		return it
+	}
+	eb := o.errB
+	it.Outcome = eb.Outcome
+	it.Error = &eb
+	return it
 }
 
 // errorBody is the JSON envelope for every non-200 job response.
@@ -379,6 +507,40 @@ type errorBody struct {
 	Journaled    bool   `json:"journaled,omitempty"`
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 	Breaker      string `json:"breaker,omitempty"`
+}
+
+// jobOutcome is one job's HTTP-renderable terminal state: a success
+// payload or a typed error body plus status. The single-job handler
+// writes it as the whole response; the batch handler embeds one per
+// sub-job.
+type jobOutcome struct {
+	status int
+	res    *JobResult // non-nil on success (status 200)
+	errB   errorBody
+}
+
+// writeOutcome renders a jobOutcome as the whole HTTP response.
+func writeOutcome(w http.ResponseWriter, o jobOutcome) {
+	if o.errB.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Duration(o.errB.RetryAfterMS)*time.Millisecond))
+	}
+	if o.res != nil {
+		writeJSON(w, o.status, o.res)
+		return
+	}
+	writeJSON(w, o.status, o.errB)
+}
+
+// validateJob rejects structurally bad job specs before admission.
+func (s *Server) validateJob(req *JobRequest) *jobOutcome {
+	if s.breakers[req.Class] == nil {
+		return &jobOutcome{status: http.StatusBadRequest, errB: errorBody{Outcome: "bad_request",
+			Error: fmt.Sprintf("unknown class %q (want one of %v)", req.Class, JobClasses)}}
+	}
+	if req.App == "" {
+		return &jobOutcome{status: http.StatusBadRequest, errB: errorBody{Outcome: "bad_request", Error: "missing app"}}
+	}
+	return nil
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -392,16 +554,26 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: "bad_request", Error: "bad JSON: " + err.Error()})
 		return
 	}
-	if s.breakers[req.Class] == nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: "bad_request",
-			Error: fmt.Sprintf("unknown class %q (want one of %v)", req.Class, JobClasses)})
+	if bad := s.validateJob(&req); bad != nil {
+		writeOutcome(w, *bad)
 		return
 	}
-	if req.App == "" {
-		writeJSON(w, http.StatusBadRequest, errorBody{Outcome: "bad_request", Error: "missing app"})
+	j, shed := s.admit(r.Context(), &req)
+	if shed != nil {
+		writeOutcome(w, *shed)
 		return
 	}
+	writeOutcome(w, s.awaitJob(j))
+}
 
+// admit runs the admission dance for one validated job, in shed-priority
+// order: drain beats breaker beats queue. On success the job is queued
+// and the caller must consume it with awaitJob (which releases the
+// deadline context); a non-nil jobOutcome means the job was shed and
+// nothing was enqueued. The accepted.Add happens before the draining
+// re-check so Drain's Wait provably covers every job that can still
+// reach the queue.
+func (s *Server) admit(httpCtx context.Context, req *JobRequest) (*job, *jobOutcome) {
 	id := s.seq.Add(1)
 	if req.ID == "" {
 		req.ID = fmt.Sprintf("job-%d", id)
@@ -415,32 +587,27 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	br := s.breakers[req.Class]
 
-	// Admission, in shed-priority order: drain beats breaker beats queue.
-	// The accepted.Add happens before the draining re-check so Drain's
-	// Wait provably covers every job that can still reach the queue.
 	if s.draining.Load() {
 		s.shedDrain.Add(1)
-		s.logLine(&req, id, "shed_drain", br, 0, 0, 0, ErrDraining)
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Outcome: "shed_drain", Error: ErrDraining.Error()})
-		return
+		s.logLine(req, id, "shed_drain", br, 0, 0, 0, ErrDraining)
+		return nil, &jobOutcome{status: http.StatusServiceUnavailable,
+			errB: errorBody{Outcome: "shed_drain", Error: ErrDraining.Error()}}
 	}
 	if err := br.Allow(); err != nil {
 		var open *BreakerOpenError
 		errors.As(err, &open)
 		s.shedBreaker.Add(1)
-		s.logLine(&req, id, "shed_breaker", br, 0, 0, 0, err)
-		w.Header().Set("Retry-After", retryAfterSeconds(open.RetryAfter))
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		s.logLine(req, id, "shed_breaker", br, 0, 0, 0, err)
+		return nil, &jobOutcome{status: http.StatusServiceUnavailable, errB: errorBody{
 			Outcome: "shed_breaker", Error: err.Error(),
 			RetryAfterMS: open.RetryAfter.Milliseconds(), Breaker: open.State.String(),
-		})
-		return
+		}}
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), deadline)
-	defer cancel()
+	ctx, cancel := context.WithTimeout(httpCtx, deadline)
 	j := &job{
-		id: id, req: &req, ctx: ctx, cancel: cancel,
+		id: id, req: req, ctx: ctx, cancel: cancel,
+		deadline: deadline, breaker: br,
 		enq:  s.cfg.Now(),
 		done: make(chan jobDone, 1),
 	}
@@ -448,41 +615,48 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		// Raced with Drain after the first check: undo and shed.
 		s.accepted.Done()
+		cancel()
 		br.Forget()
 		s.shedDrain.Add(1)
-		s.logLine(&req, id, "shed_drain", br, 0, 0, 0, ErrDraining)
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Outcome: "shed_drain", Error: ErrDraining.Error()})
-		return
+		s.logLine(req, id, "shed_drain", br, 0, 0, 0, ErrDraining)
+		return nil, &jobOutcome{status: http.StatusServiceUnavailable,
+			errB: errorBody{Outcome: "shed_drain", Error: ErrDraining.Error()}}
 	}
 	select {
 	case s.jobs <- j:
 	default:
 		// Queue full: shed explicitly instead of queuing unboundedly.
 		s.accepted.Done()
+		cancel()
 		br.Forget()
 		s.shedQueue.Add(1)
 		retry := s.cfg.DefaultDeadline / 4
-		s.logLine(&req, id, "shed_queue", br, 0, 0, 0, errors.New("queue full"))
-		w.Header().Set("Retry-After", retryAfterSeconds(retry))
-		writeJSON(w, http.StatusTooManyRequests, errorBody{
+		s.logLine(req, id, "shed_queue", br, 0, 0, 0, errors.New("queue full"))
+		return nil, &jobOutcome{status: http.StatusTooManyRequests, errB: errorBody{
 			Outcome: "shed_queue", Error: "job queue full", RetryAfterMS: retry.Milliseconds(),
-		})
-		return
+		}}
 	}
 	s.admitted.Add(1)
 	s.budget.Deposit()
+	return j, nil
+}
 
+// awaitJob blocks until an admitted job reaches a terminal state and
+// classifies it. Exactly one awaitJob call must follow each successful
+// admit.
+func (s *Server) awaitJob(j *job) jobOutcome {
+	defer j.cancel()
+	br := j.breaker
 	select {
 	case d := <-j.done:
-		s.finishResponse(w, j, br, d, deadline)
-	case <-ctx.Done():
+		return s.finishOutcome(j, d)
+	case <-j.ctx.Done():
 		// Deadline, drain, or client gone while the worker still owns the
 		// job. A terminal state may have raced in just before the wakeup
 		// (drain cancels the context it is about to answer) — prefer it.
 		select {
 		case d := <-j.done:
-			s.finishResponse(w, j, br, d, deadline)
-			return
+			return s.finishOutcome(j, d)
 		default:
 		}
 		phase := "queued"
@@ -490,13 +664,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			phase = "running"
 		}
 		wait := s.cfg.Now().Sub(j.enq)
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			terr := &TimeoutError{Phase: phase, Deadline: deadline}
+		if errors.Is(j.ctx.Err(), context.DeadlineExceeded) {
+			terr := &TimeoutError{Phase: phase, Deadline: j.deadline}
 			s.timeouts.Add(1)
 			br.Done(false) // a dependency answering late is a failing dependency
-			s.logLine(&req, id, "timeout", br, wait, 0, 0, terr)
-			writeJSON(w, http.StatusGatewayTimeout, errorBody{Outcome: "timeout", Error: terr.Error(), Timeout: true})
-			return
+			s.logLine(j.req, j.id, "timeout", br, wait, 0, 0, terr)
+			return jobOutcome{status: http.StatusGatewayTimeout,
+				errB: errorBody{Outcome: "timeout", Error: terr.Error(), Timeout: true}}
 		}
 		if s.draining.Load() {
 			// Drain cancelled the job; its terminal state (drained for a
@@ -508,22 +682,28 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 			defer t.Stop()
 			select {
 			case d := <-j.done:
-				s.finishResponse(w, j, br, d, deadline)
+				return s.finishOutcome(j, d)
 			case <-t.C:
 				br.Forget()
-				s.logLine(&req, id, "drained", br, wait, 0, 0, ErrDraining)
-				writeJSON(w, http.StatusServiceUnavailable, errorBody{Outcome: "drained", Error: ErrDraining.Error()})
+				s.logLine(j.req, j.id, "drained", br, wait, 0, 0, ErrDraining)
+				return jobOutcome{status: http.StatusServiceUnavailable,
+					errB: errorBody{Outcome: "drained", Error: ErrDraining.Error()}}
 			}
-			return
 		}
 		// Client disconnected: outcome unknowable, neutral for the breaker.
+		// The response body goes nowhere on a real disconnect; rendering it
+		// anyway keeps the batch path (whose sub-jobs share the batch
+		// request's context) uniform.
 		br.Forget()
-		s.logLine(&req, id, "canceled", br, wait, 0, 0, ctx.Err())
+		s.logLine(j.req, j.id, "canceled", br, wait, 0, 0, j.ctx.Err())
+		return jobOutcome{status: http.StatusServiceUnavailable,
+			errB: errorBody{Outcome: "canceled", Error: j.ctx.Err().Error()}}
 	}
 }
 
-// finishResponse classifies a worker-delivered terminal state.
-func (s *Server) finishResponse(w http.ResponseWriter, j *job, br *Breaker, d jobDone, deadline time.Duration) {
+// finishOutcome classifies a worker-delivered terminal state.
+func (s *Server) finishOutcome(j *job, d jobDone) jobOutcome {
+	br := j.breaker
 	switch {
 	case d.err == nil:
 		s.completed.Add(1)
@@ -532,30 +712,33 @@ func (s *Server) finishResponse(w http.ResponseWriter, j *job, br *Breaker, d jo
 		d.res.RunMS = d.run.Milliseconds()
 		d.res.Attempts = d.attempts
 		s.logLine(j.req, j.id, "ok", br, d.wait, d.run, d.attempts, nil)
-		writeJSON(w, http.StatusOK, d.res)
+		return jobOutcome{status: http.StatusOK, res: d.res}
 	case errors.Is(d.err, ErrDraining):
 		// Flushed by Drain: checkpointed, not a dependency failure.
 		s.shedDrain.Add(1)
 		br.Forget()
 		s.logLine(j.req, j.id, "drained", br, d.wait, d.run, d.attempts, d.err)
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		return jobOutcome{status: http.StatusServiceUnavailable, errB: errorBody{
 			Outcome: "drained", Error: d.err.Error(), Journaled: s.cfg.PendingPath != "",
-		})
+		}}
 	case errors.Is(d.err, context.DeadlineExceeded):
-		terr := &TimeoutError{Phase: "running", Deadline: deadline}
+		terr := &TimeoutError{Phase: "running", Deadline: j.deadline}
 		s.timeouts.Add(1)
 		br.Done(false)
 		s.logLine(j.req, j.id, "timeout", br, d.wait, d.run, d.attempts, terr)
-		writeJSON(w, http.StatusGatewayTimeout, errorBody{Outcome: "timeout", Error: terr.Error(), Timeout: true})
+		return jobOutcome{status: http.StatusGatewayTimeout,
+			errB: errorBody{Outcome: "timeout", Error: terr.Error(), Timeout: true}}
 	case errors.Is(d.err, context.Canceled):
 		br.Forget()
 		s.logLine(j.req, j.id, "canceled", br, d.wait, d.run, d.attempts, d.err)
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Outcome: "canceled", Error: d.err.Error()})
+		return jobOutcome{status: http.StatusServiceUnavailable,
+			errB: errorBody{Outcome: "canceled", Error: d.err.Error()}}
 	default:
 		s.errsN.Add(1)
 		br.Done(false)
 		s.logLine(j.req, j.id, "error", br, d.wait, d.run, d.attempts, d.err)
-		writeJSON(w, http.StatusInternalServerError, errorBody{Outcome: "error", Error: d.err.Error()})
+		return jobOutcome{status: http.StatusInternalServerError,
+			errB: errorBody{Outcome: "error", Error: d.err.Error()}}
 	}
 }
 

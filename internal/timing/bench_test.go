@@ -29,6 +29,47 @@ func BenchmarkBranchPredictor(b *testing.B) {
 	}
 }
 
+// BenchmarkPerRegionFresh measures the per-region cost the sampling
+// pipeline paid before timing-state arenas: every region builds a fresh
+// Simulator (cache sets, line arrays, predictor tables, directory maps)
+// and then simulates a small region. The allocs/op column is the
+// per-region allocation wave that Reset-based reuse eliminates.
+func BenchmarkPerRegionFresh(b *testing.B) {
+	p := testprog.Phased(4, 2, 60, omp.Passive)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := New(Gainestown(4), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.SimulateFull(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPerRegionReused is the same per-region workload on one
+// reused Simulator: the timing-state arena absorbs the allocation wave
+// BenchmarkPerRegionFresh pays per region.
+func BenchmarkPerRegionReused(b *testing.B) {
+	p := testprog.Phased(4, 2, 60, omp.Passive)
+	sim, err := New(Gainestown(4), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sim.SimulateFull(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateFull(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDetailedSimulation measures end-to-end detailed-simulation
 // speed in simulated instructions per host second (the paper's baseline
 // assumption is ~100 KIPS for industrial simulators; this approximate

@@ -36,6 +36,19 @@ func NewBranchPredictor() *BranchPredictor {
 	return bp
 }
 
+// Reset returns the predictor to its weakly-taken initial state and
+// zeroes statistics while reusing the table allocations.
+func (bp *BranchPredictor) Reset() {
+	for i := range bp.bimodal {
+		bp.bimodal[i] = takenInit
+		bp.global[i] = takenInit
+		bp.chooser[i] = takenInit
+	}
+	bp.history = 0
+	bp.Lookups, bp.Mispredict = 0, 0
+	bp.warming = false
+}
+
 // SetWarming toggles warming mode (state updates without statistics).
 func (bp *BranchPredictor) SetWarming(w bool) { bp.warming = w }
 

@@ -6,6 +6,7 @@ package timing
 type Cache struct {
 	cfg   CacheConfig
 	sets  [][]cacheLine
+	back  []cacheLine // the single allocation sets slice into
 	next  *Cache
 	level int
 
@@ -30,8 +31,8 @@ func NewCache(cfg CacheConfig, next *Cache) *Cache {
 	}
 	sets := cfg.Sets()
 	c.sets = make([][]cacheLine, sets)
-	backing := make([]cacheLine, sets*cfg.Assoc)
-	for i := range c.sets {
+	c.back = make([]cacheLine, sets*cfg.Assoc)
+	for i, backing := 0, c.back; i < sets; i++ {
 		c.sets[i], backing = backing[:cfg.Assoc], backing[cfg.Assoc:]
 	}
 	for ls, v := uint(0), cfg.LineBytes; v > 1; v >>= 1 {
@@ -39,6 +40,16 @@ func NewCache(cfg CacheConfig, next *Cache) *Cache {
 		c.lineShift = ls
 	}
 	return c
+}
+
+// Reset invalidates every line and zeroes statistics while reusing the
+// backing array — the arena path for cross-region Simulator reuse. Only
+// this level is reset: hierarchies are walked explicitly by callers so
+// a shared L3 is cleared once, not once per core above it.
+func (c *Cache) Reset() {
+	clear(c.back)
+	c.Accesses, c.Misses = 0, 0
+	c.warming = false
 }
 
 // SetWarming toggles warming mode: state updates happen but statistics do

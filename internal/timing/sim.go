@@ -45,6 +45,12 @@ type Simulator struct {
 	// Results are identical either way (the equivalence is pinned by
 	// tests); the flag exists for verification and debugging.
 	SlowPath bool
+
+	// sys is the timing-state arena, reused across simulations: the
+	// first run pays the allocation wave (cache backing arrays,
+	// predictor tables, directory maps), later runs clear and rebind it.
+	// Reuse makes a Simulator single-threaded; run one per worker.
+	sys *system
 }
 
 // New validates the pairing of configuration and program.
@@ -56,6 +62,40 @@ func New(cfg Config, prog *isa.Program) (*Simulator, error) {
 		return nil, fmt.Errorf("timing: %d cores for %d threads", cfg.Cores, prog.NumThreads())
 	}
 	return &Simulator{Cfg: cfg, Prog: prog, Seed: 1, MaxSteps: 2_000_000_000}, nil
+}
+
+// Reset re-points the Simulator at a new program and restores New's
+// defaults (seed, step cap, no trace, fast path) while keeping the
+// timing-state arenas for reuse — the region-restart path a sampling
+// worker takes between pinballs. It performs the same validation as
+// New: after a successful Reset the Simulator behaves exactly as a
+// freshly constructed one, only without the allocation wave.
+func (s *Simulator) Reset(prog *isa.Program) error {
+	if err := s.Cfg.Validate(); err != nil {
+		return err
+	}
+	if s.Cfg.Cores < prog.NumThreads() {
+		return fmt.Errorf("timing: %d cores for %d threads", s.Cfg.Cores, prog.NumThreads())
+	}
+	s.Prog = prog
+	s.Seed = 1
+	s.Trace = nil
+	s.MaxSteps = 2_000_000_000
+	s.SlowPath = false
+	return nil
+}
+
+// acquireSystem returns the reusable timing system bound to m, clearing
+// the cached arena when one exists for the current configuration and
+// building it otherwise (the configuration is the arena's shape: core
+// count, cache geometry, predictor tables).
+func (s *Simulator) acquireSystem(m *exec.Machine) *system {
+	if s.sys != nil && s.sys.cfg == s.Cfg {
+		s.sys.reset(m)
+		return s.sys
+	}
+	s.sys = newSystem(s.Cfg, m)
+	return s.sys
 }
 
 // SimulateFull runs an unconstrained, fully detailed simulation of the
@@ -102,7 +142,7 @@ func (s *Simulator) SimulateCheckpoint(pb *pinball.Pinball) (*Stats, error) {
 // begin mid-program.
 func (s *Simulator) runMarked(m *exec.Machine, start, end bbv.Marker, startBase, endBase uint64, warm WarmupMode) (_ *Stats, err error) {
 	defer exec.Recover(&err)
-	sys := newSystem(s.Cfg, m)
+	sys := s.acquireSystem(m)
 	inDetail := start.IsStart() || (!start.IsICount() && !start.IsEnd && start.Count <= startBase)
 	warming := warm == WarmupFunctional
 	sys.setDetail(inDetail)
@@ -328,7 +368,7 @@ func (s *Simulator) SimulatePeriodic(detail, period uint64) (_ *Stats, err error
 		return nil, fmt.Errorf("timing: invalid periodic sampling %d/%d", detail, period)
 	}
 	m := exec.NewMachine(s.Prog, s.Seed)
-	sys := newSystem(s.Cfg, m)
+	sys := s.acquireSystem(m)
 	sys.setDetail(true)
 
 	var steps uint64
@@ -440,7 +480,7 @@ func (s *Simulator) SimulateConstrained(pb *pinball.Pinball) (_ *Stats, err erro
 	m.Restore(pb.Start)
 	replay := exec.NewReplayOS(pb.Syscalls)
 	m.OS = replay
-	sys := newSystem(s.Cfg, m)
+	sys := s.acquireSystem(m)
 	sys.constrained = true
 	inDetail := pb.WarmupSteps == 0
 	sys.setDetail(inDetail)

@@ -63,6 +63,35 @@ func newSystem(cfg Config, m *exec.Machine) *system {
 	return s
 }
 
+// reset returns the system to its newSystem state while reusing every
+// allocation — cache backing arrays, predictor tables, core states, and
+// the directory maps — and rebinds the functional machine. Only
+// capacity carries over; every bit of observable state is cleared, and
+// the identity tests pin reset-then-simulate byte-identical to fresh
+// construction.
+func (s *system) reset(m *exec.Machine) {
+	s.m = m
+	for _, c := range s.cores {
+		c.cycle = 0
+		c.l1i.Reset()
+		c.l1d.Reset()
+		c.l2.Reset()
+		c.bp.Reset()
+		c.instrs, c.filtered = 0, 0
+		c.lastMissEnd = 0
+		c.stack = CPIStack{}
+	}
+	s.l3.Reset()
+	clear(s.dir)
+	s.clock = 0
+	s.detail = false
+	s.trace = nil
+	s.constrained = false
+	clear(s.lineLast)
+	s.coherenceInv = 0
+	s.futexWaits = 0
+}
+
 // setDetail flips between functional-warming and detailed mode.
 func (s *system) setDetail(detail bool) {
 	s.detail = detail
