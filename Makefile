@@ -1,6 +1,6 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test test-race test-faults test-stats serve-smoke bench bench-scaling report report-full demo clean
+.PHONY: build test test-race test-faults test-stats serve-smoke campaign-smoke bench bench-scaling report report-full demo clean
 
 build:
 	go build ./...
@@ -23,7 +23,7 @@ test-faults:
 			-run 'Fault|Corrupt|Quarantine|Degrad|Resume|Retry|Truncat|Panic' \
 			./internal/faults/ ./internal/pool/ ./internal/pinball/ \
 			./internal/core/ ./internal/harness/ ./internal/exec/ \
-			./internal/serve/ . \
+			./internal/serve/ ./internal/campaign/ . \
 			|| exit 1; \
 	done
 
@@ -41,6 +41,13 @@ test-stats:
 # SIGTERM it and assert a clean drain and exit 0.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# The campaign fabric end to end: lpcoord sharding a 6-job campaign
+# across two lpserved workers, one SIGKILLed mid-flight; asserts
+# completion, a report byte-identical to a single-node run, and a
+# resume that re-simulates nothing (all cache hits, zero dispatches).
+campaign-smoke:
+	bash scripts/campaign_smoke.sh
 
 # One benchmark per paper table/figure plus ablations (quick subsets).
 bench:

@@ -55,6 +55,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *mmapLoad && !pinball.MmapSupported {
+		fmt.Fprintln(os.Stderr, "lpsim: -mmap is not supported on this platform; pinballs will be loaded through the copying loader (results are identical)")
+	}
+
 	// FAULTS_PLAN/FAULTS_SEED inject deterministic faults without
 	// recompiling (see internal/faults).
 	if plan, err := faults.FromEnv(); err != nil {

@@ -1,0 +1,140 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Checksummed-JSONL primitives, shared by every append-only journal and
+// content-addressed store in the repository (the harness resume journal,
+// the campaign journal, and the campaign result cache). One line is a
+// small envelope — the FNV-1a checksum of the compact record bytes, then
+// the record itself — so a reader can reject records torn by a mid-write
+// kill without trusting anything beyond this file's own bytes:
+//
+//	{"fnv1a":"0x9e3779b97f4a7c15","record":{...}}
+//
+// The companion invariants every writer of this format follows:
+// appends are fsynced before being acknowledged, and a torn final line
+// (a record cut short by SIGKILL mid-write) is truncated away on open —
+// crash-safely, via a temp file fsynced BEFORE the atomic rename — so
+// the next append starts on a fresh line instead of corrupt-
+// concatenating with the torn bytes.
+
+// checksummedLine is the one-line envelope: checksum first, record second.
+type checksummedLine struct {
+	FNV1a  string          `json:"fnv1a"`
+	Record json.RawMessage `json:"record"`
+}
+
+// ChecksumLine wraps one compact JSON record into its checksummed
+// envelope line (no trailing newline). The record must already be valid
+// JSON — it is embedded verbatim, and VerifyLine checks the checksum
+// against the compact form of what it finds.
+func ChecksumLine(record []byte) ([]byte, error) {
+	return json.Marshal(checksummedLine{
+		FNV1a:  fmt.Sprintf("%#x", Checksum(record)),
+		Record: record,
+	})
+}
+
+// VerifyLine parses one envelope line and returns the compact record
+// bytes if — and only if — the embedded checksum matches. A false return
+// means the line is torn, corrupt, or not an envelope at all; callers
+// drop such lines and keep reading (a torn final line from a killed run
+// must not poison a restart).
+func VerifyLine(line []byte) ([]byte, bool) {
+	var ent checksummedLine
+	if json.Unmarshal(line, &ent) != nil {
+		return nil, false
+	}
+	var compact bytes.Buffer
+	if json.Compact(&compact, ent.Record) != nil {
+		return nil, false
+	}
+	if fmt.Sprintf("%#x", Checksum(compact.Bytes())) != ent.FNV1a {
+		return nil, false
+	}
+	return compact.Bytes(), true
+}
+
+// RepairTornTail truncates a trailing unterminated line — a record torn
+// by a SIGKILL mid-write. The repair itself is crash-safe: the retained
+// prefix is written to a sibling temp file, fsynced BEFORE the atomic
+// rename over the journal, so a kill at any point during the repair
+// leaves either the old journal or the fully repaired one on disk,
+// never a half-truncated file (a rename that outruns its data's fsync
+// can publish an empty or partial file after a power cut). A missing
+// file is not an error.
+func RepairTornTail(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil // every line complete; nothing to repair
+	}
+	keep := 0
+	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
+		keep = i + 1
+	}
+	return writeFileSynced(path, data[:keep])
+}
+
+// WriteChecksummedFile publishes one record as a standalone checksummed
+// envelope file (the content-addressed cache format): temp file, fsync
+// BEFORE the atomic rename, so readers only ever observe a missing file
+// or a complete one.
+func WriteChecksummedFile(path string, record []byte) error {
+	line, err := ChecksumLine(record)
+	if err != nil {
+		return err
+	}
+	return writeFileSynced(path, append(line, '\n'))
+}
+
+// ReadChecksummedFile reads a file written by WriteChecksummedFile and
+// returns the verified record bytes. Verification failure is ErrCorrupt:
+// the bytes are present but wrong, and rereading the same file cannot
+// help.
+func ReadChecksummedFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok := VerifyLine(bytes.TrimSpace(data))
+	if !ok {
+		return nil, fmt.Errorf("%s: envelope checksum failed: %w", path, ErrCorrupt)
+	}
+	return rec, nil
+}
+
+// writeFileSynced writes data to path crash-safely: temp sibling, fsync
+// before the atomic rename.
+func writeFileSynced(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,179 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestChecksumLineRoundTrip: every record survives the envelope and
+// comes back byte-identical; the envelope carries the documented field
+// order (fnv1a first) so journals written before the refactor verify
+// with the same code.
+func TestChecksumLineRoundTrip(t *testing.T) {
+	records := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"key":"a","config":"0x1","report":{"n":1}}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`"just a string"`),
+	}
+	for _, rec := range records {
+		line, err := ChecksumLine(rec)
+		if err != nil {
+			t.Fatalf("ChecksumLine(%s): %v", rec, err)
+		}
+		if !bytes.HasPrefix(line, []byte(`{"fnv1a":"0x`)) {
+			t.Fatalf("envelope does not lead with the checksum: %s", line)
+		}
+		got, ok := VerifyLine(line)
+		if !ok {
+			t.Fatalf("VerifyLine rejected its own envelope: %s", line)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("record round-trip: got %s, want %s", got, rec)
+		}
+	}
+}
+
+// TestChecksumLineMatchesLegacyFormat: the envelope bytes are exactly
+// what the harness resume journal has always written — checksum of the
+// compact record, %#x-rendered, field order fnv1a then record — so
+// pre-refactor journals stay readable and new lines stay byte-identical.
+func TestChecksumLineMatchesLegacyFormat(t *testing.T) {
+	rec := []byte(`{"key":"k","v":2}`)
+	line, err := ChecksumLine(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := json.Marshal(struct {
+		FNV1a  string          `json:"fnv1a"`
+		Record json.RawMessage `json:"record"`
+	}{fmt.Sprintf("%#x", Checksum(rec)), rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, legacy) {
+		t.Fatalf("envelope bytes diverged from the legacy journal format:\n got %s\nwant %s", line, legacy)
+	}
+}
+
+// TestVerifyLineRejectsTampering: any single bit flip in the line —
+// envelope or record — fails verification.
+func TestVerifyLineRejectsTampering(t *testing.T) {
+	line, err := ChecksumLine([]byte(`{"key":"victim","n":12345}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := VerifyLine(line); !ok {
+		t.Fatal("intact line rejected")
+	}
+	rejected := 0
+	for i := range line {
+		mut := append([]byte(nil), line...)
+		mut[i] ^= 1
+		if _, ok := VerifyLine(mut); !ok {
+			rejected++
+		}
+	}
+	// Some flips inside the record can cancel out through json.Compact
+	// only if they map to equivalent JSON — which a single bit flip in
+	// this record cannot. Every mutation must be rejected.
+	if rejected != len(line) {
+		t.Fatalf("only %d/%d single-bit corruptions rejected", rejected, len(line))
+	}
+}
+
+// TestVerifyLineRejectsGarbage: non-JSON, truncations, and empty input.
+func TestVerifyLineRejectsGarbage(t *testing.T) {
+	line, _ := ChecksumLine([]byte(`{"a":1}`))
+	for _, bad := range [][]byte{nil, []byte("x"), []byte(`{"fnv1a":"0x0"}`), line[:len(line)/2]} {
+		if _, ok := VerifyLine(bad); ok {
+			t.Fatalf("VerifyLine accepted %q", bad)
+		}
+	}
+}
+
+// TestRepairTornTail: a torn final line is truncated away, complete
+// lines survive byte-identically, and clean/missing files are no-ops.
+func TestRepairTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+
+	if err := RepairTornTail(path); err != nil {
+		t.Fatalf("missing file: %v", err)
+	}
+
+	l1, _ := ChecksumLine([]byte(`{"k":"one"}`))
+	l2, _ := ChecksumLine([]byte(`{"k":"two"}`))
+	clean := append(append(append([]byte{}, l1...), '\n'), append(l2, '\n')...)
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RepairTornTail(path); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, clean) {
+		t.Fatal("repair modified a clean journal")
+	}
+
+	torn := append(append([]byte{}, clean...), []byte(`{"fnv1a":"0xdead","rec`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RepairTornTail(path); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if !bytes.Equal(got, clean) {
+		t.Fatalf("torn tail not repaired: %q", got)
+	}
+
+	// A file that is nothing but a torn line repairs to empty.
+	if err := os.WriteFile(path, []byte(`{"fnv1a":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RepairTornTail(path); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if len(got) != 0 {
+		t.Fatalf("lone torn line should repair to empty, got %q", got)
+	}
+}
+
+// TestChecksummedFileRoundTripAndCorruption: the standalone-envelope
+// file format (the campaign result cache) round-trips, classifies
+// corruption as ErrCorrupt, and surfaces missing files as such.
+func TestChecksummedFileRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "deadbeef.json")
+	rec := []byte(`{"key":"deadbeef","result":{"regions":7}}`)
+	if err := WriteChecksummedFile(path, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChecksummedFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Fatalf("round-trip: got %s", got)
+	}
+
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 1
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChecksummedFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt cache file: err=%v, want ErrCorrupt", err)
+	}
+
+	if _, err := ReadChecksummedFile(filepath.Join(dir, "missing.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: err=%v, want IsNotExist", err)
+	}
+}

@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"looppoint/internal/artifact"
+)
+
+// Cache is the content-addressed result store: completed results keyed
+// by their job's content address. It layers an in-memory map over an
+// optional on-disk directory of checksummed files (<key>.json, one
+// artifact envelope each), so a resumed campaign — or a second campaign
+// sharing jobs with the first — pays zero re-simulation for work that
+// already landed.
+//
+// The hit counter is load-bearing for the resume guarantee: after
+// `lpcoord -resume`, cache hits must equal the previously completed jobs
+// and dispatches must equal only the remainder.
+type Cache struct {
+	dir string
+
+	mu  sync.Mutex
+	mem map[string]*Result
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	stores  atomic.Uint64
+	corrupt atomic.Uint64
+}
+
+// NewCache builds a cache; dir == "" keeps it memory-only.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string]*Result)}, nil
+}
+
+// Seed preloads a result (e.g. restored from the journal) without
+// touching the store counters — so the subsequent lookup during campaign
+// admission is counted as the cache hit it is.
+func (c *Cache) Seed(r *Result) {
+	c.mu.Lock()
+	c.mem[r.Key] = r
+	c.mu.Unlock()
+}
+
+// Get returns the cached result for key, consulting memory first and
+// then the disk layer. A disk file that fails its checksum counts as
+// corrupt, is deleted, and reads as a miss — a damaged cache re-runs the
+// job, it never serves garbage.
+func (c *Cache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	r, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return r, true
+	}
+	if c.dir != "" {
+		if r := c.readDisk(key); r != nil {
+			c.Seed(r)
+			c.hits.Add(1)
+			return r, true
+		}
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+func (c *Cache) readDisk(key string) *Result {
+	path := filepath.Join(c.dir, key+".json")
+	rec, err := artifact.ReadChecksummedFile(path)
+	if err != nil {
+		if errors.Is(err, artifact.ErrCorrupt) {
+			c.corrupt.Add(1)
+			os.Remove(path)
+		}
+		return nil
+	}
+	var r Result
+	if json.Unmarshal(rec, &r) != nil || r.Key != key || r.Res == nil {
+		c.corrupt.Add(1)
+		os.Remove(path)
+		return nil
+	}
+	return &r
+}
+
+// Put stores a completed result in memory and, when a directory is
+// configured, as a checksummed file written atomically (temp + fsync +
+// rename), so a crash mid-store can never leave a half-written entry.
+func (c *Cache) Put(r *Result) error {
+	c.mu.Lock()
+	c.mem[r.Key] = r
+	c.mu.Unlock()
+	c.stores.Add(1)
+	if c.dir == "" {
+		return nil
+	}
+	rec, err := r.CanonicalBytes()
+	if err != nil {
+		return err
+	}
+	return artifact.WriteChecksummedFile(filepath.Join(c.dir, r.Key+".json"), rec)
+}
+
+// Counters returns (hits, misses, stores, corrupt).
+func (c *Cache) Counters() (hits, misses, stores, corrupt uint64) {
+	return c.hits.Load(), c.misses.Load(), c.stores.Load(), c.corrupt.Load()
+}

@@ -1,0 +1,325 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"looppoint/internal/artifact"
+	"looppoint/internal/serve"
+)
+
+// fakeResult is the deterministic fake worker payload: a pure function
+// of the canonical job spec, so every honest execution of one key —
+// any worker, any attempt — produces byte-identical canonical results.
+func fakeResult(job serve.JobRequest) *serve.JobResult {
+	h := artifact.Checksum([]byte(fmt.Sprintf("%s|%s|%s|%d|%s|%s|%t",
+		job.Class, job.App, job.Input, job.Threads, job.Policy, job.Core, job.Full)))
+	return &serve.JobResult{
+		ID: job.ID, Class: job.Class, App: job.App,
+		Summary:          fmt.Sprintf("fake-%04x", h&0xffff),
+		Regions:          int(h%7) + 1,
+		Points:           int(h%3) + 1,
+		PredictedSeconds: float64(h%1000) / 10,
+	}
+}
+
+// fakeWorker is an in-process WorkerClient with scriptable misbehavior.
+type fakeWorker struct {
+	name string
+
+	mu        sync.Mutex
+	claims    int
+	failFirst int // transport-error the first N claims
+	shedFirst int // answer 503 to the first N claims
+	hangFirst int // block the first N claims until their ctx dies
+	badReq    bool
+}
+
+func (f *fakeWorker) Name() string                    { return f.name }
+func (f *fakeWorker) Ready(ctx context.Context) error { return nil }
+
+func (f *fakeWorker) Claim(ctx context.Context, key string, leaseMS int64, job serve.JobRequest) (*ClaimOutcome, error) {
+	f.mu.Lock()
+	f.claims++
+	n := f.claims
+	hang := n <= f.hangFirst
+	n -= f.hangFirst
+	fail, shed, bad := n > 0 && n <= f.failFirst, n > f.failFirst && n <= f.failFirst+f.shedFirst, f.badReq
+	f.mu.Unlock()
+	switch {
+	case hang:
+		<-ctx.Done()
+		return nil, ctx.Err()
+	case fail:
+		return nil, fmt.Errorf("%s: connection reset", f.name)
+	case shed:
+		return &ClaimOutcome{Status: http.StatusServiceUnavailable, Outcome: "shed_breaker",
+			Err: "injected shed", RetryAfterMS: 1}, nil
+	case bad:
+		return &ClaimOutcome{Status: http.StatusBadRequest, Outcome: "bad_request", Err: "injected bad request"}, nil
+	}
+	res := fakeResult(job)
+	res.ID = key
+	return &ClaimOutcome{Status: http.StatusOK, Outcome: "ok", Result: res}, nil
+}
+
+// quickConfig is a millisecond-scale coordinator config for tests.
+func quickConfig(tag string) Config {
+	return Config{
+		Tag: tag, Lease: 40 * time.Millisecond, RequestTimeout: 120 * time.Millisecond,
+		Backoff: time.Millisecond, MaxBackoff: 10 * time.Millisecond, Seed: 42,
+		ProbeInterval: 20 * time.Millisecond,
+		Breaker:       serve.BreakerOpts{FailureThreshold: 3, OpenFor: 20 * time.Millisecond},
+	}
+}
+
+func npbSpec(n int) Spec {
+	apps := []string{"npb-cg", "npb-ft", "npb-is", "npb-mg", "npb-lu", "npb-ep", "npb-bt", "npb-sp"}
+	var s Spec
+	for i := 0; i < n; i++ {
+		s.Jobs = append(s.Jobs, serve.JobRequest{
+			Class: serve.ClassAnalyze, App: apps[i%len(apps)], Input: "test", Threads: 4,
+		})
+	}
+	return s
+}
+
+func runCampaign(t *testing.T, cfg Config, workers []WorkerClient, spec Spec) *Report {
+	t.Helper()
+	c, err := New(cfg, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("campaign run: %v", err)
+	}
+	return rep
+}
+
+func TestKeyTaggedNormalizes(t *testing.T) {
+	explicit := serve.JobRequest{ID: "x", Class: serve.ClassAnalyze, App: "npb-cg",
+		Input: "train", Policy: "passive", Core: "ooo", DeadlineMS: 5000, Retries: 2}
+	implicit := serve.JobRequest{Class: serve.ClassAnalyze, App: "npb-cg"}
+	if KeyTagged("t", explicit) != KeyTagged("t", implicit) {
+		t.Fatal("spelled-out defaults and empty defaults should share a key")
+	}
+	if KeyTagged("t", implicit) == KeyTagged("u", implicit) {
+		t.Fatal("distinct tags must produce distinct keys")
+	}
+	other := implicit
+	other.Threads = 8
+	if KeyTagged("t", implicit) == KeyTagged("t", other) {
+		t.Fatal("distinct specs must produce distinct keys")
+	}
+	if len(KeyTagged("t", implicit)) != 16 {
+		t.Fatalf("key %q is not 16 hex digits", KeyTagged("t", implicit))
+	}
+}
+
+// TestJournalResumeRoundTrip: results appended before a crash are
+// restored byte-identically; a torn final line is repaired away; a
+// journal from a different campaign config restores nothing and resets.
+func TestJournalResumeRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	j, restored, err := OpenJournal(path, "tag-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != 0 {
+		t.Fatalf("fresh journal restored %d results", len(restored))
+	}
+	var want [][]byte
+	for _, job := range npbSpec(3).Jobs {
+		n := Normalize(job)
+		key := KeyTagged("tag-a", n)
+		r := &Result{Key: key, Job: n, Res: CanonicalResult(key, fakeResult(n))}
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		b, _ := r.CanonicalBytes()
+		want = append(want, b)
+	}
+	j.Close()
+
+	// Simulate the coordinator dying mid-append: a torn line trails.
+	f, _ := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f.WriteString(`{"fnv1a":"0xdead","record":{"key":"torn`)
+	f.Close()
+
+	j2, restored, err := OpenJournal(path, "tag-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if len(restored) != 3 {
+		t.Fatalf("restored %d results, want 3", len(restored))
+	}
+	for i, r := range restored {
+		got, err := r.CanonicalBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("result %d not rehydrated byte-identically:\n got %s\nwant %s", i, got, want[i])
+		}
+	}
+
+	// A different tag is a different campaign: nothing restores, and the
+	// journal resets to a fresh header rather than mixing campaigns.
+	j3, restored, err := OpenJournal(path, "tag-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	if len(restored) != 0 {
+		t.Fatalf("mismatched config restored %d results, want 0", len(restored))
+	}
+	if _, restored, _ = OpenJournal(path, "tag-a"); len(restored) != 0 {
+		t.Fatal("reset journal still serves the old campaign's results")
+	}
+}
+
+// TestCacheCorruptFileReadsAsMiss: the disk layer round-trips results,
+// and a corrupted cache file is counted, deleted, and re-missed — never
+// served.
+func TestCacheCorruptFileReadsAsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Normalize(serve.JobRequest{Class: serve.ClassAnalyze, App: "npb-cg"})
+	key := KeyTagged("t", job)
+	r := &Result{Key: key, Job: job, Res: CanonicalResult(key, fakeResult(job))}
+	if err := c1.Put(r); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, _ := NewCache(dir) // cold memory: must come from disk
+	got, ok := c2.Get(key)
+	if !ok {
+		t.Fatal("disk layer missed a stored result")
+	}
+	gb, _ := got.CanonicalBytes()
+	rb, _ := r.CanonicalBytes()
+	if !bytes.Equal(gb, rb) {
+		t.Fatalf("disk round-trip: got %s want %s", gb, rb)
+	}
+
+	path := filepath.Join(dir, key+".json")
+	data, _ := os.ReadFile(path)
+	data[len(data)/2] ^= 1
+	os.WriteFile(path, data, 0o644)
+	c3, _ := NewCache(dir)
+	if _, ok := c3.Get(key); ok {
+		t.Fatal("corrupt cache file was served")
+	}
+	if _, _, _, corrupt := c3.Counters(); corrupt != 1 {
+		t.Fatalf("corrupt counter %d, want 1", corrupt)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt cache file should be deleted")
+	}
+}
+
+// TestCoordinatorFleetMatchesSingleNode: the same campaign through a
+// 3-worker fleet and through one worker renders byte-identical reports.
+func TestCoordinatorFleetMatchesSingleNode(t *testing.T) {
+	spec := npbSpec(8)
+	fleet := runCampaign(t, quickConfig("fleet"),
+		[]WorkerClient{&fakeWorker{name: "w0"}, &fakeWorker{name: "w1"}, &fakeWorker{name: "w2"}}, spec)
+	single := runCampaign(t, quickConfig("fleet"), []WorkerClient{&fakeWorker{name: "solo"}}, spec)
+	if fleet.Stats.Failed != 0 || single.Stats.Failed != 0 {
+		t.Fatalf("failures: fleet=%d single=%d", fleet.Stats.Failed, single.Stats.Failed)
+	}
+	if fleet.Render() != single.Render() {
+		t.Fatalf("fleet and single-node reports diverge:\n%s\nvs\n%s", fleet.Render(), single.Render())
+	}
+}
+
+// TestCoordinatorRetriesTransientFaults: transport errors and shed
+// responses burn attempts but not the campaign.
+func TestCoordinatorRetriesTransientFaults(t *testing.T) {
+	w := &fakeWorker{name: "flaky", failFirst: 3, shedFirst: 2}
+	rep := runCampaign(t, quickConfig("retry"), []WorkerClient{w}, npbSpec(4))
+	if rep.Stats.Failed != 0 || rep.Stats.Completed != 4 {
+		t.Fatalf("stats %+v", rep.Stats)
+	}
+	if rep.Stats.Dispatched < 4+3+2 {
+		t.Fatalf("dispatched %d, want at least %d (retries burn dispatches)", rep.Stats.Dispatched, 9)
+	}
+}
+
+// TestCoordinatorFailsPermanentlyOnBadRequest: a 400 is terminal — one
+// attempt, no retry storm, campaign still settles.
+func TestCoordinatorFailsPermanentlyOnBadRequest(t *testing.T) {
+	w := &fakeWorker{name: "strict", badReq: true}
+	spec := npbSpec(2)
+	c, err := New(quickConfig("perm"), []WorkerClient{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := c.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Failed != 2 || rep.Stats.Completed != 0 {
+		t.Fatalf("stats %+v, want both jobs failed", rep.Stats)
+	}
+	if rep.Stats.Dispatched != 2 {
+		t.Fatalf("dispatched %d: permanent failures must not burn retries", rep.Stats.Dispatched)
+	}
+	if !strings.Contains(rep.Render(), "FAILED") {
+		t.Fatalf("report should mark failed jobs:\n%s", rep.Render())
+	}
+}
+
+// TestCoordinatorStealsFromStraggler: a dispatch that outlives its
+// lease has its job stolen — re-enqueued and completed by a later
+// dispatch while the straggler still hangs — and the report matches a
+// clean run exactly. The worker hangs its first two claims (one per
+// runner), so the steal path is the only way those jobs finish before
+// the request timeout, and the lease timer always fires first.
+func TestCoordinatorStealsFromStraggler(t *testing.T) {
+	spec := npbSpec(4)
+	rep := runCampaign(t, quickConfig("steal"), []WorkerClient{&fakeWorker{name: "straggler", hangFirst: 2}}, spec)
+	if rep.Stats.Failed != 0 || rep.Stats.Completed != 4 {
+		t.Fatalf("stats %+v", rep.Stats)
+	}
+	if rep.Stats.Steals == 0 {
+		t.Fatal("no lease was stolen from the hung worker")
+	}
+	clean := runCampaign(t, quickConfig("steal"), []WorkerClient{&fakeWorker{name: "solo"}}, spec)
+	if rep.Render() != clean.Render() {
+		t.Fatalf("stolen-campaign report diverges from clean run:\n%s\nvs\n%s", rep.Render(), clean.Render())
+	}
+	if rep.Stats.DupMismatches != 0 {
+		t.Fatalf("%d duplicate mismatches", rep.Stats.DupMismatches)
+	}
+}
+
+// TestCoordinatorCollapsesDuplicateSpecEntries: two spellings of one job
+// are one execution and one report line.
+func TestCoordinatorCollapsesDuplicateSpecEntries(t *testing.T) {
+	spec := Spec{Jobs: []serve.JobRequest{
+		{Class: serve.ClassAnalyze, App: "npb-cg", Input: "train"},
+		{Class: serve.ClassAnalyze, App: "npb-cg"}, // same job, defaults implicit
+	}}
+	rep := runCampaign(t, quickConfig("dedup"), []WorkerClient{&fakeWorker{name: "w"}}, spec)
+	if rep.Stats.Jobs != 1 || len(rep.Results) != 1 {
+		t.Fatalf("%d jobs in report, want the duplicates collapsed to 1", rep.Stats.Jobs)
+	}
+}

@@ -1,0 +1,188 @@
+package campaign
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"looppoint/internal/faults"
+	"looppoint/internal/serve"
+)
+
+// chaosRunner is the workers' deterministic job runner: the fake result
+// (a pure function of the spec), with a fault-injection site in front so
+// the chaos plan can make any worker flake or stall mid-job.
+func chaosRunner(ctx context.Context, req *serve.JobRequest) (*serve.JobResult, error) {
+	if err := faults.Check("campaign.worker.run"); err != nil {
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return fakeResult(*req), nil
+}
+
+// startWorker boots one real serve.Server behind an httptest listener —
+// a genuine lpserved fleet member, minus the process boundary.
+func startWorker(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(cfg, chaosRunner)
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+	})
+	return s, ts
+}
+
+// chaosConfig shrinks the fabric's time constants so the drill's kills,
+// hangs, and storms all land inside a few hundred milliseconds.
+func chaosConfig(tag string) Config {
+	cfg := quickConfig(tag)
+	cfg.Lease = 60 * time.Millisecond
+	cfg.RequestTimeout = 250 * time.Millisecond
+	cfg.MaxAttempts = 40
+	cfg.WorkerInflight = 3
+	return cfg
+}
+
+// baselineReport runs the campaign on one healthy worker with no faults
+// armed — the reference the chaos run must reproduce byte-for-byte.
+func baselineReport(t *testing.T, tag string, spec Spec) string {
+	t.Helper()
+	if faults.Enabled() {
+		t.Fatal("baseline must run without faults armed")
+	}
+	_, ts := startWorker(t, serve.Config{MaxInflight: 4, QueueDepth: 16})
+	rep := runCampaign(t, chaosConfig(tag), []WorkerClient{NewHTTPWorker("baseline", ts.URL)}, spec)
+	if rep.Stats.Failed != 0 {
+		t.Fatalf("baseline failed jobs: %+v", rep.Stats)
+	}
+	return rep.Render()
+}
+
+// TestCampaignChaosFaultDrill is the fabric's chaos drill: a 3-worker
+// fleet of real serve.Servers where, mid-campaign,
+//
+//   - one worker is SIGKILL-equivalent killed (listener torn down),
+//   - jobs randomly fail and stall longer than the lease (stealing),
+//   - claim calls drop at the transport,
+//   - response bytes are corrupted in flight (checksum must catch them),
+//   - and tiny queues turn coordinator pressure into 429/503 storms,
+//
+// and the campaign must still converge with zero failed jobs, zero
+// duplicate mismatches, and a report byte-identical to the single-node
+// no-fault run. Injection is a pure function of FAULTS_SEED, so each CI
+// matrix seed replays a distinct, reproducible failure pattern.
+func TestCampaignChaosFaultDrill(t *testing.T) {
+	spec := npbSpec(8)
+	for i := range spec.Jobs {
+		if i%3 == 0 {
+			spec.Jobs[i].Class = serve.ClassSimulate
+		}
+	}
+	want := baselineReport(t, "chaos", spec)
+
+	seed := faults.SeedFromEnv(1)
+	restore := faults.Enable(faults.NewPlan(seed,
+		faults.Rule{Site: "campaign.worker.run", Kind: faults.Transient, Rate: 3, Count: 6},
+		faults.Rule{Site: "campaign.worker.run", Kind: faults.Slow, Rate: 4, Count: 4, Delay: 150 * time.Millisecond},
+		faults.Rule{Site: "campaign.claim", Kind: faults.Transient, Rate: 5, Count: 4},
+		faults.Rule{Site: "campaign.result", Kind: faults.Corrupt, Rate: 4, Count: 3},
+	))
+	defer restore()
+
+	// Tiny admission windows: the coordinator's WorkerInflight=3 against
+	// MaxInflight=1/QueueDepth=1 guarantees shed storms under load.
+	_, ts0 := startWorker(t, serve.Config{MaxInflight: 1, QueueDepth: 1})
+	_, ts1 := startWorker(t, serve.Config{MaxInflight: 1, QueueDepth: 1})
+	_, ts2 := startWorker(t, serve.Config{MaxInflight: 1, QueueDepth: 1})
+	// Kill worker 2 mid-flight. httptest.Close waits for in-flight
+	// handlers, so tear the listener down from a goroutine exactly like
+	// a kill -9 would look from the coordinator's side: connections die,
+	// new dials are refused.
+	kill := time.AfterFunc(30*time.Millisecond, func() { ts2.CloseClientConnections(); ts2.Close() })
+	defer kill.Stop()
+
+	rep := runCampaign(t, chaosConfig("chaos"), []WorkerClient{
+		NewHTTPWorker("w0", ts0.URL),
+		NewHTTPWorker("w1", ts1.URL),
+		NewHTTPWorker("w2", ts2.URL),
+	}, spec)
+
+	if rep.Stats.Failed != 0 {
+		t.Fatalf("campaign lost jobs under chaos: %s", rep.Stats.Line())
+	}
+	if rep.Stats.DupMismatches != 0 {
+		t.Fatalf("duplicate deliveries disagreed: %s", rep.Stats.Line())
+	}
+	if got := rep.Render(); got != want {
+		t.Fatalf("chaos report diverges from single-node baseline:\n--- chaos\n%s--- baseline\n%s", got, want)
+	}
+	t.Logf("%s", rep.Stats.Line())
+}
+
+// TestCampaignResumeAfterCoordinatorKill: a coordinator that dies
+// mid-campaign — journal fsync'd through its last completion, final
+// line torn — resumes re-simulating nothing it finished: every restored
+// job settles as a cache hit, dispatches cover only the remainder, and
+// the final report is byte-identical to an uninterrupted run.
+func TestCampaignResumeAfterCoordinatorKill(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "campaign.jsonl")
+	cacheDir := filepath.Join(dir, "cache")
+	spec := npbSpec(8)
+	want := baselineReport(t, "resume", spec)
+
+	_, ts := startWorker(t, serve.Config{MaxInflight: 4, QueueDepth: 16})
+	worker := func() []WorkerClient { return []WorkerClient{NewHTTPWorker("w", ts.URL)} }
+
+	// First life: the coordinator only ever sees half the campaign, then
+	// "dies" — with a torn half-appended line, as a kill mid-write leaves.
+	cfg := chaosConfig("resume")
+	cfg.JournalPath, cfg.CacheDir = journal, cacheDir
+	half := Spec{Jobs: spec.Jobs[:4]}
+	rep1 := runCampaign(t, cfg, worker(), half)
+	if rep1.Stats.Failed != 0 || rep1.Stats.Completed != 4 {
+		t.Fatalf("first life: %s", rep1.Stats.Line())
+	}
+	f, err := os.OpenFile(journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"fnv1a":"0x12345","record":{"key":"torn-mid`)
+	f.Close()
+
+	// Second life: full spec, same journal and cache. The 4 completed
+	// jobs must come back as cache hits — zero re-dispatches for them.
+	rep2 := runCampaign(t, cfg, worker(), spec)
+	if rep2.Stats.Failed != 0 || rep2.Stats.Completed != 8 {
+		t.Fatalf("resumed life: %s", rep2.Stats.Line())
+	}
+	if rep2.Stats.Restored != 4 {
+		t.Fatalf("restored %d journal entries, want 4", rep2.Stats.Restored)
+	}
+	if rep2.Stats.CacheHits != 4 {
+		t.Fatalf("cache hits %d, want exactly the 4 completed shards", rep2.Stats.CacheHits)
+	}
+	if rep2.Stats.Dispatched != 4 {
+		t.Fatalf("dispatched %d, want only the 4 unfinished shards", rep2.Stats.Dispatched)
+	}
+	if got := rep2.Render(); got != want {
+		t.Fatalf("resumed report diverges from uninterrupted run:\n--- resumed\n%s--- baseline\n%s", got, want)
+	}
+
+	// Third life: nothing left to do. Everything is a cache hit; the
+	// fabric dispatches zero jobs.
+	rep3 := runCampaign(t, cfg, worker(), spec)
+	if rep3.Stats.Dispatched != 0 || rep3.Stats.CacheHits != 8 {
+		t.Fatalf("fully-resumed campaign still dispatched: %s", rep3.Stats.Line())
+	}
+	if rep3.Render() != want {
+		t.Fatal("fully-resumed report diverges")
+	}
+}

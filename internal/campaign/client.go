@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"looppoint/internal/artifact"
+	"looppoint/internal/faults"
+	"looppoint/internal/serve"
+)
+
+// ErrCorrupt marks a worker response whose result bytes failed their
+// checksum (or carried the wrong claim key). The coordinator treats it
+// as a retryable dispatch failure — corrupt data is re-fetched, never
+// recorded.
+var ErrCorrupt = errors.New("campaign: corrupt worker response")
+
+// ClaimOutcome is one delivered claim reply, transport-verified: when
+// Status is 200, Result passed its checksum and echoes the right key.
+type ClaimOutcome struct {
+	Status       int
+	Outcome      string
+	Dedup        bool
+	Result       *serve.JobResult
+	Err          string
+	RetryAfterMS int64
+}
+
+// WorkerClient is one worker as the coordinator sees it: a name, a
+// readiness probe, and the claim call. The HTTP implementation below is
+// the real one; tests substitute in-process fakes.
+type WorkerClient interface {
+	Name() string
+	Ready(ctx context.Context) error
+	Claim(ctx context.Context, key string, leaseMS int64, job serve.JobRequest) (*ClaimOutcome, error)
+}
+
+// HTTPWorker speaks to one lpserved instance over HTTP.
+type HTTPWorker struct {
+	name string
+	base string
+	hc   *http.Client
+}
+
+// NewHTTPWorker builds a client for the worker at baseURL (scheme +
+// host[:port]); name defaults to the host part. The per-request timeout
+// is the coordinator's job: it bounds every call with a context.
+func NewHTTPWorker(name, baseURL string) *HTTPWorker {
+	base := strings.TrimRight(baseURL, "/")
+	if name == "" {
+		name = strings.TrimPrefix(strings.TrimPrefix(base, "http://"), "https://")
+	}
+	return &HTTPWorker{name: name, base: base, hc: &http.Client{}}
+}
+
+func (w *HTTPWorker) Name() string { return w.name }
+
+// Ready probes GET /readyz; nil means the worker is admitting work.
+func (w *HTTPWorker) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("campaign: %s not ready: %s", w.name, resp.Status)
+	}
+	return nil
+}
+
+// claimWire mirrors serve.ClaimResponse with the result kept raw, so the
+// checksum can be verified over the exact bytes the worker sent before
+// anything is decoded into a struct.
+type claimWire struct {
+	Key     string          `json:"key"`
+	Status  int             `json:"status"`
+	Outcome string          `json:"outcome"`
+	Dedup   bool            `json:"dedup"`
+	Result  json.RawMessage `json:"result"`
+	FNV1a   string          `json:"fnv1a"`
+	Error   *struct {
+		Outcome      string `json:"outcome"`
+		Error        string `json:"error"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	} `json:"error"`
+}
+
+// Claim POSTs one claim and verifies the reply. A decode failure or
+// checksum mismatch returns an error wrapping ErrCorrupt; a delivered
+// non-200 outcome (shed, timeout, server error) is NOT a Go error — it
+// comes back as a ClaimOutcome for the coordinator to classify.
+func (w *HTTPWorker) Claim(ctx context.Context, key string, leaseMS int64, job serve.JobRequest) (*ClaimOutcome, error) {
+	if err := faults.Check("campaign.claim"); err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(serve.ClaimRequest{Key: key, LeaseMS: leaseMS, Job: job})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+"/v1/claim", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	// Chaos corruption site: the drill flips bits in the response body
+	// here to prove the checksum catches what the transport delivers.
+	faults.CorruptBytes("campaign.result", raw)
+
+	var cw claimWire
+	if err := json.Unmarshal(raw, &cw); err != nil {
+		return nil, fmt.Errorf("%w: undecodable claim reply from %s: %v", ErrCorrupt, w.name, err)
+	}
+	out := &ClaimOutcome{Status: cw.Status, Outcome: cw.Outcome, Dedup: cw.Dedup}
+	if cw.Error != nil {
+		out.Err = cw.Error.Error
+		out.RetryAfterMS = cw.Error.RetryAfterMS
+	}
+	if cw.Status != http.StatusOK {
+		return out, nil
+	}
+	if cw.Key != key {
+		return nil, fmt.Errorf("%w: %s answered claim %s with key %s", ErrCorrupt, w.name, key, cw.Key)
+	}
+	if len(cw.Result) == 0 || cw.FNV1a == "" {
+		return nil, fmt.Errorf("%w: %s sent a success with no result/checksum", ErrCorrupt, w.name)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, cw.Result); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if got := fmt.Sprintf("%#x", artifact.Checksum(compact.Bytes())); got != cw.FNV1a {
+		return nil, fmt.Errorf("%w: %s result checksum %s, envelope says %s", ErrCorrupt, w.name, got, cw.FNV1a)
+	}
+	var res serve.JobResult
+	if err := json.Unmarshal(cw.Result, &res); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out.Result = &res
+	return out, nil
+}

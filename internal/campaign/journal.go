@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"looppoint/internal/artifact"
+)
+
+// The campaign journal is the coordinator's crash log: one checksummed
+// JSONL line per completed job, fsync'd before the completion is
+// acknowledged, preceded by a header line binding the file to this
+// campaign's config fingerprint. `lpcoord -resume` replays it to
+// rehydrate completed results byte-identically — a killed coordinator
+// re-simulates only what was in flight, never what had finished.
+//
+// Schema v3 (one envelope per line, artifact.ChecksumLine):
+//
+//	{"fnv1a":"0x…","record":{"campaign":"v3","config":"0x…","tag":"…"}}   header
+//	{"fnv1a":"0x…","record":{"key":"…","job":{…},"result":{…}}}          entry
+//
+// A torn final line (power cut mid-append) is repaired away on open; a
+// header whose fingerprint does not match the resuming campaign resets
+// the journal rather than resuming someone else's work.
+
+// journalHeader is the first record of every campaign journal.
+type journalHeader struct {
+	Campaign string `json:"campaign"`
+	Config   string `json:"config"`
+	Tag      string `json:"tag"`
+}
+
+// ConfigFingerprint is the journal-compatibility stamp: a resume only
+// trusts a journal whose header carries the fingerprint of the campaign
+// being resumed (same schema, same tag). Job-level compatibility needs
+// no fingerprint — keys are content-addressed, so entries for jobs no
+// longer in the spec are simply never looked up.
+func ConfigFingerprint(tag string) string {
+	return fmt.Sprintf("%#x", artifact.Checksum([]byte("campaign-journal/"+SchemaVersion+"|tag="+tag)))
+}
+
+// Journal is an append-only, fsync'd campaign completion log.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (or creates) the journal at path for the campaign
+// identified by tag, repairing a torn tail first, and returns the
+// results already recorded. A missing file, an empty file, or a header
+// from a different campaign config yields a fresh journal and zero
+// restored results.
+func OpenJournal(path, tag string) (*Journal, []*Result, error) {
+	if err := artifact.RepairTornTail(path); err != nil {
+		return nil, nil, fmt.Errorf("campaign: repair journal: %w", err)
+	}
+	restored, ok, err := loadJournal(path, tag)
+	if err != nil {
+		return nil, nil, err
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !ok {
+		// No trustworthy header: reset and start a fresh journal for
+		// this campaign.
+		flags = os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+		restored = nil
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: open journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	if !ok {
+		hdr, merr := json.Marshal(journalHeader{Campaign: SchemaVersion, Config: ConfigFingerprint(tag), Tag: tag})
+		if merr != nil {
+			f.Close()
+			return nil, nil, merr
+		}
+		if err := j.appendRecord(hdr); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return j, restored, nil
+}
+
+// loadJournal reads every verified record; ok reports whether the file
+// carries a matching header (i.e. appending to it is safe).
+func loadJournal(path, tag string) (restored []*Result, ok bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("campaign: read journal: %w", err)
+	}
+	defer f.Close()
+
+	want := ConfigFingerprint(tag)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		rec, valid := artifact.VerifyLine(line)
+		if !valid {
+			// A checksum-failing interior line means the file was
+			// corrupted at rest, not torn mid-append (RepairTornTail
+			// already ran). Nothing after it can be trusted to belong to
+			// this campaign's sequence.
+			return restored, !first, nil
+		}
+		if first {
+			first = false
+			var hdr journalHeader
+			if json.Unmarshal(rec, &hdr) != nil || hdr.Campaign != SchemaVersion || hdr.Config != want {
+				return nil, false, nil
+			}
+			continue
+		}
+		var r Result
+		if json.Unmarshal(rec, &r) != nil || r.Key == "" || r.Res == nil {
+			continue
+		}
+		restored = append(restored, &r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, fmt.Errorf("campaign: scan journal: %w", err)
+	}
+	return restored, !first, nil
+}
+
+// Append records one completed job, fsync'd before returning — the
+// completion is durable before the coordinator acknowledges it.
+func (j *Journal) Append(r *Result) error {
+	rec, err := r.CanonicalBytes()
+	if err != nil {
+		return err
+	}
+	return j.appendRecord(rec)
+}
+
+func (j *Journal) appendRecord(rec []byte) error {
+	line, err := artifact.ChecksumLine(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("campaign: append journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	if err != nil && err != io.ErrClosedPipe {
+		return err
+	}
+	return nil
+}

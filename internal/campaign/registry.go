@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"looppoint/internal/serve"
+)
+
+// Worker is one fleet member as the coordinator tracks it: the client, a
+// readiness flag driven by the health-probe loop, and a per-worker
+// circuit breaker driven by observed dispatch outcomes (429s, 5xx,
+// timeouts, transport errors). The two signals are deliberately
+// independent: the probe says "the process answers /readyz", the breaker
+// says "claims I send there actually land" — a worker can pass one and
+// fail the other (wedged runner, storm of sheds), and dispatch requires
+// both.
+type Worker struct {
+	client  WorkerClient
+	breaker *serve.Breaker
+
+	ready      atomic.Bool
+	probes     atomic.Uint64
+	probeFails atomic.Uint64
+}
+
+// Name returns the worker's display name.
+func (w *Worker) Name() string { return w.client.Name() }
+
+// Ready reports the last probe verdict.
+func (w *Worker) Ready() bool { return w.ready.Load() }
+
+// Breaker exposes the worker's dispatch breaker (tests and stats).
+func (w *Worker) Breaker() *serve.Breaker { return w.breaker }
+
+// Registry is the coordinator's view of the fleet.
+type Registry struct {
+	workers []*Worker
+}
+
+// NewRegistry wraps each client with a breaker (named after the worker,
+// so trips are attributable) and an optimistic ready flag — the first
+// probe pass corrects it within one interval, and a down worker's
+// breaker opens after its first failed dispatches regardless.
+func NewRegistry(clients []WorkerClient, bopts serve.BreakerOpts) *Registry {
+	r := &Registry{}
+	for _, c := range clients {
+		w := &Worker{client: c, breaker: serve.NewBreaker(c.Name(), bopts)}
+		w.ready.Store(true)
+		r.workers = append(r.workers, w)
+	}
+	return r
+}
+
+// Workers returns the fleet.
+func (r *Registry) Workers() []*Worker { return r.workers }
+
+// Probe runs one readiness pass over the whole fleet.
+func (r *Registry) Probe(ctx context.Context, timeout time.Duration) {
+	for _, w := range r.workers {
+		pctx, cancel := context.WithTimeout(ctx, timeout)
+		err := w.client.Ready(pctx)
+		cancel()
+		w.probes.Add(1)
+		if err != nil {
+			w.probeFails.Add(1)
+		}
+		w.ready.Store(err == nil)
+	}
+}
+
+// Run probes immediately and then every interval until ctx is done.
+func (r *Registry) Run(ctx context.Context, interval time.Duration) {
+	probeTimeout := interval / 2
+	if probeTimeout <= 0 {
+		probeTimeout = time.Second
+	}
+	r.Probe(ctx, probeTimeout)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Probe(ctx, probeTimeout)
+		}
+	}
+}

@@ -124,18 +124,12 @@ func (d reportData) report() *core.Report {
 
 // journalRecord is the checksummed unit: the memoization key, the
 // fingerprint of the configuration the report was computed under, and
-// the report data.
+// the report data. The on-disk line format is the shared checksummed
+// envelope (artifact.ChecksumLine/VerifyLine).
 type journalRecord struct {
 	Key    string     `json:"key"`
 	Config string     `json:"config"`
 	Report reportData `json:"report"`
-}
-
-// journalEntry is one JSONL line: the FNV-1a checksum of the compact
-// record bytes, then the record itself.
-type journalEntry struct {
-	FNV1a  string          `json:"fnv1a"`
-	Record json.RawMessage `json:"record"`
 }
 
 // journal appends completed evaluations to a JSONL file.
@@ -168,22 +162,13 @@ func loadJournal(path, config string) (restored map[string]*core.Report, dropped
 		if len(line) == 0 {
 			continue
 		}
-		var ent journalEntry
-		if json.Unmarshal(line, &ent) != nil {
-			dropped++
-			continue
-		}
-		var compact bytes.Buffer
-		if json.Compact(&compact, ent.Record) != nil {
-			dropped++
-			continue
-		}
-		if fmt.Sprintf("%#x", artifact.Checksum(compact.Bytes())) != ent.FNV1a {
+		recBytes, ok := artifact.VerifyLine(line)
+		if !ok {
 			dropped++
 			continue
 		}
 		var rec journalRecord
-		if json.Unmarshal(compact.Bytes(), &rec) != nil || rec.Key == "" {
+		if json.Unmarshal(recBytes, &rec) != nil || rec.Key == "" {
 			dropped++
 			continue
 		}
@@ -201,11 +186,12 @@ func loadJournal(path, config string) (restored map[string]*core.Report, dropped
 
 // openJournal opens (creating if needed) the journal for appending
 // records stamped with the given config fingerprint. A final line torn
-// by a mid-write kill is truncated away first, so the next append starts
-// on a fresh line instead of corrupt-concatenating with the torn bytes
-// (which would lose both the torn record and the new one).
+// by a mid-write kill is truncated away first (artifact.RepairTornTail,
+// crash-safe), so the next append starts on a fresh line instead of
+// corrupt-concatenating with the torn bytes (which would lose both the
+// torn record and the new one).
 func openJournal(path, config string) (*journal, error) {
-	if err := repairTornTail(path); err != nil {
+	if err := artifact.RepairTornTail(path); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -213,50 +199,6 @@ func openJournal(path, config string) (*journal, error) {
 		return nil, err
 	}
 	return &journal{config: config, f: f}, nil
-}
-
-// repairTornTail truncates a trailing unterminated line — a record torn
-// by a SIGKILL mid-write. The repair itself is crash-safe: the retained
-// prefix is written to a sibling temp file, fsynced BEFORE the atomic
-// rename over the journal, so a kill at any point during the repair
-// leaves either the old journal or the fully repaired one on disk,
-// never a half-truncated file (a rename that outruns its data's fsync
-// can publish an empty or partial file after a power cut).
-func repairTornTail(path string) error {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return err
-	}
-	if len(data) == 0 || data[len(data)-1] == '\n' {
-		return nil // every line complete; nothing to repair
-	}
-	keep := 0
-	if i := bytes.LastIndexByte(data, '\n'); i >= 0 {
-		keep = i + 1
-	}
-	tmp := path + ".repair"
-	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := tf.Write(data[:keep]); err != nil {
-		tf.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := tf.Sync(); err != nil {
-		tf.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := tf.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
 }
 
 // append writes one completed evaluation. The line is checksummed so a
@@ -269,10 +211,7 @@ func (j *journal) append(key string, rep *core.Report) error {
 	if err != nil {
 		return err
 	}
-	line, err := json.Marshal(journalEntry{
-		FNV1a:  fmt.Sprintf("%#x", artifact.Checksum(rec)),
-		Record: rec,
-	})
+	line, err := artifact.ChecksumLine(rec)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,10 @@ import (
 	"looppoint/internal/faults"
 )
 
+// MmapSupported reports whether the zero-copy mapped loader is wired up
+// on this platform.
+const MmapSupported = true
+
 // LoadMapped reads a pinball through a read-only memory mapping instead
 // of copying the file into a heap buffer first — the zero-copy load
 // path behind lpsim's -mmap flag. Decode copies every field it keeps

@@ -2,6 +2,11 @@
 
 package pinball
 
+// MmapSupported reports whether the zero-copy mapped loader is wired up
+// on this platform; tools use it to warn once that -mmap will silently
+// take the copying path.
+const MmapSupported = false
+
 // LoadMapped falls back to the copying loader on platforms where the
 // zero-copy mapping path is not wired up; callers see identical
 // results and error classification either way.

@@ -139,7 +139,7 @@ func RunWith(ctx context.Context, n int, opts Options, fn func(ctx context.Conte
 		item = func(ctx context.Context, i int) error {
 			iopts := opts
 			if iopts.JitterSeed != 0 {
-				iopts.JitterSeed = mixSeed(iopts.JitterSeed, uint64(i))
+				iopts.JitterSeed = MixSeed(iopts.JitterSeed, uint64(i))
 			}
 			return Retry(ctx, iopts, func(ctx context.Context) error { return fn(ctx, i) })
 		}
@@ -257,7 +257,7 @@ func MapWith[T any](ctx context.Context, n int, opts Options, fn func(ctx contex
 		if retried {
 			iopts := opts
 			if iopts.JitterSeed != 0 {
-				iopts.JitterSeed = mixSeed(iopts.JitterSeed, uint64(i))
+				iopts.JitterSeed = MixSeed(iopts.JitterSeed, uint64(i))
 			}
 			v, ferr = RetryValue(ctx, iopts, func(ctx context.Context) (T, error) { return fn(ctx, i) })
 		} else {

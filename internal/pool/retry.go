@@ -31,10 +31,12 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
-// mixSeed derives the jitter stream for item i from a caller-fixed seed,
+// MixSeed derives the jitter stream for item i from a caller-fixed seed,
 // so sibling items of one sweep back off on decorrelated schedules while
-// the whole sweep stays reproducible.
-func mixSeed(seed, i uint64) uint64 { return splitmix64(seed ^ splitmix64(i+1)) }
+// the whole sweep stays reproducible. RunWith/MapWith use it to give
+// each pool item its own stream; the campaign coordinator uses it the
+// same way to give each campaign job a decorrelated, seeded backoff.
+func MixSeed(seed, i uint64) uint64 { return splitmix64(seed ^ splitmix64(i+1)) }
 
 // jitterCounter hands each unseeded Retry call a distinct stream.
 var jitterCounter atomic.Uint64

@@ -325,7 +325,7 @@ func TestBackoffDelayNoJitter(t *testing.T) {
 func TestMixSeedDecorrelatesItems(t *testing.T) {
 	seen := map[uint64]uint64{}
 	for i := uint64(0); i < 64; i++ {
-		s := mixSeed(42, i)
+		s := MixSeed(42, i)
 		if s == 0 {
 			t.Fatalf("item %d: zero stream (would fall back to the global counter)", i)
 		}

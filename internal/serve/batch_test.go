@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -195,5 +196,130 @@ func TestServeBatchDrainMidBatch(t *testing.T) {
 	}})
 	if code != http.StatusOK || resp.Shed != 1 || resp.Results[0].Outcome != "shed_drain" {
 		t.Fatalf("batch while draining: %d %+v, want shed_drain sub-job", code, resp)
+	}
+}
+
+// TestServeBatchHalfOpenProbeAdmission: a batch arriving while its job
+// class's breaker is half-open gets exactly HalfOpenProbes sub-jobs
+// through — the probe — and sheds the rest with shed_breaker, results
+// index-aligned with the request. The probe's success closes the
+// breaker for the next batch. This pins the interaction between the
+// breaker's bounded half-open probing and /v1/batch's admit-everything-
+// first loop: a wide batch must not consume more probe slots than a
+// stream of single requests would.
+func TestServeBatchHalfOpenProbeAdmission(t *testing.T) {
+	clk := newFakeClock()
+	br := newBlockingRunner()
+	run := func(ctx context.Context, req *JobRequest) (*JobResult, error) {
+		if req.App == "boom" {
+			return nil, fmt.Errorf("dependency down")
+		}
+		return br.run(ctx, req)
+	}
+	s := startServer(t, Config{MaxInflight: 2, QueueDepth: 8,
+		Breaker: BreakerOpts{FailureThreshold: 1, OpenFor: 10 * time.Second, HalfOpenProbes: 1, Now: clk.Now},
+	}, run)
+
+	// Trip the analyze breaker, then advance past the open hold so the
+	// next admission probes half-open.
+	if code, _ := postJob(t, s, JobRequest{Class: ClassAnalyze, App: "boom"}); code != http.StatusInternalServerError {
+		t.Fatalf("trip job: status %d", code)
+	}
+	clk.Advance(11 * time.Second)
+
+	done := make(chan BatchResponse, 1)
+	go func() {
+		_, resp := postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+			{ID: "p0", Class: ClassAnalyze, App: "npb-cg"},
+			{ID: "p1", Class: ClassAnalyze, App: "npb-cg"},
+			{ID: "p2", Class: ClassAnalyze, App: "npb-ft"},
+			{ID: "p3", Class: ClassAnalyze, App: "npb-is"},
+		}})
+		done <- resp
+	}()
+	<-br.started // the probe sub-job is running; its siblings were shed
+	if st := s.Stats(); st.Admitted != 2 || st.ShedBreaker != 3 {
+		t.Fatalf("stats %+v, want exactly one probe admitted and 3 shed", st)
+	}
+	close(br.release)
+	resp := <-done
+
+	if resp.Succeeded != 1 || resp.Shed != 3 {
+		t.Fatalf("envelope %+v, want 1 succeeded + 3 shed", resp)
+	}
+	if it := resp.Results[0]; it.ID != "p0" || it.Outcome != "ok" {
+		t.Fatalf("probe slot should go to the first sub-job: %+v", it)
+	}
+	for i, it := range resp.Results[1:] {
+		if it.Status != http.StatusServiceUnavailable || it.Outcome != "shed_breaker" ||
+			it.Error == nil || it.Error.Breaker != "half-open" {
+			t.Fatalf("sub-job %d not shed by the half-open breaker: %+v", i+1, it)
+		}
+		if it.ID != fmt.Sprintf("p%d", i+1) {
+			t.Fatalf("results not index-aligned: slot %d carries %q", i+1, it.ID)
+		}
+	}
+	// The successful probe closed the breaker: a follow-up batch admits
+	// every sub-job.
+	if b := s.Breaker(ClassAnalyze); b.State() != BreakerClosed {
+		t.Fatalf("breaker %v after successful probe, want closed", b.State())
+	}
+	_, resp = postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+		{Class: ClassAnalyze, App: "npb-cg"},
+		{Class: ClassAnalyze, App: "npb-ft"},
+	}})
+	if resp.Succeeded != 2 {
+		t.Fatalf("post-close batch %+v, want both sub-jobs to run", resp)
+	}
+}
+
+// TestServeBatchHalfOpenProbeRace: two batches racing into a half-open
+// breaker still admit exactly one probe between them — concurrent batch
+// admission loops cannot widen the probe window.
+func TestServeBatchHalfOpenProbeRace(t *testing.T) {
+	clk := newFakeClock()
+	br := newBlockingRunner()
+	run := func(ctx context.Context, req *JobRequest) (*JobResult, error) {
+		if req.App == "boom" {
+			return nil, fmt.Errorf("dependency down")
+		}
+		return br.run(ctx, req)
+	}
+	s := startServer(t, Config{MaxInflight: 2, QueueDepth: 16,
+		Breaker: BreakerOpts{FailureThreshold: 1, OpenFor: 10 * time.Second, HalfOpenProbes: 1, Now: clk.Now},
+	}, run)
+	if code, _ := postJob(t, s, JobRequest{Class: ClassAnalyze, App: "boom"}); code != http.StatusInternalServerError {
+		t.Fatalf("trip job: status %d", code)
+	}
+	clk.Advance(11 * time.Second)
+
+	const jobsPerBatch = 4
+	results := make(chan BatchResponse, 2)
+	for b := 0; b < 2; b++ {
+		go func() {
+			_, resp := postBatch(t, s, BatchRequest{Jobs: []JobRequest{
+				{Class: ClassAnalyze, App: "npb-cg"},
+				{Class: ClassAnalyze, App: "npb-cg"},
+				{Class: ClassAnalyze, App: "npb-ft"},
+				{Class: ClassAnalyze, App: "npb-is"},
+			}})
+			results <- resp
+		}()
+	}
+	<-br.started // exactly one probe is running across both batches
+	waitFor(t, func() bool { return s.Stats().ShedBreaker == 2*jobsPerBatch-1 })
+	close(br.release)
+
+	succeeded, shed := 0, 0
+	for b := 0; b < 2; b++ {
+		resp := <-results
+		succeeded += resp.Succeeded
+		shed += resp.Shed
+	}
+	if succeeded != 1 || shed != 2*jobsPerBatch-1 {
+		t.Fatalf("across racing batches: %d succeeded, %d shed; want exactly 1 probe through", succeeded, shed)
+	}
+	if st := s.Stats(); st.Admitted != 2 {
+		t.Fatalf("stats %+v: the breaker admitted more than the probe", st)
 	}
 }

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"looppoint/internal/artifact"
+)
+
+// POST /v1/claim is the worker half of the campaign fabric's lease
+// protocol (DESIGN.md §14). A claim is a job submission made idempotent
+// by a coordinator-chosen claim key — the job's content address: while a
+// claim for key K is in flight, a second claim for K attaches to the
+// running execution instead of admitting a duplicate. That is exactly
+// the shape a work-stealing coordinator needs: when a lease expires and
+// the job is re-dispatched, a re-dispatch that lands on the SAME worker
+// (network blip, slow response) dedupes at the worker, while a
+// re-dispatch to a different worker runs independently and the
+// coordinator resolves the duplicate (first-complete wins).
+//
+// The response carries the FNV-1a checksum of the result's compact JSON
+// so the coordinator can detect a response corrupted in transit (or by
+// the chaos plan) and treat it as a retryable failure instead of
+// recording garbage.
+
+// ClaimRequest is the JSON body of POST /v1/claim.
+type ClaimRequest struct {
+	// Key is the coordinator's claim token — the job's content address.
+	// Claims with equal keys dedupe onto one execution while in flight.
+	Key string `json:"key"`
+	// LeaseMS is the coordinator's lease on this dispatch. When the job
+	// spec carries no deadline of its own, the lease bounds the worker-
+	// side execution too: work the coordinator has given up on is work
+	// this worker should stop doing.
+	LeaseMS int64 `json:"lease_ms,omitempty"`
+	// Job is the job spec, exactly as POST /v1/jobs takes it.
+	Job JobRequest `json:"job"`
+}
+
+// ClaimResponse is the JSON body of every /v1/claim reply. Status echoes
+// the HTTP status (the same per-job statuses /v1/jobs uses), so the
+// envelope is self-describing when it travels through the batch-style
+// tooling.
+type ClaimResponse struct {
+	Key     string     `json:"key"`
+	Status  int        `json:"status"`
+	Outcome string     `json:"outcome"`
+	Dedup   bool       `json:"dedup,omitempty"`
+	Result  *JobResult `json:"result,omitempty"`
+	// FNV1a is the checksum of Result's compact JSON (success only):
+	// the coordinator's corruption check.
+	FNV1a string     `json:"fnv1a,omitempty"`
+	Error *errorBody `json:"error,omitempty"`
+}
+
+// claimEntry is one in-flight claim execution; duplicate claims block on
+// done and then read outcome (the close is the publication barrier).
+type claimEntry struct {
+	done    chan struct{}
+	outcome jobOutcome
+}
+
+// handleClaim admits and runs one idempotent claim. The first claim for
+// a key goes through the exact same admission dance as POST /v1/jobs —
+// drain check, class breaker, bounded queue — so claims are sheddable
+// and breaker-gated like any other job. Duplicate claims while the first
+// is in flight attach to its outcome without consuming admission
+// capacity. Entries are dropped once the outcome is published: claims
+// are an in-flight dedupe, not a cache — the coordinator's content-
+// addressed cache owns completed results.
+func (s *Server) handleClaim(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var creq ClaimRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&creq); err != nil {
+		writeJSON(w, http.StatusBadRequest, ClaimResponse{Status: http.StatusBadRequest,
+			Outcome: "bad_request", Error: &errorBody{Outcome: "bad_request", Error: "bad JSON: " + err.Error()}})
+		return
+	}
+	if creq.Key == "" {
+		writeJSON(w, http.StatusBadRequest, ClaimResponse{Status: http.StatusBadRequest,
+			Outcome: "bad_request", Error: &errorBody{Outcome: "bad_request", Error: "missing claim key"}})
+		return
+	}
+	if bad := s.validateJob(&creq.Job); bad != nil {
+		writeClaim(w, creq.Key, *bad, false)
+		return
+	}
+	if creq.Job.ID == "" {
+		creq.Job.ID = creq.Key
+	}
+	if creq.Job.DeadlineMS == 0 && creq.LeaseMS > 0 {
+		creq.Job.DeadlineMS = creq.LeaseMS
+	}
+	s.claims.Add(1)
+
+	s.claimMu.Lock()
+	if e, ok := s.claimFlight[creq.Key]; ok {
+		s.claimMu.Unlock()
+		s.claimDedups.Add(1)
+		select {
+		case <-e.done:
+			writeClaim(w, creq.Key, e.outcome, true)
+		case <-r.Context().Done():
+			// This duplicate's client gave up; the primary execution is
+			// unaffected.
+			writeClaim(w, creq.Key, jobOutcome{status: http.StatusServiceUnavailable,
+				errB: errorBody{Outcome: "canceled", Error: r.Context().Err().Error()}}, true)
+		}
+		return
+	}
+	e := &claimEntry{done: make(chan struct{})}
+	s.claimFlight[creq.Key] = e
+	s.claimMu.Unlock()
+
+	var o jobOutcome
+	if j, shed := s.admit(r.Context(), &creq.Job); shed != nil {
+		o = *shed
+	} else {
+		o = s.awaitJob(j)
+	}
+	e.outcome = o
+	s.claimMu.Lock()
+	delete(s.claimFlight, creq.Key)
+	s.claimMu.Unlock()
+	close(e.done)
+	writeClaim(w, creq.Key, o, false)
+}
+
+// writeClaim renders one claim outcome as the full HTTP response,
+// stamping the result checksum on success.
+func writeClaim(w http.ResponseWriter, key string, o jobOutcome, dedup bool) {
+	cr := ClaimResponse{Key: key, Status: o.status, Dedup: dedup}
+	if o.res != nil {
+		cr.Outcome = "ok"
+		cr.Result = o.res
+		if b, err := json.Marshal(o.res); err == nil {
+			cr.FNV1a = fmt.Sprintf("%#x", artifact.Checksum(b))
+		}
+	} else {
+		eb := o.errB
+		cr.Outcome = eb.Outcome
+		cr.Error = &eb
+	}
+	if o.errB.RetryAfterMS > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(time.Duration(o.errB.RetryAfterMS)*time.Millisecond))
+	}
+	writeJSON(w, o.status, cr)
+}

@@ -220,6 +220,8 @@ type job struct {
 type Stats struct {
 	Admitted    uint64 `json:"admitted"`
 	Batches     uint64 `json:"batches"`
+	Claims      uint64 `json:"claims"`
+	ClaimDedups uint64 `json:"claim_dedups"`
 	Completed   uint64 `json:"completed"`
 	Errors      uint64 `json:"errors"`
 	Timeouts    uint64 `json:"timeouts"`
@@ -283,6 +285,10 @@ type Server struct {
 	admitted, completed, errsN, timeouts atomic.Uint64
 	shedQueue, shedBreaker, shedDrain    atomic.Uint64
 	journaled, batches                   atomic.Uint64
+	claims, claimDedups                  atomic.Uint64
+
+	claimMu     sync.Mutex
+	claimFlight map[string]*claimEntry
 
 	logMu sync.Mutex
 }
@@ -291,12 +297,13 @@ type Server struct {
 func New(cfg Config, run RunFunc) *Server {
 	cfg = cfg.fill()
 	s := &Server{
-		cfg:      cfg,
-		run:      run,
-		budget:   NewBudget(cfg.RetryBudget, cfg.RetryRatio),
-		breakers: make(map[string]*Breaker, len(JobClasses)),
-		jobs:     make(chan *job, cfg.QueueDepth),
-		active:   make(map[uint64]*job),
+		cfg:         cfg,
+		run:         run,
+		budget:      NewBudget(cfg.RetryBudget, cfg.RetryRatio),
+		breakers:    make(map[string]*Breaker, len(JobClasses)),
+		jobs:        make(chan *job, cfg.QueueDepth),
+		active:      make(map[uint64]*job),
+		claimFlight: make(map[string]*claimEntry),
 	}
 	for _, class := range JobClasses {
 		s.breakers[class] = NewBreaker(class, cfg.Breaker)
@@ -335,6 +342,8 @@ func (s *Server) Stats() Stats {
 	st := Stats{
 		Admitted:      s.admitted.Load(),
 		Batches:       s.batches.Load(),
+		Claims:        s.claims.Load(),
+		ClaimDedups:   s.claimDedups.Load(),
 		Completed:     s.completed.Load(),
 		Errors:        s.errsN.Load(),
 		Timeouts:      s.timeouts.Load(),
@@ -374,6 +383,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/jobs", s.handleJob)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/claim", s.handleClaim)
 	return mux
 }
 

@@ -12,23 +12,11 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-workdir=$(mktemp -d)
+SMOKE_NAME=serve-smoke
+source "$(dirname "$0")/smoke_lib.sh"
+smoke_init
 srvlog="$workdir/lpserved.log"
-pid=""
-cleanup() {
-    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
-        kill -KILL "$pid" 2>/dev/null || true
-    fi
-    rm -rf "$workdir"
-}
-trap cleanup EXIT
-
-fail() {
-    echo "serve-smoke: FAIL: $*" >&2
-    echo "--- lpserved log ---" >&2
-    cat "$srvlog" >&2 || true
-    exit 1
-}
+smoke_track_log "$srvlog"
 
 echo "serve-smoke: building lpserved"
 go build -o "$workdir/lpserved" ./cmd/lpserved
@@ -39,16 +27,10 @@ go build -o "$workdir/lpserved" ./cmd/lpserved
     -drain-deadline 10s -pending "$workdir/pending.jsonl" \
     >"$srvlog" 2>&1 &
 pid=$!
+smoke_track_pid "$pid"
 
 # The daemon prints "listening on http://<addr>" once bound.
-base=""
-for _ in $(seq 1 100); do
-    base=$(sed -n 's/^lpserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$srvlog" | head -1)
-    [[ -n "$base" ]] && break
-    kill -0 "$pid" 2>/dev/null || fail "daemon exited before binding"
-    sleep 0.1
-done
-[[ -n "$base" ]] || fail "daemon never printed its listen address"
+base=$(wait_for_addr "$srvlog" "$pid")
 echo "serve-smoke: daemon up at $base (pid $pid)"
 
 ready=$(curl -fsS "$base/readyz")

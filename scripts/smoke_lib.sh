@@ -1,0 +1,62 @@
+# smoke_lib.sh — shared plumbing for the smoke scripts (serve_smoke.sh,
+# campaign_smoke.sh). Source it, don't run it:
+#
+#   SMOKE_NAME=my-smoke
+#   source "$(dirname "$0")/smoke_lib.sh"
+#   smoke_init
+#
+# Provides:
+#   smoke_init             make $workdir, arm the cleanup trap
+#   smoke_track_pid PID    ensure PID is KILLed on exit
+#   smoke_track_log FILE   dump FILE on any failure
+#   fail MSG...            report, dump tracked logs, exit 1
+#   wait_for_addr LOG PID  poll LOG for the daemon's printed listen
+#                          address ("lpserved: listening on http://…",
+#                          OS-assigned when booted with -addr :0) and
+#                          echo the base URL
+#
+# Every daemon is booted on 127.0.0.1:0 — the OS assigns a free port and
+# the daemon prints it — so parallel CI jobs never collide on a port.
+
+workdir=""
+SMOKE_PIDS=()
+SMOKE_LOGS=()
+
+smoke_init() {
+    workdir=$(mktemp -d)
+    trap smoke_cleanup EXIT
+}
+
+smoke_cleanup() {
+    local p
+    for p in "${SMOKE_PIDS[@]:-}"; do
+        [[ -n "$p" ]] && kill -KILL "$p" 2>/dev/null || true
+    done
+    [[ -n "$workdir" ]] && rm -rf "$workdir"
+}
+
+smoke_track_pid() { SMOKE_PIDS+=("$1"); }
+smoke_track_log() { SMOKE_LOGS+=("$1"); }
+
+fail() {
+    echo "$SMOKE_NAME: FAIL: $*" >&2
+    local log
+    for log in "${SMOKE_LOGS[@]:-}"; do
+        [[ -n "$log" ]] || continue
+        echo "--- $(basename "$log") ---" >&2
+        cat "$log" >&2 || true
+    done
+    exit 1
+}
+
+wait_for_addr() {
+    local log=$1 pid=$2 base=""
+    for _ in $(seq 1 100); do
+        base=$(sed -n 's/^lpserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$log" | head -1)
+        [[ -n "$base" ]] && break
+        kill -0 "$pid" 2>/dev/null || fail "daemon (pid $pid) exited before binding"
+        sleep 0.1
+    done
+    [[ -n "$base" ]] || fail "daemon (pid $pid) never printed its listen address"
+    echo "$base"
+}
