@@ -1,6 +1,6 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test test-race test-faults test-stats serve-smoke campaign-smoke bench bench-scaling report report-full demo clean
+.PHONY: build test test-race test-faults test-stats serve-smoke campaign-smoke bench bench-analyze bench-scaling report report-full demo clean
 
 build:
 	go build ./...
@@ -56,6 +56,14 @@ bench:
 # The complete SPEC CPU2017 + NPB suites (much longer).
 bench-full:
 	LOOPPOINT_FULL=1 go test -run xxx -bench . -benchtime 1x .
+
+# Checkpoint-parallel analysis front-end: serial vs sharded Analyze at
+# GOMAXPROCS widths 1/2/4/8 (the parallel benchmark sets AnalyzeWorkers
+# to GOMAXPROCS, so the -cpu axis is the worker axis). Feeds
+# BENCH_analyze.json; see the oversubscription note on bench-scaling.
+bench-analyze:
+	go test -run xxx -cpu 1,2,4,8 -bench 'Analyze(Serial|Parallel)' \
+		-benchtime 3x ./internal/core/
 
 # Multi-core scaling sweep: the data-plane and kernel benchmarks at
 # GOMAXPROCS widths 1/2/4/8 (results carry a -N suffix per width).

@@ -1,0 +1,403 @@
+package bbv
+
+import (
+	"fmt"
+	"sort"
+
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+)
+
+// Checkpoint-parallel BBV profiling. The serial Collector's only
+// cross-shard state is cheap and strictly ordered: the global filtered
+// and unfiltered counters, the per-marker hit counts, and the filtered
+// count at the open region's start (which decides where regions close).
+// The expensive part — accounting every retired instruction into sparse
+// per-thread vectors — is embarrassingly parallel once the close points
+// are known. The parallel profile is therefore built in three passes:
+//
+//  1. Scan (parallel, one Scanner per shard window): record every marker
+//     entry with the shard-local filtered/unfiltered counts around it.
+//  2. Decide (serial, plain arithmetic over the scan events in shard
+//     order): replay the Collector's close rule exactly — same modulus
+//     admission, same budget thresholds, same close-before-account
+//     ordering — yielding, per shard, the marker-event indices at which
+//     regions close.
+//  3. Accumulate (parallel, one Accumulator per shard window): split the
+//     shard's instruction stream into pieces at those event indices;
+//     StitchProfile then merges pieces across shard boundaries into
+//     regions.
+//
+// The result is deep-equal to a serial Collector's Profile: integer
+// counts below 2^53 add exactly in float64, so piecewise accumulation
+// is associative, and every ordering decision (close admission, the
+// boundary instruction belonging to the new region) is replicated
+// bit-for-bit. Pinned by the shard identity tests across shard widths.
+
+// ScanEvent is one global entry of a marker block inside a shard.
+type ScanEvent struct {
+	// Addr is the marker block address.
+	Addr uint64
+	// FilteredBefore is the shard-local filtered instruction count before
+	// this marker instruction is accounted — the value the serial close
+	// rule compares against the slice budget.
+	FilteredBefore uint64
+	// ICountAt is the shard-local unfiltered count including this marker
+	// instruction — the serial closeRegion's EndICount, shard-relative.
+	ICountAt uint64
+}
+
+// ShardScan is the scan pass's result for one shard.
+type ShardScan struct {
+	Events   []ScanEvent
+	Filtered uint64 // shard-total filtered instructions
+	ICount   uint64 // shard-total unfiltered instructions
+}
+
+// Scanner is the pass-1 observer: it finds marker entries and counts
+// filtered work, accounting nothing into vectors. It rides the
+// block-batched tier with the marker PCs as break PCs, exactly like the
+// serial Collector.
+type Scanner struct {
+	markers     map[uint64]bool
+	includeSync bool
+	scan        ShardScan
+}
+
+// NewScanner creates a scan-pass observer. includeSync mirrors
+// Collector.DisableSyncFilter.
+func NewScanner(markerAddrs []uint64, includeSync bool) *Scanner {
+	mk := make(map[uint64]bool, len(markerAddrs))
+	for _, a := range markerAddrs {
+		mk[a] = true
+	}
+	return &Scanner{markers: mk, includeSync: includeSync}
+}
+
+// Scan returns the accumulated scan result.
+func (s *Scanner) Scan() *ShardScan { return &s.scan }
+
+// BreakPCs implements exec.PCBreaker (same contract as Collector).
+func (s *Scanner) BreakPCs() []uint64 { return sortedAddrs(s.markers) }
+
+// OnInstr implements exec.Observer (the precise-tier equivalent).
+func (s *Scanner) OnInstr(ev *exec.Event) {
+	s.scan.ICount++
+	blk := ev.Block
+	if ev.BlockEntry && s.markers[blk.Addr] {
+		s.scan.Events = append(s.scan.Events, ScanEvent{
+			Addr: blk.Addr, FilteredBefore: s.scan.Filtered, ICountAt: s.scan.ICount,
+		})
+	}
+	if blk.Routine.Image.Sync && !s.includeSync {
+		return
+	}
+	s.scan.Filtered++
+}
+
+// OnBlock implements exec.BlockObserver.
+func (s *Scanner) OnBlock(ev *exec.BlockEvent) {
+	blk := ev.Block
+	if ev.Entries > 0 && s.markers[blk.Addr] {
+		if ev.Instrs != 1 || ev.Entries != 1 {
+			panic(fmt.Sprintf("bbv: marker %#x entry arrived in a coalesced batch (%d instrs, %d entries); marker PCs must be break PCs",
+				blk.Addr, ev.Instrs, ev.Entries))
+		}
+		s.scan.ICount++
+		s.scan.Events = append(s.scan.Events, ScanEvent{
+			Addr: blk.Addr, FilteredBefore: s.scan.Filtered, ICountAt: s.scan.ICount,
+		})
+		if !blk.Routine.Image.Sync || s.includeSync {
+			s.scan.Filtered++
+		}
+		return
+	}
+	s.scan.ICount += ev.Instrs
+	if blk.Routine.Image.Sync && !s.includeSync {
+		return
+	}
+	s.scan.Filtered += ev.Instrs
+}
+
+// CloseAt is one region-close decision: the Event-th marker entry of
+// shard Shard ends a region with the given global (PC, count) marker and
+// global unfiltered end count.
+type CloseAt struct {
+	Shard     int
+	Event     int
+	End       Marker
+	EndICount uint64
+}
+
+// Decider replays the serial Collector's region-close rule over shard
+// scans, incrementally: Feed consumes shards in order and returns each
+// shard's decisions as soon as its scan is in, so accumulation of early
+// shards can overlap scanning of later ones. modulus is the per-marker
+// hit-count admission map (SetMarkerModulus); variable-length slicing is
+// not supported here — the analysis falls back to the serial collector
+// for that configuration.
+type Decider struct {
+	sliceTarget  uint64
+	modulus      map[uint64]uint64
+	markerCounts map[uint64]uint64
+	closes       []CloseAt
+	filteredBase uint64
+	icountBase   uint64
+	sliceStart   uint64
+	shard        int
+}
+
+// NewDecider creates a close-rule decider.
+func NewDecider(sliceTarget uint64, modulus map[uint64]uint64) *Decider {
+	if sliceTarget == 0 {
+		panic("bbv: sliceTarget must be positive")
+	}
+	return &Decider{
+		sliceTarget:  sliceTarget,
+		modulus:      modulus,
+		markerCounts: make(map[uint64]uint64),
+	}
+}
+
+// Feed consumes the next shard's scan (shards must be fed in order) and
+// returns the close decisions that fall inside it.
+func (d *Decider) Feed(sc *ShardScan) []CloseAt {
+	k := d.shard
+	d.shard++
+	first := len(d.closes)
+	for i, e := range sc.Events {
+		d.markerCounts[e.Addr]++
+		cnt := d.markerCounts[e.Addr]
+		mod := d.modulus[e.Addr]
+		allowed := mod <= 1 || (cnt-1)%mod == 0
+		inRegion := d.filteredBase + e.FilteredBefore - d.sliceStart
+		if inRegion >= d.sliceTarget && (allowed || inRegion >= 2*d.sliceTarget) {
+			d.closes = append(d.closes, CloseAt{
+				Shard: k, Event: i,
+				End:       Marker{PC: e.Addr, Count: cnt},
+				EndICount: d.icountBase + e.ICountAt,
+			})
+			d.sliceStart = d.filteredBase + e.FilteredBefore
+		}
+	}
+	d.filteredBase += sc.Filtered
+	d.icountBase += sc.ICount
+	return d.closes[first:]
+}
+
+// Closes returns every decision made so far, in shard order.
+func (d *Decider) Closes() []CloseAt { return d.closes }
+
+// MarkerCounts returns the global marker hit counts consumed so far.
+func (d *Decider) MarkerCounts() map[uint64]uint64 { return d.markerCounts }
+
+// Totals returns the global filtered/unfiltered counts consumed so far.
+func (d *Decider) Totals() (filtered, icount uint64) { return d.filteredBase, d.icountBase }
+
+// DecideCloses is the batch form of Decider: it feeds every scan in
+// order and returns the decisions, marker counts, and totals.
+func DecideCloses(scans []*ShardScan, sliceTarget uint64, modulus map[uint64]uint64) (closes []CloseAt, markerCounts map[uint64]uint64, totFiltered, totICount uint64) {
+	d := NewDecider(sliceTarget, modulus)
+	for _, sc := range scans {
+		d.Feed(sc)
+	}
+	totFiltered, totICount = d.Totals()
+	return d.Closes(), d.MarkerCounts(), totFiltered, totICount
+}
+
+// Piece is a contiguous span of one shard's instruction stream between
+// region closes, accumulated exactly like a serial region body.
+type Piece struct {
+	Filtered       uint64
+	ThreadFiltered []uint64
+	Vectors        []map[int]float64
+}
+
+// Accumulator is the pass-3 observer: it accounts every instruction of a
+// shard window into pieces, cutting a new piece at each decided close
+// event. The boundary marker instruction is accounted into the new piece
+// (the serial close-then-account ordering). A shard with C closes yields
+// exactly C+1 pieces.
+type Accumulator struct {
+	markers     map[uint64]bool
+	includeSync bool
+	nthreads    int
+	closeAt     []int // ascending marker-event indices to cut at
+	eventIdx    int
+	pieces      []Piece
+	cur         Piece
+}
+
+// NewAccumulator creates an accumulate-pass observer for one shard.
+// closeEvents are the marker-event indices (per DecideCloses) at which
+// this shard's regions close, in ascending order.
+func NewAccumulator(p *isa.Program, markerAddrs []uint64, closeEvents []int, includeSync bool) *Accumulator {
+	mk := make(map[uint64]bool, len(markerAddrs))
+	for _, a := range markerAddrs {
+		mk[a] = true
+	}
+	a := &Accumulator{
+		markers:     mk,
+		includeSync: includeSync,
+		nthreads:    p.NumThreads(),
+		closeAt:     closeEvents,
+	}
+	a.cur = a.newPiece()
+	return a
+}
+
+func (a *Accumulator) newPiece() Piece {
+	p := Piece{
+		ThreadFiltered: make([]uint64, a.nthreads),
+		Vectors:        make([]map[int]float64, a.nthreads),
+	}
+	for t := range p.Vectors {
+		p.Vectors[t] = make(map[int]float64)
+	}
+	return p
+}
+
+// Pieces finalizes and returns the shard's pieces (trailing open piece
+// included).
+func (a *Accumulator) Pieces() []Piece {
+	if len(a.closeAt) > 0 {
+		panic(fmt.Sprintf("bbv: %d decided close events never reached in shard", len(a.closeAt)))
+	}
+	return append(a.pieces, a.cur)
+}
+
+// BreakPCs implements exec.PCBreaker — identical to the Scanner's so the
+// event indices of the two passes line up one-to-one.
+func (a *Accumulator) BreakPCs() []uint64 { return sortedAddrs(a.markers) }
+
+func (a *Accumulator) markerEvent() {
+	if len(a.closeAt) > 0 && a.closeAt[0] == a.eventIdx {
+		a.pieces = append(a.pieces, a.cur)
+		a.cur = a.newPiece()
+		a.closeAt = a.closeAt[1:]
+	}
+	a.eventIdx++
+}
+
+func (a *Accumulator) account(tid int, blk *isa.Block, n uint64) {
+	if blk.Routine.Image.Sync && !a.includeSync {
+		return
+	}
+	a.cur.Filtered += n
+	a.cur.ThreadFiltered[tid] += n
+	a.cur.Vectors[tid][blk.Global] += float64(n)
+}
+
+// OnInstr implements exec.Observer (the precise-tier equivalent).
+func (a *Accumulator) OnInstr(ev *exec.Event) {
+	if ev.BlockEntry && a.markers[ev.Block.Addr] {
+		a.markerEvent()
+	}
+	a.account(ev.Tid, ev.Block, 1)
+}
+
+// OnBlock implements exec.BlockObserver.
+func (a *Accumulator) OnBlock(ev *exec.BlockEvent) {
+	if ev.Entries > 0 && a.markers[ev.Block.Addr] {
+		if ev.Instrs != 1 || ev.Entries != 1 {
+			panic(fmt.Sprintf("bbv: marker %#x entry arrived in a coalesced batch (%d instrs, %d entries); marker PCs must be break PCs",
+				ev.Block.Addr, ev.Instrs, ev.Entries))
+		}
+		a.markerEvent()
+		a.account(ev.Tid, ev.Block, 1)
+		return
+	}
+	a.account(ev.Tid, ev.Block, ev.Instrs)
+}
+
+// ClosesForShard extracts shard k's close-event indices from the global
+// decision list (which DecideCloses emits in ascending order).
+func ClosesForShard(closes []CloseAt, k int) []int {
+	var out []int
+	for _, c := range closes {
+		if c.Shard == k {
+			out = append(out, c.Event)
+		}
+	}
+	return out
+}
+
+// StitchProfile assembles the final Profile from per-shard pieces and
+// the close decisions, in shard order. It reproduces the serial
+// Collector's region chaining exactly: each region starts at the
+// previous close's marker and end count, and the trailing open region is
+// emitted only if it holds filtered work (or no region closed at all).
+func StitchProfile(p *isa.Program, pieces [][]Piece, closes []CloseAt, markerCounts map[uint64]uint64, totFiltered, totICount uint64) *Profile {
+	prof := &Profile{
+		NumThreads:    p.NumThreads(),
+		NumBlocks:     p.NumBlocks(),
+		TotalFiltered: totFiltered,
+		TotalICount:   totICount,
+		MarkerCounts:  make(map[uint64]uint64, len(markerCounts)),
+	}
+	for a, n := range markerCounts {
+		prof.MarkerCounts[a] = n
+	}
+	nthreads := p.NumThreads()
+	newRegion := func(start Marker, startIC uint64) *Region {
+		r := &Region{
+			Index:          len(prof.Regions),
+			Start:          start,
+			StartICount:    startIC,
+			ThreadFiltered: make([]uint64, nthreads),
+			Vectors:        make([]map[int]float64, nthreads),
+		}
+		for t := range r.Vectors {
+			r.Vectors[t] = make(map[int]float64)
+		}
+		return r
+	}
+	merge := func(r *Region, pc *Piece) {
+		r.Filtered += pc.Filtered
+		for t, f := range pc.ThreadFiltered {
+			r.ThreadFiltered[t] += f
+		}
+		for t, tv := range pc.Vectors {
+			for blk, w := range tv {
+				r.Vectors[t][blk] += w
+			}
+		}
+	}
+	cur := newRegion(Marker{}, 0)
+	ci := 0
+	for k, shard := range pieces {
+		for j := range shard {
+			if j > 0 {
+				// Pieces after the first begin right at a close decision.
+				c := closes[ci]
+				if c.Shard != k {
+					panic(fmt.Sprintf("bbv: stitch desync: close %d belongs to shard %d, stitching shard %d", ci, c.Shard, k))
+				}
+				ci++
+				cur.End = c.End
+				cur.EndICount = c.EndICount
+				prof.Regions = append(prof.Regions, cur)
+				cur = newRegion(c.End, c.EndICount)
+			}
+			merge(cur, &shard[j])
+		}
+	}
+	if ci != len(closes) {
+		panic(fmt.Sprintf("bbv: stitch desync: %d of %d closes consumed", ci, len(closes)))
+	}
+	if cur.Filtered > 0 || len(prof.Regions) == 0 {
+		cur.End = Marker{IsEnd: true}
+		cur.EndICount = totICount
+		prof.Regions = append(prof.Regions, cur)
+	}
+	return prof
+}
+
+func sortedAddrs(m map[uint64]bool) []uint64 {
+	pcs := make([]uint64, 0, len(m))
+	for a := range m {
+		pcs = append(pcs, a)
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	return pcs
+}

@@ -1,0 +1,226 @@
+package bbv_test
+
+import (
+	"reflect"
+	"testing"
+
+	"looppoint/internal/bbv"
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+	"looppoint/internal/omp"
+	"looppoint/internal/pinball"
+	"looppoint/internal/testprog"
+)
+
+func shardRecordings(t *testing.T) map[string]struct {
+	prog *isa.Program
+	pb   *pinball.Pinball
+} {
+	t.Helper()
+	out := map[string]struct {
+		prog *isa.Program
+		pb   *pinball.Pinball
+	}{}
+	for _, rec := range []struct {
+		name string
+		prog *isa.Program
+		seed uint64
+		flow uint64
+	}{
+		{"phased", testprog.Phased(4, 3, 40, omp.Passive), 5, 0},
+		{"syscalls", testprog.WithSyscalls(4, 60, omp.Passive), 11, 16},
+		{"active", testprog.Phased(3, 2, 20, omp.Active), 1, 8},
+	} {
+		pb, err := pinball.Record(rec.prog, rec.seed, rec.flow)
+		if err != nil {
+			t.Fatalf("%s: %v", rec.name, err)
+		}
+		out[rec.name] = struct {
+			prog *isa.Program
+			pb   *pinball.Pinball
+		}{rec.prog, pb}
+	}
+	return out
+}
+
+// loopMarkers returns every conditional self-loop header in the
+// program's non-sync images — the same marker shape the DCFG pass feeds
+// the profiler.
+func loopMarkers(t *testing.T, p *isa.Program) []uint64 {
+	t.Helper()
+	var markers []uint64
+	for _, img := range p.Images {
+		if img.Sync {
+			continue
+		}
+		for _, rt := range img.Routines {
+			for i, blk := range rt.Blocks {
+				term := blk.Instrs[len(blk.Instrs)-1]
+				if term.Op == isa.OpBrCond && (term.Target == i || term.Else == i) {
+					markers = append(markers, blk.Addr)
+				}
+			}
+		}
+	}
+	if len(markers) == 0 {
+		t.Skip("no loop markers in program")
+	}
+	return markers
+}
+
+// serialProfile runs the reference Collector over a full replay.
+func serialProfile(t *testing.T, p *isa.Program, pb *pinball.Pinball, markers []uint64, target uint64, modulus map[uint64]uint64, includeSync bool) *bbv.Profile {
+	t.Helper()
+	col := bbv.NewCollector(p, markers, target)
+	col.SetMarkerModulus(modulus)
+	if includeSync {
+		col.DisableSyncFilter()
+	}
+	if _, err := pb.Replay(p, col); err != nil {
+		t.Fatal(err)
+	}
+	return col.Finish()
+}
+
+// shardedProfile runs the three-pass scan/decide/accumulate pipeline
+// over checkpoint windows of width `every`.
+func shardedProfile(t *testing.T, p *isa.Program, pb *pinball.Pinball, markers []uint64, target uint64, modulus map[uint64]uint64, includeSync bool, every uint64) *bbv.Profile {
+	t.Helper()
+	cks, err := pb.Checkpoints(p, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := pb.Schedule.Steps()
+	width := func(k int) uint64 {
+		if k < len(cks)-1 {
+			return cks[k+1].Step - cks[k].Step
+		}
+		return total - cks[k].Step
+	}
+	scans := make([]*bbv.ShardScan, len(cks))
+	for k, ck := range cks {
+		sc := bbv.NewScanner(markers, includeSync)
+		if _, err := pb.ReplayWindow(p, ck, width(k), sc); err != nil {
+			t.Fatalf("scan window %d: %v", k, err)
+		}
+		scans[k] = sc.Scan()
+	}
+	closes, markerCounts, totFiltered, totICount := bbv.DecideCloses(scans, target, modulus)
+	pieces := make([][]bbv.Piece, len(cks))
+	for k, ck := range cks {
+		ac := bbv.NewAccumulator(p, markers, bbv.ClosesForShard(closes, k), includeSync)
+		if _, err := pb.ReplayWindow(p, ck, width(k), ac); err != nil {
+			t.Fatalf("accumulate window %d: %v", k, err)
+		}
+		pieces[k] = ac.Pieces()
+	}
+	return bbv.StitchProfile(p, pieces, closes, markerCounts, totFiltered, totICount)
+}
+
+// TestShardProfileIdentity pins the three-pass sharded profile
+// deep-equal to the serial Collector's — regions, markers, end counts,
+// per-thread vectors — across shard widths, marker moduli, and the sync
+// filter, including the degenerate single-shard width.
+func TestShardProfileIdentity(t *testing.T) {
+	for name, w := range shardRecordings(t) {
+		t.Run(name, func(t *testing.T) {
+			markers := loopMarkers(t, w.prog)
+			target := uint64(60 * w.prog.NumThreads())
+			total := w.pb.Schedule.Steps()
+			symmetric := map[uint64]uint64{}
+			for _, a := range markers {
+				symmetric[a] = uint64(w.prog.NumThreads())
+			}
+			for _, tc := range []struct {
+				label       string
+				modulus     map[uint64]uint64
+				includeSync bool
+			}{
+				{"plain", nil, false},
+				{"modulus", symmetric, false},
+				{"nosyncfilter", nil, true},
+			} {
+				t.Run(tc.label, func(t *testing.T) {
+					want := serialProfile(t, w.prog, w.pb, markers, target, tc.modulus, tc.includeSync)
+					for _, every := range []uint64{total / 2, total / 3, total / 7, 64, total + 5} {
+						if every == 0 {
+							continue
+						}
+						got := shardedProfile(t, w.prog, w.pb, markers, target, tc.modulus, tc.includeSync, every)
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("every=%d: sharded profile differs from serial (%d vs %d regions, totals %d/%d vs %d/%d)",
+								every, len(got.Regions), len(want.Regions),
+								got.TotalFiltered, got.TotalICount, want.TotalFiltered, want.TotalICount)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestShardHotPathAllocs pins the per-event cost of the scan and
+// accumulate observers: a non-marker block event must not allocate
+// (marker events may grow the event list or piece maps, amortized per
+// marker, not per instruction).
+func TestShardHotPathAllocs(t *testing.T) {
+	p := testprog.Phased(2, 1, 8, omp.Passive)
+	var blk *isa.Block
+	for _, img := range p.Images {
+		if !img.Sync {
+			blk = img.Routines[0].Blocks[0]
+			break
+		}
+	}
+	if blk == nil {
+		t.Fatal("no non-sync block")
+	}
+	ev := exec.BlockEvent{Tid: 0, Block: blk, Entries: 2, Instrs: 6}
+
+	sc := bbv.NewScanner([]uint64{blk.Addr + 1 << 40}, false)
+	if n := testing.AllocsPerRun(1000, func() { sc.OnBlock(&ev) }); n != 0 {
+		t.Fatalf("Scanner.OnBlock allocates %.1f per non-marker event, want 0", n)
+	}
+
+	ac := bbv.NewAccumulator(p, []uint64{blk.Addr + 1<<40}, nil, false)
+	ac.OnBlock(&ev) // warm the vector entry
+	if n := testing.AllocsPerRun(1000, func() { ac.OnBlock(&ev) }); n != 0 {
+		t.Fatalf("Accumulator.OnBlock allocates %.1f per non-marker event, want 0", n)
+	}
+}
+
+// TestDecideClosesMatchesCollectorRule spot-checks the decision pass on
+// a hand-built scan: a close requires the budget reached AND an admitted
+// hit count, with the 2x overrun safety valve overriding admission.
+func TestDecideClosesMatchesCollectorRule(t *testing.T) {
+	const target = 100
+	mod := map[uint64]uint64{0x10: 4}
+	scans := []*bbv.ShardScan{
+		{ // hits 1..3: counts 1 (allowed), 2, 3
+			Events: []bbv.ScanEvent{
+				{Addr: 0x10, FilteredBefore: 50, ICountAt: 60},
+				{Addr: 0x10, FilteredBefore: 120, ICountAt: 140}, // budget met, count 2 not admitted
+				{Addr: 0x10, FilteredBefore: 150, ICountAt: 170}, // count 3 not admitted
+			},
+			Filtered: 180, ICount: 200,
+		},
+		{ // hit 4: count 4 not admitted but 2x overrun forces a close
+			Events: []bbv.ScanEvent{
+				{Addr: 0x10, FilteredBefore: 30, ICountAt: 40}, // inRegion 210 >= 200
+				{Addr: 0x10, FilteredBefore: 60, ICountAt: 80}, // count 5 admitted, inRegion 30 < target
+			},
+			Filtered: 90, ICount: 100,
+		},
+	}
+	closes, counts, totF, totI := bbv.DecideCloses(scans, target, mod)
+	if len(closes) != 1 {
+		t.Fatalf("%d closes, want 1: %+v", len(closes), closes)
+	}
+	want := bbv.CloseAt{Shard: 1, Event: 0, End: bbv.Marker{PC: 0x10, Count: 4}, EndICount: 240}
+	if closes[0] != want {
+		t.Fatalf("close = %+v, want %+v", closes[0], want)
+	}
+	if counts[0x10] != 5 || totF != 270 || totI != 300 {
+		t.Fatalf("counts=%v totF=%d totI=%d", counts, totF, totI)
+	}
+}

@@ -81,6 +81,18 @@ type Config struct {
 	// worker per CPU, 1 = serial). Selections are byte-identical at every
 	// width; only host time changes.
 	ClusterWorkers int
+	// AnalyzeWorkers enables the checkpoint-parallel analysis front-end:
+	// the DCFG and BBV replay passes are sharded at deterministic
+	// checkpoint boundaries and run on a pool of this width (<= 0 keeps
+	// the serial reference path). The profile is byte-identical at every
+	// width — pinned by the analyze identity suite — and any shard
+	// failure degrades to a serial re-replay of the same recording.
+	// SlowPath and VariableSlices force the serial path.
+	AnalyzeWorkers int
+	// CheckpointEvery is the shard width in schedule steps for the
+	// parallel analysis (0 = a deterministic default derived from the
+	// recording length only, so results never depend on worker count).
+	CheckpointEvery uint64
 	// Selector names the selection engine ("simpoint" by default; see
 	// simpoint.SelectorNames). "stratified" draws multiple seeded random
 	// representatives per cluster with two-phase budget allocation and
@@ -157,9 +169,12 @@ type Analysis struct {
 	Config  Config
 }
 
-// Analyze records the program once and replays the pinball twice: first
-// to build the DCFG and identify worker loops, then to collect sliced,
-// spin-filtered BBVs at loop boundaries.
+// Analyze records the program once and profiles the recording: a DCFG
+// replay identifies worker loops, then a BBV replay collects sliced,
+// spin-filtered vectors at loop boundaries. With Config.AnalyzeWorkers
+// set, both replay passes run checkpoint-parallel over shards of the
+// recording (byte-identical to serial; see analyzeParallel), degrading
+// to the serial reference path if any shard fails.
 func Analyze(prog *isa.Program, cfg Config) (*Analysis, error) {
 	cfg.fill()
 	pb, err := pinball.RecordWithOptions(prog, cfg.Seed, exec.RunOpts{
@@ -169,15 +184,29 @@ func Analyze(prog *isa.Program, cfg Config) (*Analysis, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: analyze %s: %w", prog.Name, err)
 	}
-
-	db := dcfg.NewBuilder(prog, prog.NumThreads())
-	if _, err := pb.Replay(prog, db); err != nil {
-		return nil, fmt.Errorf("core: DCFG replay of %s: %w", prog.Name, err)
+	if cfg.AnalyzeWorkers > 0 && !cfg.SlowPath && !cfg.VariableSlices {
+		if a, err := analyzeParallel(prog, cfg, pb); err == nil {
+			return a, nil
+		}
+		// A shard failure (fault injection, resource trouble) is never
+		// fatal: the serial reference path re-replays the same recording
+		// and produces the identical analysis.
 	}
-	g := db.Graph()
-	loops := g.FindLoops()
+	return analyzeSerial(prog, cfg, pb)
+}
 
-	sliceTarget := cfg.SliceUnit * uint64(prog.NumThreads())
+// sliceTargetFor returns the global filtered-instruction budget per
+// slice: N × SliceUnit for an N-threaded program.
+func sliceTargetFor(prog *isa.Program, cfg *Config) uint64 {
+	return cfg.SliceUnit * uint64(prog.NumThreads())
+}
+
+// markersAndModulus derives the marker set and the per-marker hit-count
+// moduli from the whole-run DCFG — shared verbatim by the serial and
+// checkpoint-parallel analysis paths, so marker choice can never differ
+// between them.
+func markersAndModulus(prog *isa.Program, cfg *Config, pb *pinball.Pinball, g *dcfg.Graph, loops *dcfg.LoopTable) ([]uint64, map[uint64]uint64, error) {
+	sliceTarget := sliceTargetFor(prog, cfg)
 	expectedSlices := pb.Schedule.Steps()/sliceTarget + 1
 	maxExecs := cfg.MarkerEntryBudget * expectedSlices
 	var markers []uint64
@@ -185,10 +214,8 @@ func Analyze(prog *isa.Program, cfg Config) (*Analysis, error) {
 		markers = append(markers, h.Addr)
 	}
 	if len(markers) == 0 {
-		return nil, fmt.Errorf("core: %s has no loops to mark regions with", prog.Name)
+		return nil, nil, fmt.Errorf("core: %s has no loops to mark regions with", prog.Name)
 	}
-
-	col := bbv.NewCollector(prog, markers, sliceTarget)
 	// Symmetric worker-loop headers (entered once per thread per episode)
 	// fire in N-hit bursts under natural scheduling; restrict their
 	// boundary counts to episode leaders so (PC, count) regions stay
@@ -201,6 +228,26 @@ func Analyze(prog *isa.Program, cfg Config) (*Analysis, error) {
 			}
 		}
 	}
+	return markers, modulus, nil
+}
+
+// analyzeSerial is the reference analysis pipeline: two whole-run serial
+// replays of the recording (DCFG, then BBV). The parallel front-end is
+// pinned byte-identical to this path and degrades to it on any failure.
+func analyzeSerial(prog *isa.Program, cfg Config, pb *pinball.Pinball) (*Analysis, error) {
+	db := dcfg.NewBuilder(prog, prog.NumThreads())
+	if _, err := pb.Replay(prog, db); err != nil {
+		return nil, fmt.Errorf("core: DCFG replay of %s: %w", prog.Name, err)
+	}
+	g := db.Graph()
+	loops := g.FindLoops()
+
+	markers, modulus, err := markersAndModulus(prog, &cfg, pb, g, loops)
+	if err != nil {
+		return nil, err
+	}
+
+	col := bbv.NewCollector(prog, markers, sliceTargetFor(prog, &cfg))
 	col.SetMarkerModulus(modulus)
 	if cfg.NoSpinFilter {
 		col.DisableSyncFilter()

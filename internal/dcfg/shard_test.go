@@ -1,0 +1,143 @@
+package dcfg
+
+import (
+	"reflect"
+	"testing"
+
+	"looppoint/internal/exec"
+	"looppoint/internal/isa"
+	"looppoint/internal/omp"
+	"looppoint/internal/pinball"
+	"looppoint/internal/testprog"
+)
+
+func shardRecordings(t *testing.T) map[string]struct {
+	prog *isa.Program
+	pb   *pinball.Pinball
+} {
+	t.Helper()
+	out := map[string]struct {
+		prog *isa.Program
+		pb   *pinball.Pinball
+	}{}
+	for _, rec := range []struct {
+		name string
+		prog *isa.Program
+		seed uint64
+		flow uint64
+	}{
+		{"phased", testprog.Phased(4, 3, 40, omp.Passive), 5, 0},
+		{"syscalls", testprog.WithSyscalls(4, 60, omp.Passive), 11, 16},
+		{"active", testprog.Phased(3, 2, 20, omp.Active), 1, 8},
+	} {
+		pb, err := pinball.Record(rec.prog, rec.seed, rec.flow)
+		if err != nil {
+			t.Fatalf("%s: %v", rec.name, err)
+		}
+		out[rec.name] = struct {
+			prog *isa.Program
+			pb   *pinball.Pinball
+		}{rec.prog, pb}
+	}
+	return out
+}
+
+// serialGraph builds the reference whole-run graph exactly the way
+// core.Analyze does: a Builder attached per-instruction to a full
+// constrained replay.
+func serialGraph(t *testing.T, p *isa.Program, pb *pinball.Pinball) *Graph {
+	t.Helper()
+	db := NewBuilder(p, p.NumThreads())
+	if _, err := pb.Replay(p, db); err != nil {
+		t.Fatal(err)
+	}
+	return db.Graph()
+}
+
+// shardedGraph replays each checkpoint window with its own ShardBuilder
+// and merges the shards in order.
+func shardedGraph(t *testing.T, p *isa.Program, pb *pinball.Pinball, every uint64) *Graph {
+	t.Helper()
+	cks, err := pb.Checkpoints(p, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := pb.Schedule.Steps()
+	shards := make([]*ShardBuilder, len(cks))
+	for k, ck := range cks {
+		width := total - ck.Step
+		if k < len(cks)-1 {
+			width = cks[k+1].Step - ck.Step
+		}
+		sb := NewShardBuilder(p.NumThreads())
+		if _, err := pb.ReplayWindow(p, ck, width, sb); err != nil {
+			t.Fatalf("every=%d window %d: %v", every, k, err)
+		}
+		shards[k] = sb
+	}
+	g, err := MergeShards(p, shards)
+	if err != nil {
+		t.Fatalf("every=%d: %v", every, err)
+	}
+	return g
+}
+
+// TestShardGraphIdentity pins the merged shard graph deep-equal to the
+// serial builder's graph — node counts, per-thread counts, edge kinds,
+// trip counts, and the first-occurrence Out/In adjacency order — across
+// shard widths, including a width wider than the whole run (one shard:
+// degenerates to serial) and a width that leaves a tiny tail shard.
+func TestShardGraphIdentity(t *testing.T) {
+	for name, w := range shardRecordings(t) {
+		t.Run(name, func(t *testing.T) {
+			want := serialGraph(t, w.prog, w.pb)
+			total := w.pb.Schedule.Steps()
+			for _, every := range []uint64{total / 2, total / 3, total / 5, total / 8, total - 1, total + 10, 64} {
+				if every == 0 {
+					continue
+				}
+				got := shardedGraph(t, w.prog, w.pb, every)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("every=%d: merged shard graph differs from serial (%v vs %v)", every, got, want)
+					continue
+				}
+				// Belt and braces: the sorted edge view agrees too.
+				ge, we := got.Edges(), want.Edges()
+				if len(ge) != len(we) {
+					t.Fatalf("every=%d: %d edges, want %d", every, len(ge), len(we))
+				}
+				for i := range ge {
+					if *ge[i] != *we[i] {
+						t.Fatalf("every=%d: edge %d = %+v, want %+v", every, i, *ge[i], *we[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardLoopsIdentity confirms loop detection — a pure function of
+// the graph — agrees between the serial and merged-shard graphs, since
+// StableMarkers derived from it steer the whole analysis.
+func TestShardLoopsIdentity(t *testing.T) {
+	for name, w := range shardRecordings(t) {
+		t.Run(name, func(t *testing.T) {
+			want := serialGraph(t, w.prog, w.pb).FindLoops()
+			total := w.pb.Schedule.Steps()
+			got := shardedGraph(t, w.prog, w.pb, total/4).FindLoops()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("loops differ: %v vs %v", got, want)
+			}
+		})
+	}
+}
+
+// TestShardBuilderObserverContract: the shard builder is attached as a
+// plain per-instruction observer (not a BlockObserver), matching the
+// serial Builder's tier so both see identical event streams.
+func TestShardBuilderObserverContract(t *testing.T) {
+	var o exec.Observer = NewShardBuilder(1)
+	if _, ok := o.(exec.BlockObserver); ok {
+		t.Fatal("ShardBuilder must not implement BlockObserver: it needs per-instruction events like the serial Builder")
+	}
+}

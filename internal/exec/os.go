@@ -11,6 +11,19 @@ type OS interface {
 	Syscall(m *Machine, tid int, no isa.SyscallNo, arg int64) int64
 }
 
+// StatefulOS is implemented by OS models whose results depend on
+// internal state that a mid-run Snapshot must carry for a later Restore
+// to continue byte-identically. SnapshotOS exports that state as an
+// opaque word slice; RestoreOS loads a slice previously exported by the
+// same kind of OS. The encoding is private to each implementation, so
+// state must only ever be poured back into the OS kind that produced it
+// (Machine.Restore leaves mismatched kinds alone only in the trivial
+// sense that callers are expected to install the right OS first).
+type StatefulOS interface {
+	SnapshotOS() []uint64
+	RestoreOS(state []uint64)
+}
+
 // DefaultOS is a deterministic OS model: SysRand draws from a seeded
 // xorshift generator (per-machine, shared across threads, so results
 // depend on scheduling order — exactly the kind of side effect a pinball
@@ -45,6 +58,16 @@ func (o *DefaultOS) Syscall(m *Machine, tid int, no isa.SyscallNo, arg int64) in
 	return -1
 }
 
+// SnapshotOS implements StatefulOS: the xorshift state and the tick.
+func (o *DefaultOS) SnapshotOS() []uint64 { return []uint64{o.rng, uint64(o.tick)} }
+
+// RestoreOS implements StatefulOS.
+func (o *DefaultOS) RestoreOS(state []uint64) {
+	if len(state) >= 2 {
+		o.rng, o.tick = state[0], int64(state[1])
+	}
+}
+
 // RecordingOS wraps an OS and logs every result per thread, producing the
 // injection log stored in a pinball.
 type RecordingOS struct {
@@ -62,6 +85,23 @@ func (o *RecordingOS) Syscall(m *Machine, tid int, no isa.SyscallNo, arg int64) 
 	r := o.Inner.Syscall(m, tid, no, arg)
 	o.Log[tid] = append(o.Log[tid], r)
 	return r
+}
+
+// SnapshotOS implements StatefulOS by delegating to the wrapped OS. The
+// log itself is not state to carry: a recording resumed from a snapshot
+// appends to whatever log the caller handed it.
+func (o *RecordingOS) SnapshotOS() []uint64 {
+	if so, ok := o.Inner.(StatefulOS); ok {
+		return so.SnapshotOS()
+	}
+	return nil
+}
+
+// RestoreOS implements StatefulOS by delegating to the wrapped OS.
+func (o *RecordingOS) RestoreOS(state []uint64) {
+	if so, ok := o.Inner.(StatefulOS); ok {
+		so.RestoreOS(state)
+	}
 }
 
 // ReplayOS injects previously recorded syscall results. It fails loudly if
@@ -84,6 +124,40 @@ type ReplayOS struct {
 // NewReplayOS builds a ReplayOS from a recorded per-thread log.
 func NewReplayOS(log [][]int64) *ReplayOS {
 	return &ReplayOS{Log: log, pos: make([]int, len(log))}
+}
+
+// NewReplayOSAt builds a ReplayOS whose per-thread injection cursors
+// start at pos instead of zero — replaying a window of an execution from
+// a mid-run snapshot resumes consuming each thread's log exactly where
+// the snapshotted run left off. pos may be shorter than the log; missing
+// cursors start at zero.
+func NewReplayOSAt(log [][]int64, pos []int) *ReplayOS {
+	o := &ReplayOS{Log: log, pos: make([]int, len(log))}
+	copy(o.pos, pos)
+	return o
+}
+
+// SnapshotOS implements StatefulOS: the per-thread injection cursors.
+func (o *ReplayOS) SnapshotOS() []uint64 {
+	state := make([]uint64, len(o.pos))
+	for i, p := range o.pos {
+		state[i] = uint64(p)
+	}
+	return state
+}
+
+// RestoreOS implements StatefulOS.
+func (o *ReplayOS) RestoreOS(state []uint64) {
+	if len(o.pos) != len(o.Log) {
+		o.pos = make([]int, len(o.Log))
+	}
+	for i := range o.pos {
+		if i < len(state) {
+			o.pos[i] = int(state[i])
+		} else {
+			o.pos[i] = 0
+		}
+	}
 }
 
 // Positions returns a copy of the per-thread injection cursor, i.e. how

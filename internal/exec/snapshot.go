@@ -1,12 +1,42 @@
 package exec
 
+import "sort"
+
 // Snapshot is a deep copy of a machine's architectural state: shared
 // memory plus every thread's registers, call stack, and position. It is
 // the memory/register portion of a pinball (paper Section IV-C).
+//
+// A snapshot taken mid-run carries everything a resumed machine needs to
+// continue byte-identically to the uninterrupted execution: the futex
+// wait queues in their exact FIFO order (Futexes) and the OS model's
+// internal state (OS) when the machine's OS implements StatefulOS. The
+// decoded-block cache and registered break PCs are deliberately absent —
+// they are configuration derived from the program and the attached
+// observers, not architectural state, so any machine running the same
+// program reconstructs them independently.
 type Snapshot struct {
 	Mem     []uint64
 	Threads []ThreadSnapshot
 	Steps   uint64
+	// Futexes captures the machine's futex wait queues in wake order,
+	// sorted by address. nil means no thread was parked mid-wait (or the
+	// snapshot predates this field); Restore then falls back to the
+	// legacy thread-ID-order rebuild.
+	Futexes []FutexQueue
+	// OS is the opaque state exported by the machine's OS model via
+	// StatefulOS (DefaultOS: rng and tick; ReplayOS: injection cursors).
+	// Restore pours it back only when the restoring machine's OS is the
+	// same stateful kind; callers that swap the OS after Restore (as
+	// pinball replay does) are unaffected.
+	OS []uint64
+}
+
+// FutexQueue records the FIFO wait queue of one futex address. The
+// queue order is semantic: OpFutexWake wakes the front waiter, so a
+// snapshot that loses the order diverges at the next wake.
+type FutexQueue struct {
+	Addr uint64
+	Tids []int
 }
 
 // ThreadSnapshot captures one thread's context.
@@ -52,12 +82,27 @@ func (m *Machine) Snapshot() *Snapshot {
 		}
 		s.Threads = append(s.Threads, ts)
 	}
+	for addr, q := range m.futexQ {
+		if len(q) == 0 {
+			continue
+		}
+		s.Futexes = append(s.Futexes, FutexQueue{Addr: addr, Tids: append([]int(nil), q...)})
+	}
+	sort.Slice(s.Futexes, func(i, j int) bool { return s.Futexes[i].Addr < s.Futexes[j].Addr })
+	if so, ok := m.OS.(StatefulOS); ok {
+		s.OS = so.SnapshotOS()
+	}
 	return s
 }
 
-// Restore loads a snapshot into the machine, rebuilding futex wait queues
-// in thread-ID order (the queue order is part of the snapshot's semantics
-// only up to fairness; deterministic rebuild keeps replay deterministic).
+// Restore loads a snapshot into the machine. Futex wait queues are
+// rebuilt in the exact wake order the snapshot captured (Futexes); a
+// legacy snapshot without that field falls back to thread-ID order,
+// which is only safe for snapshots taken outside any wait. If the
+// snapshot carries OS state and the machine's OS implements StatefulOS,
+// the state is poured back; set the machine's final OS before calling
+// Restore (or seed it explicitly afterward) so the state lands in the
+// model that will actually run.
 func (m *Machine) Restore(s *Snapshot) {
 	copy(m.Mem, s.Mem)
 	m.steps = s.Steps
@@ -72,8 +117,16 @@ func (m *Machine) Restore(s *Snapshot) {
 		}
 		t.ICount = ts.ICount
 		t.futexAddr = ts.Futex
-		if t.State == StateBlocked {
+		if s.Futexes == nil && t.State == StateBlocked {
 			m.futexQ[t.futexAddr] = append(m.futexQ[t.futexAddr], t.ID)
+		}
+	}
+	for _, q := range s.Futexes {
+		m.futexQ[q.Addr] = append([]int(nil), q.Tids...)
+	}
+	if s.OS != nil {
+		if so, ok := m.OS.(StatefulOS); ok {
+			so.RestoreOS(s.OS)
 		}
 	}
 }

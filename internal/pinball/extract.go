@@ -57,13 +57,10 @@ func (pb *Pinball) ExtractRegions(p *isa.Program, specs []RegionSpec) (_ []*Pinb
 		}
 	}
 
-	m := exec.NewMachine(p, 0)
+	m, replay := pb.ReplayFrom(p, pb.StartCheckpoint())
 	if slowExtract {
 		m.SetFastPath(false)
 	}
-	m.Restore(pb.Start)
-	replay := exec.NewReplayOS(pb.Syscalls)
-	m.OS = replay
 
 	// Track global hit counts of every marker PC of interest. They are
 	// accumulated from the block events' entry counts — exact, because

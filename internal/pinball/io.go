@@ -39,8 +39,12 @@ import (
 // can quarantine bad files and continue.
 
 const (
-	magic   = "LOOPPINB"
-	version = uint32(1)
+	magic = "LOOPPINB"
+	// version 2 extends the snapshot section with the futex wait queues
+	// (FIFO wake order) and the OS model's opaque state, which mid-run
+	// checkpoints need for byte-identical resume. v1 files predate
+	// mid-run snapshots and are rejected with ErrVersion.
+	version = uint32(2)
 )
 
 // Plausibility caps shared by both decode paths. A declared length past
@@ -54,6 +58,7 @@ const (
 	maxLogs       = 1 << 16
 	maxLogLen     = 1 << 32
 	maxSchedule   = 1 << 32
+	maxOSWords    = 1 << 20
 )
 
 // EncodedSize returns the exact serialized length in bytes, including
@@ -73,7 +78,12 @@ func (pb *Pinball) EncodedSize() int {
 		n += (32 + 32 + 1 + 4 + 1 + 1 + 1) * 8
 		n += 4 * 8 * len(s.Threads[i].Stack)
 	}
-	n += 8 // syscall log count
+	n += 8 // futex queue count
+	for _, q := range s.Futexes {
+		n += 2*8 + 8*len(q.Tids) // addr + waiter count + tids
+	}
+	n += 8 + 8*len(s.OS) // OS state len + words
+	n += 8               // syscall log count
 	for _, log := range pb.Syscalls {
 		n += 8 + 8*len(log)
 	}
@@ -130,6 +140,16 @@ func (pb *Pinball) AppendBinary(buf []byte) []byte {
 		buf = appendU64(buf, t.ICount)
 		buf = appendU64(buf, t.Futex)
 	}
+	buf = appendU64(buf, uint64(len(s.Futexes)))
+	for _, q := range s.Futexes {
+		buf = appendU64(buf, q.Addr)
+		buf = appendU64(buf, uint64(len(q.Tids)))
+		for _, tid := range q.Tids {
+			buf = appendU64(buf, uint64(tid))
+		}
+	}
+	buf = appendU64(buf, uint64(len(s.OS)))
+	buf = appendWords(buf, s.OS)
 
 	// Syscall logs.
 	buf = appendU64(buf, uint64(len(pb.Syscalls)))
@@ -375,6 +395,43 @@ func Decode(data []byte) (*Pinball, error) {
 		t.ICount = d.u64()
 		t.Futex = d.u64()
 		s.Threads = append(s.Threads, t)
+	}
+	nQueues := d.u64()
+	if d.err == nil && nQueues > maxThreads {
+		return nil, fmt.Errorf("pinball: implausible futex queue count %d: %w", nQueues, artifact.ErrCorrupt)
+	}
+	for i := uint64(0); i < nQueues && d.err == nil; i++ {
+		q := exec.FutexQueue{Addr: d.u64()}
+		nWait := d.u64()
+		if d.err == nil && nWait > maxThreads {
+			return nil, fmt.Errorf("pinball: implausible futex waiter count %d: %w", nWait, artifact.ErrCorrupt)
+		}
+		if d.err == nil {
+			if nWait > d.remaining() {
+				d.truncated()
+			} else {
+				q.Tids = make([]int, nWait)
+				for j := range q.Tids {
+					q.Tids[j] = int(d.u64())
+				}
+			}
+		}
+		s.Futexes = append(s.Futexes, q)
+	}
+	nOS := d.u64()
+	if d.err == nil && nOS > maxOSWords {
+		return nil, fmt.Errorf("pinball: implausible OS state length %d: %w", nOS, artifact.ErrCorrupt)
+	}
+	if d.err == nil && nOS > 0 {
+		if nOS > d.remaining() {
+			d.truncated()
+		} else {
+			s.OS = make([]uint64, nOS)
+			for i := range s.OS {
+				s.OS[i] = binary.LittleEndian.Uint64(d.data[d.off:])
+				d.off += 8
+			}
+		}
 	}
 	pb.Start = s
 

@@ -108,6 +108,18 @@ func writeStreamed(pb *Pinball, dst io.Writer) error {
 		w.u64(t.ICount)
 		w.u64(t.Futex)
 	}
+	w.u64(uint64(len(s.Futexes)))
+	for _, q := range s.Futexes {
+		w.u64(q.Addr)
+		w.u64(uint64(len(q.Tids)))
+		for _, tid := range q.Tids {
+			w.u64(uint64(tid))
+		}
+	}
+	w.u64(uint64(len(s.OS)))
+	for _, word := range s.OS {
+		w.u64(word)
+	}
 	w.u64(uint64(len(pb.Syscalls)))
 	for _, log := range pb.Syscalls {
 		w.u64(uint64(len(log)))

@@ -141,6 +141,28 @@ func ReadFrom(src io.Reader) (*Pinball, error) {
 		t.Futex = r.u64()
 		s.Threads = append(s.Threads, t)
 	}
+	nQueues := r.u64()
+	if r.err == nil && nQueues > maxThreads {
+		return nil, fmt.Errorf("pinball: implausible futex queue count %d: %w", nQueues, artifact.ErrCorrupt)
+	}
+	for i := uint64(0); i < nQueues && r.err == nil; i++ {
+		q := exec.FutexQueue{Addr: r.u64()}
+		nWait := r.u64()
+		if r.err == nil && nWait > maxThreads {
+			return nil, fmt.Errorf("pinball: implausible futex waiter count %d: %w", nWait, artifact.ErrCorrupt)
+		}
+		for j := uint64(0); j < nWait && r.err == nil; j++ {
+			q.Tids = append(q.Tids, int(r.u64()))
+		}
+		s.Futexes = append(s.Futexes, q)
+	}
+	nOS := r.u64()
+	if r.err == nil && nOS > maxOSWords {
+		return nil, fmt.Errorf("pinball: implausible OS state length %d: %w", nOS, artifact.ErrCorrupt)
+	}
+	for i := uint64(0); i < nOS && r.err == nil; i++ {
+		s.OS = append(s.OS, r.u64())
+	}
 	pb.Start = s
 
 	nLogs := r.u64()

@@ -234,42 +234,49 @@ func (pb *Pinball) RecordRegion(p *isa.Program, name string, bounds RegionBounds
 		}
 		steps0 = m.TotalICount() - base
 	}
-	snap := m.Snapshot()
-	sys0 := replay.Positions()
+	// The positioning machine's job ends here: package the warmup-start
+	// state as a checkpoint and run the continuation through the shared
+	// windowed-replay primitive, on a fresh machine — the same mechanism
+	// the checkpoint-parallel analysis shards use. The mid-run snapshot
+	// carries the futex wake order and OS cursors, so the continuation is
+	// byte-identical to continuing the positioning machine (pinned by the
+	// legacy-path identity test).
+	ck := Checkpoint{Snap: m.Snapshot(), SysPos: replay.Positions(), Step: steps0}
+	cm, crep := pb.ReplayFrom(p, ck)
 
 	// Continue to the region end, noting where the warmup prefix ends.
 	var warmupSteps uint64
 	if trackStart {
-		sw := bbv.NewWatcher(m, bounds.Start)
+		sw := bbv.NewWatcher(cm, bounds.Start)
 		sw.SkipCounted(startHits)
 		sw.StopOnFire = false
-		sw.OnFire = func() { warmupSteps = m.TotalICount() - base - steps0 }
-		m.AddObserver(sw)
+		sw.OnFire = func() { warmupSteps = cm.TotalICount() - base - steps0 }
+		cm.AddObserver(sw)
 	}
-	ew := bbv.NewWatcher(m, bounds.End)
+	ew := bbv.NewWatcher(cm, bounds.End)
 	ew.SkipCounted(endHits)
-	m.AddObserver(ew)
+	cm.AddObserver(ew)
 	rest := pb.Schedule.Skip(steps0)
-	if err := m.RunSchedule(rest); err != nil {
+	if err := cm.RunSchedule(rest); err != nil {
 		return nil, fmt.Errorf("pinball: record region %s: %w", name, err)
 	}
 	if !bounds.End.IsEnd && !ew.Fired {
 		return nil, fmt.Errorf("pinball: record region %s: end marker %v not reached", name, bounds.End)
 	}
-	steps1 := m.TotalICount() - base - steps0
-	sys1 := replay.Positions()
+	steps1 := cm.TotalICount() - base - steps0
+	sys1 := crep.Positions()
 
 	region := &Pinball{
 		Name:        name,
 		NumThreads:  pb.NumThreads,
-		Start:       snap,
-		Syscalls:    sliceSyscalls(pb.Syscalls, sys0, sys1),
+		Start:       ck.Snap,
+		Syscalls:    sliceSyscalls(pb.Syscalls, ck.SysPos, sys1),
 		Schedule:    rest.Take(steps1),
 		Region:      bounds,
 		WarmupSteps: warmupSteps,
 	}
-	region.MemChecksum = fnv1a(snap.Mem)
-	region.FinalChecksum = fnv1a(m.Mem)
+	region.MemChecksum = fnv1a(ck.Snap.Mem)
+	region.FinalChecksum = fnv1a(cm.Mem)
 	return region, nil
 }
 
