@@ -1,6 +1,6 @@
 # Convenience targets mirroring the paper artifact's workflow.
 
-.PHONY: build test test-race test-faults test-stats serve-smoke campaign-smoke bench bench-analyze bench-scaling report report-full demo clean
+.PHONY: build test test-race test-faults test-stats serve-smoke campaign-smoke kill-smoke bench bench-analyze bench-scaling report report-full demo clean
 
 build:
 	go build ./...
@@ -48,6 +48,14 @@ serve-smoke:
 # resume that re-simulates nothing (all cache hits, zero dispatches).
 campaign-smoke:
 	bash scripts/campaign_smoke.sh
+
+# Crash-only worker drill: SIGKILL an lpserved mid-analyze, restart it
+# over the same -progress-dir, and assert the resubmitted job resumes
+# from durable epochs (recoveries >= 1, recovery_steps_saved > 0) with a
+# result byte-identical to an uninterrupted run; plus the boot-time
+# pending-checkpoint resubmission leg.
+kill-smoke:
+	bash scripts/kill_smoke.sh
 
 # One benchmark per paper table/figure plus ablations (quick subsets).
 bench:

@@ -27,10 +27,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"looppoint/internal/campaign"
 	"looppoint/internal/faults"
@@ -79,9 +82,11 @@ func main() {
 	}
 
 	var clients []campaign.WorkerClient
+	var workerURLs []string
 	for _, u := range strings.Split(*workersFlag, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			clients = append(clients, campaign.NewHTTPWorker("", u))
+			workerURLs = append(workerURLs, strings.TrimRight(u, "/"))
 		}
 	}
 	if len(clients) == 0 {
@@ -127,7 +132,7 @@ func main() {
 		*tag, len(spec.Jobs), len(clients))
 	rep, err := coord.Run(ctx, spec)
 	if rep != nil {
-		fmt.Fprintf(os.Stderr, "lpcoord: %s\n", rep.Stats.Line())
+		fmt.Fprintf(os.Stderr, "lpcoord: %s%s\n", rep.Stats.Line(), fleetProgressLine(workerURLs))
 	}
 	if err != nil {
 		fatalf("campaign interrupted: %v", err)
@@ -170,6 +175,38 @@ func buildSpec(path, apps, class, input string, threads int, policy, core string
 		return spec, fmt.Errorf("empty campaign: pass -campaign or -apps")
 	}
 	return spec, nil
+}
+
+// fleetProgressLine polls every worker's GET /v1/stats and folds the
+// durable-progress counters into one " progress_saves=… recoveries=…"
+// suffix for the campaign stats line, so an operator sees how much work
+// crash recovery saved without visiting each worker. Best-effort: dead
+// workers (the chaos drill kills some) are skipped and counted.
+func fleetProgressLine(workerURLs []string) string {
+	hc := &http.Client{Timeout: 2 * time.Second}
+	var saves, fails, recov, steps, falls uint64
+	unreachable := 0
+	for _, base := range workerURLs {
+		resp, err := hc.Get(base + "/v1/stats")
+		if err != nil {
+			unreachable++
+			continue
+		}
+		var st serve.Stats
+		derr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+		resp.Body.Close()
+		if derr != nil || resp.StatusCode != http.StatusOK {
+			unreachable++
+			continue
+		}
+		saves += st.ProgressSaves
+		fails += st.ProgressSaveFailures
+		recov += st.Recoveries
+		steps += st.RecoveryStepsSaved
+		falls += st.LadderFalls
+	}
+	return fmt.Sprintf(" progress_saves=%d progress_save_failures=%d recoveries=%d recovery_steps_saved=%d ladder_falls=%d workers_unreachable=%d",
+		saves, fails, recov, steps, falls, unreachable)
 }
 
 func fatalf(format string, args ...any) {

@@ -12,11 +12,17 @@
 //	curl -d '{"class":"analyze","app":"npb-cg","input":"test"}' localhost:8347/v1/jobs
 //
 // Endpoints: GET /healthz (liveness + counters + breaker states),
-// GET /readyz (flips to 503 the moment drain starts), POST /v1/jobs
-// (synchronous; the response is the job's result or a typed outcome).
-// On SIGTERM/SIGINT the daemon stops admitting, drains in-flight work up
-// to -drain-deadline, checkpoints whatever could not finish to -pending,
-// and exits 0.
+// GET /readyz (flips to 503 the moment drain starts), GET /v1/stats
+// (bare counter snapshot, including the durable-progress and recovery
+// counters), POST /v1/jobs (synchronous; the response is the job's
+// result or a typed outcome). On SIGTERM/SIGINT the daemon stops
+// admitting, drains in-flight work up to -drain-deadline, checkpoints
+// whatever could not finish to -pending, and exits 0.
+//
+// Crash recovery: with -progress-dir set, analysis epochs and finished
+// region simulations checkpoint durably as jobs run, and at boot the
+// previous process's -pending checkpoint is resubmitted automatically —
+// a kill -9 mid-job costs at most one epoch of lost work.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"looppoint/internal/core"
 	"looppoint/internal/faults"
 	"looppoint/internal/harness"
 	"looppoint/internal/serve"
@@ -45,7 +52,10 @@ func main() {
 		deadline    = flag.Duration("deadline", serve.DefaultDeadline, "per-request deadline when the client sets none")
 		maxDeadline = flag.Duration("max-deadline", serve.DefaultMaxDeadline, "cap on client-requested deadlines")
 		drainDL     = flag.Duration("drain-deadline", serve.DefaultDrainDeadline, "SIGTERM drain bound before unfinished jobs are cancelled and checkpointed")
-		pending     = flag.String("pending", "lpserved.pending.jsonl", "drain checkpoint file for jobs the daemon gave up on (empty disables)")
+		pending     = flag.String("pending", "lpserved.pending.jsonl", "drain checkpoint file for jobs the daemon gave up on (empty disables); resubmitted at next boot")
+
+		progressDir   = flag.String("progress-dir", "", "durable mid-job checkpoint directory: analysis epochs and finished region simulations persist here, and a restarted daemon resumes them instead of redoing the work (empty disables)")
+		progressEvery = flag.Uint64("progress-every", 0, "durable-epoch length in schedule steps (0 = the analysis shard width)")
 
 		retryBudget = flag.Float64("retry-budget", serve.DefaultRetryBudget, "maximum banked retry tokens (negative disables job retries)")
 		retryRatio  = flag.Float64("retry-ratio", serve.DefaultRetryRatio, "retry tokens earned per admitted job")
@@ -74,6 +84,7 @@ func main() {
 		faults.Enable(plan)
 	}
 
+	progress := &core.ProgressStats{}
 	opts := harness.Options{
 		Quick:         *quick,
 		Parallelism:   *jobs,
@@ -83,6 +94,9 @@ func main() {
 		Resume:        *resume,
 		Degraded:      *degraded,
 		Retries:       *retries,
+		ProgressDir:   *progressDir,
+		ProgressEvery: *progressEvery,
+		Progress:      progress,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -104,9 +118,36 @@ func main() {
 			HalfOpenProbes:   *brProbes,
 		},
 		PendingPath: *pending,
+		Progress:    progress,
 		Log:         os.Stderr,
 	}, serve.EvaluatorRunner(e))
 	srv.Start()
+
+	// Boot-time crash recovery: jobs the previous process checkpointed at
+	// drain (or was killed holding) are re-enqueued before the listener
+	// opens, and the consumed checkpoint is renamed aside so a boot loop
+	// cannot resubmit the same work twice. The evaluations themselves
+	// resume from -progress-dir epochs, so re-running a killed job costs
+	// at most one epoch of lost work.
+	if *pending != "" {
+		jobs, err := serve.LoadPendingCheckpoint(*pending)
+		if err != nil && os.IsNotExist(err) {
+			// No checkpoint: clean previous shutdown or first boot.
+		} else {
+			if err != nil {
+				// Partial decode still yields the valid prefix; resubmit it.
+				fmt.Fprintf(os.Stderr, "lpserved: pending checkpoint %s: %v (resubmitting the %d job(s) that decoded)\n",
+					*pending, err, len(jobs))
+			}
+			accepted, rejected := srv.Resubmit(jobs)
+			aside := *pending + ".resubmitted"
+			if rerr := os.Rename(*pending, aside); rerr != nil && !os.IsNotExist(rerr) {
+				fmt.Fprintf(os.Stderr, "lpserved: cannot move consumed checkpoint aside: %v\n", rerr)
+			}
+			fmt.Printf("lpserved: resubmitted=%d rejected=%d from %s (moved to %s)\n",
+				accepted, rejected, *pending, aside)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

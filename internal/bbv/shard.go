@@ -328,69 +328,22 @@ func ClosesForShard(closes []CloseAt, k int) []int {
 // previous close's marker and end count, and the trailing open region is
 // emitted only if it holds filtered work (or no region closed at all).
 func StitchProfile(p *isa.Program, pieces [][]Piece, closes []CloseAt, markerCounts map[uint64]uint64, totFiltered, totICount uint64) *Profile {
-	prof := &Profile{
-		NumThreads:    p.NumThreads(),
-		NumBlocks:     p.NumBlocks(),
-		TotalFiltered: totFiltered,
-		TotalICount:   totICount,
-		MarkerCounts:  make(map[uint64]uint64, len(markerCounts)),
-	}
-	for a, n := range markerCounts {
-		prof.MarkerCounts[a] = n
-	}
-	nthreads := p.NumThreads()
-	newRegion := func(start Marker, startIC uint64) *Region {
-		r := &Region{
-			Index:          len(prof.Regions),
-			Start:          start,
-			StartICount:    startIC,
-			ThreadFiltered: make([]uint64, nthreads),
-			Vectors:        make([]map[int]float64, nthreads),
-		}
-		for t := range r.Vectors {
-			r.Vectors[t] = make(map[int]float64)
-		}
-		return r
-	}
-	merge := func(r *Region, pc *Piece) {
-		r.Filtered += pc.Filtered
-		for t, f := range pc.ThreadFiltered {
-			r.ThreadFiltered[t] += f
-		}
-		for t, tv := range pc.Vectors {
-			for blk, w := range tv {
-				r.Vectors[t][blk] += w
-			}
-		}
-	}
-	cur := newRegion(Marker{}, 0)
+	st := NewStitcher(p)
 	ci := 0
 	for k, shard := range pieces {
-		for j := range shard {
-			if j > 0 {
-				// Pieces after the first begin right at a close decision.
-				c := closes[ci]
-				if c.Shard != k {
-					panic(fmt.Sprintf("bbv: stitch desync: close %d belongs to shard %d, stitching shard %d", ci, c.Shard, k))
-				}
-				ci++
-				cur.End = c.End
-				cur.EndICount = c.EndICount
-				prof.Regions = append(prof.Regions, cur)
-				cur = newRegion(c.End, c.EndICount)
+		first := ci
+		for ci < len(closes) && ci-first < len(shard)-1 {
+			if closes[ci].Shard != k {
+				panic(fmt.Sprintf("bbv: stitch desync: close %d belongs to shard %d, stitching shard %d", ci, closes[ci].Shard, k))
 			}
-			merge(cur, &shard[j])
+			ci++
 		}
+		st.Feed(shard, closes[first:ci])
 	}
 	if ci != len(closes) {
 		panic(fmt.Sprintf("bbv: stitch desync: %d of %d closes consumed", ci, len(closes)))
 	}
-	if cur.Filtered > 0 || len(prof.Regions) == 0 {
-		cur.End = Marker{IsEnd: true}
-		cur.EndICount = totICount
-		prof.Regions = append(prof.Regions, cur)
-	}
-	return prof
+	return st.Finish(p, markerCounts, totFiltered, totICount)
 }
 
 func sortedAddrs(m map[uint64]bool) []uint64 {

@@ -1,0 +1,186 @@
+package bbv
+
+import (
+	"fmt"
+
+	"looppoint/internal/isa"
+)
+
+// Stitcher is the incremental form of StitchProfile: shards are fed one
+// at a time with their own close decisions, and the final profile is
+// assembled by Finish. The region chaining is exactly the serial
+// Collector's — each region starts at the previous close's marker and
+// end count, the boundary piece after each close opens the next region —
+// so a profile stitched epoch-by-epoch is identical to one stitched in a
+// single pass, which the batch StitchProfile (now a thin wrapper) pins.
+//
+// The durable analysis loop persists a Stitcher mid-run via State and
+// revives it with RestoreStitcher, so a crashed job resumes stitching at
+// the epoch boundary instead of re-accumulating finished shards.
+type Stitcher struct {
+	nthreads int
+	regions  []*Region
+	cur      *Region
+	shard    int
+}
+
+// NewStitcher creates an empty stitcher for the program's profile.
+func NewStitcher(p *isa.Program) *Stitcher {
+	s := &Stitcher{nthreads: p.NumThreads()}
+	s.cur = s.newRegion(Marker{}, 0)
+	return s
+}
+
+func (s *Stitcher) newRegion(start Marker, startIC uint64) *Region {
+	r := &Region{
+		Index:          len(s.regions),
+		Start:          start,
+		StartICount:    startIC,
+		ThreadFiltered: make([]uint64, s.nthreads),
+		Vectors:        make([]map[int]float64, s.nthreads),
+	}
+	for t := range r.Vectors {
+		r.Vectors[t] = make(map[int]float64)
+	}
+	return r
+}
+
+func (s *Stitcher) merge(r *Region, pc *Piece) {
+	r.Filtered += pc.Filtered
+	for t, f := range pc.ThreadFiltered {
+		r.ThreadFiltered[t] += f
+	}
+	for t, tv := range pc.Vectors {
+		for blk, w := range tv {
+			r.Vectors[t][blk] += w
+		}
+	}
+}
+
+// Feed stitches one shard's pieces using that shard's close decisions
+// (the slice Decider.Feed returned for it). A shard with C closes must
+// carry exactly C+1 pieces — the Accumulator's contract.
+func (s *Stitcher) Feed(pieces []Piece, closes []CloseAt) {
+	if len(pieces) != len(closes)+1 {
+		panic(fmt.Sprintf("bbv: stitch desync: shard %d has %d pieces for %d closes", s.shard, len(pieces), len(closes)))
+	}
+	for j := range pieces {
+		if j > 0 {
+			// Pieces after the first begin right at a close decision.
+			c := closes[j-1]
+			s.cur.End = c.End
+			s.cur.EndICount = c.EndICount
+			s.regions = append(s.regions, s.cur)
+			s.cur = s.newRegion(c.End, c.EndICount)
+		}
+		s.merge(s.cur, &pieces[j])
+	}
+	s.shard++
+}
+
+// Finish assembles the profile: the trailing open region is emitted only
+// if it holds filtered work (or no region closed at all), exactly like
+// the serial Collector.
+func (s *Stitcher) Finish(p *isa.Program, markerCounts map[uint64]uint64, totFiltered, totICount uint64) *Profile {
+	prof := &Profile{
+		NumThreads:    s.nthreads,
+		NumBlocks:     p.NumBlocks(),
+		TotalFiltered: totFiltered,
+		TotalICount:   totICount,
+		MarkerCounts:  make(map[uint64]uint64, len(markerCounts)),
+		Regions:       s.regions,
+	}
+	for a, n := range markerCounts {
+		prof.MarkerCounts[a] = n
+	}
+	if s.cur.Filtered > 0 || len(prof.Regions) == 0 {
+		s.cur.End = Marker{IsEnd: true}
+		s.cur.EndICount = totICount
+		prof.Regions = append(prof.Regions, s.cur)
+	}
+	return prof
+}
+
+// StitcherState is the serializable form of a mid-run Stitcher. It
+// aliases the live stitcher's regions — serialize it before feeding the
+// next shard.
+type StitcherState struct {
+	NumThreads int
+	Regions    []*Region
+	Cur        *Region
+	Shard      int
+}
+
+// State captures the stitcher's serializable form.
+func (s *Stitcher) State() *StitcherState {
+	return &StitcherState{NumThreads: s.nthreads, Regions: s.regions, Cur: s.cur, Shard: s.shard}
+}
+
+// RestoreStitcher revives a stitcher from its serialized state,
+// validating shape against the program; errors mean the state is
+// corrupt, never a panic.
+func (s *StitcherState) RestoreStitcher(p *isa.Program) (*Stitcher, error) {
+	if s.NumThreads != p.NumThreads() {
+		return nil, fmt.Errorf("bbv: stitcher state for %d threads, program has %d", s.NumThreads, p.NumThreads())
+	}
+	if s.Cur == nil {
+		return nil, fmt.Errorf("bbv: stitcher state has no open region")
+	}
+	for i, r := range append(append([]*Region(nil), s.Regions...), s.Cur) {
+		if r == nil {
+			return nil, fmt.Errorf("bbv: stitcher state region %d is nil", i)
+		}
+		if len(r.ThreadFiltered) != s.NumThreads || len(r.Vectors) != s.NumThreads {
+			return nil, fmt.Errorf("bbv: stitcher state region %d has wrong thread arity", i)
+		}
+		for t := range r.Vectors {
+			if r.Vectors[t] == nil {
+				r.Vectors[t] = make(map[int]float64)
+			}
+		}
+	}
+	return &Stitcher{nthreads: s.NumThreads, regions: s.Regions, cur: s.Cur, shard: s.Shard}, nil
+}
+
+// DeciderState is the serializable form of a mid-run Decider. The
+// close-rule configuration (slice target, modulus) is not part of the
+// state: it is re-derived from the recording on resume and must match.
+type DeciderState struct {
+	MarkerCounts map[uint64]uint64
+	Closes       []CloseAt
+	FilteredBase uint64
+	ICountBase   uint64
+	SliceStart   uint64
+	Shard        int
+}
+
+// State captures the decider's serializable form. The maps and slices
+// alias the live decider — serialize before the next Feed.
+func (d *Decider) State() *DeciderState {
+	return &DeciderState{
+		MarkerCounts: d.markerCounts,
+		Closes:       d.closes,
+		FilteredBase: d.filteredBase,
+		ICountBase:   d.icountBase,
+		SliceStart:   d.sliceStart,
+		Shard:        d.shard,
+	}
+}
+
+// RestoreDecider revives a decider from its serialized state with the
+// re-derived close-rule configuration.
+func RestoreDecider(sliceTarget uint64, modulus map[uint64]uint64, st *DeciderState) (*Decider, error) {
+	if sliceTarget == 0 {
+		return nil, fmt.Errorf("bbv: sliceTarget must be positive")
+	}
+	d := NewDecider(sliceTarget, modulus)
+	if st.MarkerCounts != nil {
+		d.markerCounts = st.MarkerCounts
+	}
+	d.closes = st.Closes
+	d.filteredBase = st.FilteredBase
+	d.icountBase = st.ICountBase
+	d.sliceStart = st.SliceStart
+	d.shard = st.Shard
+	return d, nil
+}

@@ -1,0 +1,115 @@
+package bbv_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"looppoint/internal/bbv"
+)
+
+// TestStitcherResumeIdentity interrupts the incremental decide/stitch
+// chain at every shard boundary with a JSON round-trip of the Decider
+// and Stitcher states — the exact persistence the durable analysis loop
+// performs — and requires the final profile to deep-equal the batch
+// StitchProfile result (itself pinned to the serial Collector).
+func TestStitcherResumeIdentity(t *testing.T) {
+	for name, w := range shardRecordings(t) {
+		t.Run(name, func(t *testing.T) {
+			markers := loopMarkers(t, w.prog)
+			target := uint64(60 * w.prog.NumThreads())
+			total := w.pb.Schedule.Steps()
+			every := total / 6
+			if every == 0 {
+				t.Skip("recording too short")
+			}
+			cks, err := w.pb.Checkpoints(w.prog, every)
+			if err != nil {
+				t.Fatal(err)
+			}
+			width := func(k int) uint64 {
+				if k < len(cks)-1 {
+					return cks[k+1].Step - cks[k].Step
+				}
+				return total - cks[k].Step
+			}
+			scans := make([]*bbv.ShardScan, len(cks))
+			for k, ck := range cks {
+				sc := bbv.NewScanner(markers, false)
+				if _, err := w.pb.ReplayWindow(w.prog, ck, width(k), sc); err != nil {
+					t.Fatal(err)
+				}
+				scans[k] = sc.Scan()
+			}
+			closes, markerCounts, totFiltered, totICount := bbv.DecideCloses(scans, target, nil)
+			pieces := make([][]bbv.Piece, len(cks))
+			for k, ck := range cks {
+				ac := bbv.NewAccumulator(w.prog, markers, bbv.ClosesForShard(closes, k), false)
+				if _, err := w.pb.ReplayWindow(w.prog, ck, width(k), ac); err != nil {
+					t.Fatal(err)
+				}
+				pieces[k] = ac.Pieces()
+			}
+			want := bbv.StitchProfile(w.prog, pieces, closes, markerCounts, totFiltered, totICount)
+
+			// Incremental chain with a crash-and-restore at every boundary.
+			d := bbv.NewDecider(target, nil)
+			st := bbv.NewStitcher(w.prog)
+			for k := range cks {
+				shardCloses := d.Feed(scans[k])
+				st.Feed(pieces[k], shardCloses)
+
+				dBlob, err := json.Marshal(d.State())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sBlob, err := json.Marshal(st.State())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ds bbv.DeciderState
+				if err := json.Unmarshal(dBlob, &ds); err != nil {
+					t.Fatal(err)
+				}
+				var ss bbv.StitcherState
+				if err := json.Unmarshal(sBlob, &ss); err != nil {
+					t.Fatal(err)
+				}
+				if d, err = bbv.RestoreDecider(target, nil, &ds); err != nil {
+					t.Fatal(err)
+				}
+				if st, err = ss.RestoreStitcher(w.prog); err != nil {
+					t.Fatal(err)
+				}
+			}
+			totF, totI := d.Totals()
+			got := st.Finish(w.prog, d.MarkerCounts(), totF, totI)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("resumed incremental stitch differs from batch StitchProfile")
+			}
+		})
+	}
+}
+
+// TestStitcherStateValidation feeds hostile stitcher states and requires
+// errors, never panics.
+func TestStitcherStateValidation(t *testing.T) {
+	for _, w := range shardRecordings(t) {
+		nt := w.prog.NumThreads()
+		bad := []bbv.StitcherState{
+			{NumThreads: nt + 1, Cur: &bbv.Region{}},
+			{NumThreads: nt},
+			{NumThreads: nt, Cur: &bbv.Region{}},
+			{NumThreads: nt, Regions: []*bbv.Region{nil}, Cur: &bbv.Region{ThreadFiltered: make([]uint64, nt), Vectors: make([]map[int]float64, nt)}},
+		}
+		for i, st := range bad {
+			if _, err := st.RestoreStitcher(w.prog); err == nil {
+				t.Fatalf("hostile stitcher state %d accepted", i)
+			}
+		}
+		if _, err := bbv.RestoreDecider(0, nil, &bbv.DeciderState{}); err == nil {
+			t.Fatal("zero slice target accepted")
+		}
+		break
+	}
+}

@@ -93,6 +93,26 @@ type Config struct {
 	// parallel analysis (0 = a deterministic default derived from the
 	// recording length only, so results never depend on worker count).
 	CheckpointEvery uint64
+	// ProgressDir enables durable mid-job progress (crash-only workers):
+	// the analysis replays in bounded epochs and persists a checksummed
+	// recovery point after each one, and region simulation journals every
+	// completed region, all under this directory. A killed job restarted
+	// with the same ProgressKey resumes from its last durable epoch
+	// instead of step 0, byte-identically. Empty disables; SlowPath and
+	// VariableSlices force the non-durable reference path.
+	ProgressDir string
+	// ProgressEvery is the durable-progress epoch width in schedule steps
+	// (0 = the parallel front-end's deterministic shard width).
+	ProgressEvery uint64
+	// ProgressKey names this job's progress files. Jobs sharing a key and
+	// an analysis-relevant configuration resume each other's work (the
+	// serving layer derives it from the job's content address). Empty
+	// derives a key from the program name.
+	ProgressKey string
+	// Progress, when set, receives durable-progress counters — epoch
+	// saves, recoveries, steps those recoveries skipped — shared across
+	// every job of a server and exposed via /v1/stats.
+	Progress *ProgressStats
 	// Selector names the selection engine ("simpoint" by default; see
 	// simpoint.SelectorNames). "stratified" draws multiple seeded random
 	// representatives per cluster with two-phase budget allocation and
@@ -177,6 +197,14 @@ type Analysis struct {
 // to the serial reference path if any shard fails.
 func Analyze(prog *isa.Program, cfg Config) (*Analysis, error) {
 	cfg.fill()
+	if cfg.ProgressDir != "" && !cfg.SlowPath && !cfg.VariableSlices {
+		if a, err := analyzeDurable(prog, cfg); err == nil {
+			return a, nil
+		}
+		// Durable progress must never wedge a job: any failure in the
+		// crash-only path (unwritable directory, unrecoverable state)
+		// falls back to the stateless pipeline below.
+	}
 	pb, err := pinball.RecordWithOptions(prog, cfg.Seed, exec.RunOpts{
 		FlowWindow:  cfg.FlowWindow,
 		QuantumBias: cfg.HostBias,

@@ -210,9 +210,21 @@ func SimulateRegionsOptCtx(ctx context.Context, sel *Selection, simCfg timing.Co
 		Degraded:    opts.Degraded,
 	}
 	arena := &simulatorArena{cfg: simCfg}
+	// With Config.ProgressDir set, completed regions journal durably and
+	// a restarted sweep serves them from the journal instead of
+	// re-simulating (see simprogress.go); sp is nil otherwise.
+	sp := openSimProgress(sel, simCfg)
+	defer sp.close()
 	results, errs, err := pool.MapWith(ctx, len(sel.Points), popts,
 		func(ctx context.Context, i int) (RegionResult, error) {
-			return simulateOneRegion(ctx, sel, arena, checkpoints, i)
+			if res, ok := sp.lookup(i); ok {
+				return res, nil
+			}
+			res, err := simulateOneRegion(ctx, sel, arena, checkpoints, i)
+			if err == nil {
+				sp.record(i, res)
+			}
+			return res, err
 		})
 	if err != nil {
 		return nil, nil, err

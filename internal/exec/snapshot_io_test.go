@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+
+	"looppoint/internal/artifact"
+)
+
+// ioTestSnapshot builds a synthetic snapshot exercising every section of
+// the codec: memory, multiple threads with stacks, futex queues in FIFO
+// order, and opaque OS state.
+func ioTestSnapshot() *Snapshot {
+	s := &Snapshot{
+		Mem:   []uint64{1, 0, 0xffffffffffffffff, 42},
+		Steps: 977,
+		Futexes: []FutexQueue{
+			{Addr: 0x40, Tids: []int{2, 0, 1}},
+			{Addr: 0x48, Tids: []int{3}},
+		},
+		OS: []uint64{7, 0, 9},
+	}
+	for i := 0; i < 3; i++ {
+		t := ThreadSnapshot{State: ThreadState(i % 2), ICount: uint64(100 + i), Futex: uint64(0x40 * i)}
+		for j := range t.R {
+			t.R[j] = int64(i*64 + j - 5)
+		}
+		for j := range t.F {
+			t.F[j] = float64(j) * 1.5
+		}
+		t.Cur = FrameRef{Image: i, Routine: 1, Block: 2, Index: 3}
+		if i > 0 {
+			t.Stack = []FrameRef{{Image: 0, Routine: 0, Block: 1, Index: 4}, {Image: 1, Routine: 2, Block: 0, Index: 0}}
+		}
+		s.Threads = append(s.Threads, t)
+	}
+	return s
+}
+
+func TestSnapshotEnvelopeRoundTrip(t *testing.T) {
+	s := ioTestSnapshot()
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != len(snapshotMagic)+8+s.EncodedSize()+8 {
+		t.Fatalf("envelope size %d, want %d", len(data), len(snapshotMagic)+8+s.EncodedSize()+8)
+	}
+	got, err := UnmarshalSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatal("decoded snapshot differs from original")
+	}
+}
+
+// TestSnapshotEnvelopeBitFlips flips one bit at every byte offset and
+// asserts each flip is rejected with a typed artifact error — the
+// trailing FNV-1a catches any payload damage the structural caps miss.
+func TestSnapshotEnvelopeBitFlips(t *testing.T) {
+	orig, err := ioTestSnapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := range orig {
+		data := append([]byte(nil), orig...)
+		data[off] ^= 1 << uint(off%8)
+		got, err := UnmarshalSnapshot(data)
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", off)
+		}
+		if got != nil {
+			t.Fatalf("flip at byte %d returned a snapshot alongside error %v", off, err)
+		}
+		if !errors.Is(err, artifact.ErrCorrupt) && !errors.Is(err, artifact.ErrTruncated) && !errors.Is(err, artifact.ErrVersion) {
+			t.Fatalf("flip at byte %d: untyped error %v", off, err)
+		}
+	}
+}
+
+// TestSnapshotEnvelopeTruncation truncates at every 8-byte boundary and
+// asserts typed classification; prefixes that cut the payload must be
+// ErrTruncated.
+func TestSnapshotEnvelopeTruncation(t *testing.T) {
+	orig, err := ioTestSnapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for end := 0; end < len(orig); end += 8 {
+		_, err := UnmarshalSnapshot(orig[:end])
+		if err == nil {
+			t.Fatalf("truncation at byte %d accepted", end)
+		}
+		if !errors.Is(err, artifact.ErrTruncated) && !errors.Is(err, artifact.ErrCorrupt) {
+			t.Fatalf("truncation at byte %d: wrong classification %v", end, err)
+		}
+	}
+}
+
+func TestSnapshotEnvelopeVersionSkew(t *testing.T) {
+	orig, err := ioTestSnapshot().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), orig...)
+	binary.LittleEndian.PutUint64(data[len(snapshotMagic):], uint64(snapshotVersion+7))
+	if _, err := UnmarshalSnapshot(data); !errors.Is(err, artifact.ErrVersion) {
+		t.Fatalf("version skew classified as %v, want ErrVersion", err)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"looppoint/internal/artifact"
 	"looppoint/internal/core"
 	"looppoint/internal/faults"
 	"looppoint/internal/omp"
@@ -78,6 +79,18 @@ type Options struct {
 	// MinCoverage is the degraded-mode residual-coverage floor
 	// (0: core.DefaultMinCoverage; negative: no floor).
 	MinCoverage float64
+	// ProgressDir, when set, makes every evaluation crash-only: analysis
+	// epochs and completed region simulations checkpoint durably under
+	// this directory, and a restarted evaluation of the same key resumes
+	// from its last durable epoch instead of step 0 (the -progress-dir
+	// flag; see core.Config.ProgressDir).
+	ProgressDir string
+	// ProgressEvery is the durable-epoch length in schedule steps
+	// (0 = the analysis shard width; see core.Config.ProgressEvery).
+	ProgressEvery uint64
+	// Progress, when non-nil, receives the durable-progress counters of
+	// every evaluation (shared with the serving layer's /v1/stats).
+	Progress *core.ProgressStats
 	// Selector names the selection engine ("" = "simpoint"; see
 	// simpoint.SelectorNames) — the -selector flag.
 	Selector string
@@ -147,7 +160,22 @@ func (o Options) config() core.Config {
 	cfg.Selector = o.Selector
 	cfg.SampleBudget = o.SampleBudget
 	cfg.Confidence = o.Confidence
+	cfg.ProgressDir = o.ProgressDir
+	cfg.ProgressEvery = o.ProgressEvery
+	cfg.Progress = o.Progress
 	return cfg
+}
+
+// progressKey derives the durable-progress job key for one analysis:
+// stable across restarts (it hashes only the identifying strings) and
+// filename-safe. Keyed on the workload identity plus the selection
+// engine — not the report class — so an analyze job, a simulate job, and
+// a report job over the same workload resume each other's analysis
+// epochs and region journal; core's config fingerprint rejects any
+// progress the key alone would conflate.
+func progressKey(app string, policy omp.WaitPolicy, input workloads.InputClass, threads int, selector string) string {
+	key := fmt.Sprintf("analysis/%s/%v/%s/%d/%s", app, policy, input, threads, selector)
+	return fmt.Sprintf("%016x", artifact.Checksum([]byte(key)))
 }
 
 // SpecApps returns the SPEC CPU2017 workload names used by the run.
@@ -376,6 +404,7 @@ func (e *Evaluator) ReportCtx(ctx context.Context, k ReportKey) (*core.Report, e
 		if k.Selector != "" {
 			cfg.Selector = k.Selector
 		}
+		cfg.ProgressKey = progressKey(k.App, k.Policy, k.Input, k.Threads, cfg.Selector)
 		rep, err = core.RunCtx(ctx, app.Prog, cfg, simCfg, core.RunOpts{
 			SimulateFull: k.Full, Width: e.Opts.Parallelism,
 			Degraded: e.Opts.Degraded, Retries: e.Opts.Retries,
@@ -436,7 +465,9 @@ func (e *Evaluator) AnalyzeOnlyCtx(ctx context.Context, name string, policy omp.
 		}
 		e.logf("analyzing %s (%v, %s)", name, policy, input)
 		start := time.Now()
-		a, err := core.Analyze(app.Prog, e.Opts.config())
+		cfg := e.Opts.config()
+		cfg.ProgressKey = progressKey(name, policy, input, threads, cfg.Selector)
+		a, err := core.Analyze(app.Prog, cfg)
 		if err != nil {
 			return nil, err
 		}

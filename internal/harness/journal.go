@@ -38,15 +38,21 @@ import (
 // the fingerprinted configuration surface changes, invalidating older
 // journals wholesale. v2: records gained the confidence-interval block
 // and the fingerprinted config gained the selection-engine knobs.
-const journalConfigVersion = 2
+// v3: the core config grew the durable-progress fields (excluded from
+// the fingerprint below, but they shift the %+v rendering).
+const journalConfigVersion = 3
 
 // configFingerprint hashes the evaluator configuration that determines a
 // report's numbers beyond its ReportKey: the resolved core config
 // (slice unit, seed, slow path, …) plus the degraded-mode and retry
 // knobs. Threads and input are omitted — they are part of every
 // ReportKey — as are Parallelism, Quick, Log, and Resume, which cannot
-// change report bytes.
+// change report bytes. The durable-progress knobs are zeroed first:
+// they move where mid-job checkpoints live, never what an evaluation
+// computes (and the stats pointer would render as an address, breaking
+// fingerprint stability across restarts).
 func configFingerprint(o Options) string {
+	o.ProgressDir, o.ProgressEvery, o.Progress = "", 0, nil
 	sig := fmt.Sprintf("v%d|cfg=%+v|degraded=%v|retries=%d|region_timeout=%v|min_coverage=%v",
 		journalConfigVersion, o.config(), o.Degraded, o.Retries, o.RegionTimeout, o.MinCoverage)
 	return fmt.Sprintf("%#x", artifact.Checksum([]byte(sig)))

@@ -1,0 +1,213 @@
+package pinball
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"looppoint/internal/artifact"
+	"looppoint/internal/faults"
+	"looppoint/internal/omp"
+	"looppoint/internal/testprog"
+)
+
+// midRunCheckpoint records a pinball and returns a checkpoint strictly
+// inside the run, so its snapshot carries live thread/futex/OS state.
+func midRunCheckpoint(t *testing.T) (ck Checkpoint, total uint64) {
+	t.Helper()
+	p := testprog.WithSyscalls(4, 60, omp.Passive)
+	pb, err := Record(p, 11, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total = pb.Schedule.Steps()
+	cks, err := pb.Checkpoints(p, total/3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cks) < 2 {
+		t.Fatalf("want a mid-run checkpoint, got %d checkpoints", len(cks))
+	}
+	return cks[1], total
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	ck, _ := midRunCheckpoint(t)
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ck) {
+		t.Fatal("loaded checkpoint differs from saved one")
+	}
+	// Saving over an existing file must atomically replace it.
+	ck2 := ck
+	ck2.Step++
+	if err := SaveCheckpoint(path, ck2); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = LoadCheckpoint(path); err != nil || got.Step != ck2.Step {
+		t.Fatalf("overwrite: step %d err %v, want %d", got.Step, err, ck2.Step)
+	}
+	// No temp files may survive a successful save.
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("stray temp file %s after save", e.Name())
+		}
+	}
+}
+
+// TestCheckpointCorruptionMatrix flips one bit at every byte offset of
+// an encoded checkpoint and asserts each flip is rejected with a typed
+// artifact error — never a panic, never silent acceptance.
+func TestCheckpointCorruptionMatrix(t *testing.T) {
+	ck, _ := midRunCheckpoint(t)
+	orig, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := range orig {
+		data := append([]byte(nil), orig...)
+		data[off] ^= 1 << uint(off%8)
+		if _, err := DecodeCheckpoint(data); err == nil {
+			t.Fatalf("flip at byte %d accepted", off)
+		} else if !typed(err) {
+			t.Fatalf("flip at byte %d: untyped error %v", off, err)
+		}
+	}
+}
+
+// TestCheckpointTruncationMatrix truncates at every 8-byte field
+// boundary: every prefix must fail typed, and truncations must carry the
+// byte offset in the message.
+func TestCheckpointTruncationMatrix(t *testing.T) {
+	ck, _ := midRunCheckpoint(t)
+	orig, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for end := 0; end < len(orig); end += 8 {
+		_, err := DecodeCheckpoint(orig[:end])
+		if err == nil {
+			t.Fatalf("truncation at byte %d accepted", end)
+		}
+		if !typed(err) {
+			t.Fatalf("truncation at byte %d: untyped error %v", end, err)
+		}
+		if errors.Is(err, artifact.ErrTruncated) && !strings.Contains(err.Error(), "byte offset") {
+			t.Fatalf("truncation error %q does not carry the byte offset", err)
+		}
+	}
+}
+
+func TestCheckpointVersionSkew(t *testing.T) {
+	ck, _ := midRunCheckpoint(t)
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(data[len(ckptMagic):], uint64(ckptVersion+3))
+	if _, err := DecodeCheckpoint(data); !errors.Is(err, artifact.ErrVersion) {
+		t.Fatalf("version skew classified as %v, want ErrVersion", err)
+	}
+}
+
+// TestCheckpointSaveLoadFaultInjection drives the pinball.ckpt.save and
+// pinball.ckpt.load sites: a transient save fails cleanly, a corrupting
+// save produces a file the loader rejects with a typed error, and a
+// corrupting load rejects bytes that were fine on disk.
+func TestCheckpointSaveLoadFaultInjection(t *testing.T) {
+	ck, _ := midRunCheckpoint(t)
+	dir := t.TempDir()
+
+	restore := faults.Enable(faults.NewPlan(1, faults.Rule{Site: "pinball.ckpt.save", Kind: faults.Transient, Rate: 1}))
+	if err := SaveCheckpoint(filepath.Join(dir, "a.ckpt"), ck); err == nil {
+		t.Fatal("transient save fault not surfaced")
+	}
+	restore()
+
+	restore = faults.Enable(faults.NewPlan(2, faults.Rule{Site: "pinball.ckpt.save", Kind: faults.Corrupt, Rate: 1}))
+	path := filepath.Join(dir, "b.ckpt")
+	if err := SaveCheckpoint(path, ck); err != nil {
+		t.Fatalf("corrupting save should still write: %v", err)
+	}
+	restore()
+	if _, err := LoadCheckpoint(path); err == nil || !typed(err) {
+		t.Fatalf("load of corrupted checkpoint: %v, want typed error", err)
+	}
+
+	good := filepath.Join(dir, "c.ckpt")
+	if err := SaveCheckpoint(good, ck); err != nil {
+		t.Fatal(err)
+	}
+	restore = faults.Enable(faults.NewPlan(3, faults.Rule{Site: "pinball.ckpt.load", Kind: faults.Corrupt, Rate: 1}))
+	_, err := LoadCheckpoint(good)
+	restore()
+	if err == nil || !typed(err) {
+		t.Fatalf("corrupting load: %v, want typed error", err)
+	}
+	if got, err := LoadCheckpoint(good); err != nil || got.Step != ck.Step {
+		t.Fatalf("file must be intact after in-memory load corruption: %v", err)
+	}
+}
+
+// TestCheckpointRoundTripReplayIdentity is the property test: for every
+// checkpoint position, Snapshot → encode → decode → Restore →
+// ReplayWindow to the end of the recording must land on machine state
+// byte-identical to an unbroken serial replay — across seeds, thread
+// counts, and schedule shapes.
+func TestCheckpointRoundTripReplayIdentity(t *testing.T) {
+	for name, w := range windowPinballs(t) {
+		t.Run(name, func(t *testing.T) {
+			serial, err := w.pb.Replay(w.prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := serial.Snapshot().MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := w.pb.Schedule.Steps()
+			cks, err := w.pb.Checkpoints(w.prog, total/5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, ck := range cks {
+				enc, err := EncodeCheckpoint(ck)
+				if err != nil {
+					t.Fatalf("checkpoint %d: %v", k, err)
+				}
+				dec, err := DecodeCheckpoint(enc)
+				if err != nil {
+					t.Fatalf("checkpoint %d: %v", k, err)
+				}
+				if !reflect.DeepEqual(dec, ck) {
+					t.Fatalf("checkpoint %d: decode differs from original", k)
+				}
+				m, err := w.pb.ReplayWindow(w.prog, dec, total-dec.Step)
+				if err != nil {
+					t.Fatalf("checkpoint %d: %v", k, err)
+				}
+				got, err := m.Snapshot().MarshalBinary()
+				if err != nil {
+					t.Fatalf("checkpoint %d: %v", k, err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("checkpoint %d (step %d): resumed replay is not byte-identical to unbroken replay", k, dec.Step)
+				}
+			}
+		})
+	}
+}

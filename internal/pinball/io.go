@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sync"
 
@@ -70,20 +69,8 @@ func (pb *Pinball) EncodedSize() int {
 	n += 8 + len(pb.Name)
 	n += 6 * 8        // NumThreads … EndHitsAtSnapshot
 	n += 3 * 3 * 8    // region markers
-	s := pb.Start
-	n += 8 + 8 + 8*len(s.Mem) // Steps, memLen, mem words
-	n += 8                    // thread count
-	for i := range s.Threads {
-		// R[32] + F[32] + State + Cur frame (4) + stack len + ICount + Futex
-		n += (32 + 32 + 1 + 4 + 1 + 1 + 1) * 8
-		n += 4 * 8 * len(s.Threads[i].Stack)
-	}
-	n += 8 // futex queue count
-	for _, q := range s.Futexes {
-		n += 2*8 + 8*len(q.Tids) // addr + waiter count + tids
-	}
-	n += 8 + 8*len(s.OS) // OS state len + words
-	n += 8               // syscall log count
+	n += pb.Start.EncodedSize() // snapshot section
+	n += 8                      // syscall log count
 	for _, log := range pb.Syscalls {
 		n += 8 + 8*len(log)
 	}
@@ -117,39 +104,9 @@ func (pb *Pinball) AppendBinary(buf []byte) []byte {
 	buf = appendMarker(buf, pb.Region.End)
 	buf = appendMarker(buf, pb.Region.WarmupStart)
 
-	// Snapshot.
-	s := pb.Start
-	buf = appendU64(buf, s.Steps)
-	buf = appendU64(buf, uint64(len(s.Mem)))
-	buf = appendWords(buf, s.Mem)
-	buf = appendU64(buf, uint64(len(s.Threads)))
-	for i := range s.Threads {
-		t := &s.Threads[i]
-		for _, r := range t.R {
-			buf = appendU64(buf, uint64(r))
-		}
-		for _, f := range t.F {
-			buf = appendU64(buf, math.Float64bits(f))
-		}
-		buf = appendU64(buf, uint64(t.State))
-		buf = appendFrame(buf, t.Cur)
-		buf = appendU64(buf, uint64(len(t.Stack)))
-		for _, fr := range t.Stack {
-			buf = appendFrame(buf, fr)
-		}
-		buf = appendU64(buf, t.ICount)
-		buf = appendU64(buf, t.Futex)
-	}
-	buf = appendU64(buf, uint64(len(s.Futexes)))
-	for _, q := range s.Futexes {
-		buf = appendU64(buf, q.Addr)
-		buf = appendU64(buf, uint64(len(q.Tids)))
-		for _, tid := range q.Tids {
-			buf = appendU64(buf, uint64(tid))
-		}
-	}
-	buf = appendU64(buf, uint64(len(s.OS)))
-	buf = appendWords(buf, s.OS)
+	// Snapshot section — the byte layout is owned by the exec codec and
+	// shared with the durable checkpoint/progress files.
+	buf = pb.Start.AppendBinary(buf)
 
 	// Syscall logs.
 	buf = appendU64(buf, uint64(len(pb.Syscalls)))
@@ -174,13 +131,6 @@ func (pb *Pinball) AppendBinary(buf []byte) []byte {
 
 func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
 
-func appendWords(b []byte, words []uint64) []byte {
-	for _, w := range words {
-		b = binary.LittleEndian.AppendUint64(b, w)
-	}
-	return b
-}
-
 func appendMarker(b []byte, m bbv.Marker) []byte {
 	b = appendU64(b, m.PC)
 	b = appendU64(b, m.Count)
@@ -188,13 +138,6 @@ func appendMarker(b []byte, m bbv.Marker) []byte {
 		return appendU64(b, 1)
 	}
 	return appendU64(b, 0)
-}
-
-func appendFrame(b []byte, f exec.FrameRef) []byte {
-	b = appendU64(b, uint64(f.Image))
-	b = appendU64(b, uint64(f.Routine))
-	b = appendU64(b, uint64(f.Block))
-	return appendU64(b, uint64(f.Index))
 }
 
 // slabPool recycles encode buffers across Write/Save calls so a region
@@ -274,8 +217,6 @@ func (d *decoder) u64() uint64 {
 	return v
 }
 
-func (d *decoder) i64() int64 { return int64(d.u64()) }
-
 // remaining reports how many u64 words are left in the input; length
 // prefixes are checked against it so a declared count beyond the file
 // fails as truncation before any allocation is sized from it.
@@ -311,15 +252,6 @@ func (d *decoder) marker() bbv.Marker {
 	return m
 }
 
-func (d *decoder) frame() exec.FrameRef {
-	return exec.FrameRef{
-		Image:   int(d.u64()),
-		Routine: int(d.u64()),
-		Block:   int(d.u64()),
-		Index:   int(d.u64()),
-	}
-}
-
 // Decode deserializes a pinball from its complete serialized form — the
 // slab counterpart of ReadFrom, sharing its format, plausibility caps,
 // and error classification, but decoding in place with a single
@@ -347,92 +279,17 @@ func Decode(data []byte) (*Pinball, error) {
 	pb.Region.End = d.marker()
 	pb.Region.WarmupStart = d.marker()
 
-	s := &exec.Snapshot{}
-	s.Steps = d.u64()
-	memLen := d.u64()
-	if d.err == nil && memLen > maxMemWords {
-		return nil, fmt.Errorf("pinball: implausible memory size %d: %w", memLen, artifact.ErrCorrupt)
+	// Snapshot section, decoded by the exec codec at the current offset.
+	// Truncation offsets stay file-absolute because the codec sees the
+	// whole slice, so the classification matches the streaming reader.
+	if d.err != nil {
+		return nil, fmt.Errorf("pinball: decode: %w", d.err)
 	}
-	if d.err == nil {
-		if memLen > d.remaining() {
-			d.truncated()
-		} else {
-			s.Mem = make([]uint64, memLen)
-			for i := range s.Mem {
-				s.Mem[i] = binary.LittleEndian.Uint64(d.data[d.off:])
-				d.off += 8
-			}
-		}
+	s, off, err := exec.DecodeSnapshotAt(d.data, d.off)
+	if err != nil {
+		return nil, fmt.Errorf("pinball: %w", err)
 	}
-	nThreads := d.u64()
-	if d.err == nil && nThreads > maxThreads {
-		return nil, fmt.Errorf("pinball: implausible thread count %d: %w", nThreads, artifact.ErrCorrupt)
-	}
-	for i := uint64(0); i < nThreads && d.err == nil; i++ {
-		var t exec.ThreadSnapshot
-		for j := range t.R {
-			t.R[j] = d.i64()
-		}
-		for j := range t.F {
-			t.F[j] = math.Float64frombits(d.u64())
-		}
-		t.State = exec.ThreadState(d.u64())
-		t.Cur = d.frame()
-		stackLen := d.u64()
-		if d.err == nil && stackLen > maxStackDepth {
-			return nil, fmt.Errorf("pinball: implausible stack depth %d: %w", stackLen, artifact.ErrCorrupt)
-		}
-		if d.err == nil && stackLen > 0 {
-			if 4*stackLen > d.remaining() {
-				d.truncated()
-			} else {
-				t.Stack = make([]exec.FrameRef, stackLen)
-				for j := range t.Stack {
-					t.Stack[j] = d.frame()
-				}
-			}
-		}
-		t.ICount = d.u64()
-		t.Futex = d.u64()
-		s.Threads = append(s.Threads, t)
-	}
-	nQueues := d.u64()
-	if d.err == nil && nQueues > maxThreads {
-		return nil, fmt.Errorf("pinball: implausible futex queue count %d: %w", nQueues, artifact.ErrCorrupt)
-	}
-	for i := uint64(0); i < nQueues && d.err == nil; i++ {
-		q := exec.FutexQueue{Addr: d.u64()}
-		nWait := d.u64()
-		if d.err == nil && nWait > maxThreads {
-			return nil, fmt.Errorf("pinball: implausible futex waiter count %d: %w", nWait, artifact.ErrCorrupt)
-		}
-		if d.err == nil {
-			if nWait > d.remaining() {
-				d.truncated()
-			} else {
-				q.Tids = make([]int, nWait)
-				for j := range q.Tids {
-					q.Tids[j] = int(d.u64())
-				}
-			}
-		}
-		s.Futexes = append(s.Futexes, q)
-	}
-	nOS := d.u64()
-	if d.err == nil && nOS > maxOSWords {
-		return nil, fmt.Errorf("pinball: implausible OS state length %d: %w", nOS, artifact.ErrCorrupt)
-	}
-	if d.err == nil && nOS > 0 {
-		if nOS > d.remaining() {
-			d.truncated()
-		} else {
-			s.OS = make([]uint64, nOS)
-			for i := range s.OS {
-				s.OS[i] = binary.LittleEndian.Uint64(d.data[d.off:])
-				d.off += 8
-			}
-		}
-	}
+	d.off = off
 	pb.Start = s
 
 	nLogs := d.u64()

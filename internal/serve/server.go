@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"looppoint/internal/core"
 	"looppoint/internal/faults"
 	"looppoint/internal/pool"
 )
@@ -153,6 +154,11 @@ type Config struct {
 	// PendingPath, when set, receives the JSONL checkpoint of jobs that
 	// could not drain (see Drain).
 	PendingPath string
+	// Progress, when set, is the shared durable-progress counter sink the
+	// evaluations below report into (core.Config.Progress). The server
+	// only reads it: /v1/stats exposes the totals and each job's log line
+	// carries the deltas observed while that job ran.
+	Progress *core.ProgressStats
 	// Log receives the structured per-request lines (nil: discard).
 	Log io.Writer
 	// Now is the injected clock for queue-wait/run-time measurement
@@ -201,6 +207,9 @@ type jobDone struct {
 	attempts int
 	wait     time.Duration
 	run      time.Duration
+	// prog is the pre-rendered durable-progress delta observed while this
+	// job ran (empty without Config.Progress), appended to the log line.
+	prog string
 }
 
 // job is one admitted request in flight through the queue.
@@ -229,6 +238,17 @@ type Stats struct {
 	ShedBreaker uint64 `json:"shed_breaker"`
 	ShedDrain   uint64 `json:"shed_drain"`
 	Journaled   uint64 `json:"journaled"`
+	Resubmitted uint64 `json:"resubmitted"`
+
+	// Durable-progress counters (zero unless Config.Progress is set):
+	// epoch/region saves, failed saves, successful crash recoveries, the
+	// schedule steps those recoveries skipped re-executing, and
+	// recovery-ladder falls (progress files rejected as torn/corrupt).
+	ProgressSaves        uint64 `json:"progress_saves"`
+	ProgressSaveFailures uint64 `json:"progress_save_failures"`
+	Recoveries           uint64 `json:"recoveries"`
+	RecoveryStepsSaved   uint64 `json:"recovery_steps_saved"`
+	LadderFalls          uint64 `json:"ladder_falls"`
 
 	Inflight  int64 `json:"inflight"`
 	HighWater int64 `json:"high_water"`
@@ -284,7 +304,7 @@ type Server struct {
 
 	admitted, completed, errsN, timeouts atomic.Uint64
 	shedQueue, shedBreaker, shedDrain    atomic.Uint64
-	journaled, batches                   atomic.Uint64
+	journaled, batches, resubmitted      atomic.Uint64
 	claims, claimDedups                  atomic.Uint64
 
 	claimMu     sync.Mutex
@@ -351,6 +371,7 @@ func (s *Server) Stats() Stats {
 		ShedBreaker:   s.shedBreaker.Load(),
 		ShedDrain:     s.shedDrain.Load(),
 		Journaled:     s.journaled.Load(),
+		Resubmitted:   s.resubmitted.Load(),
 		Inflight:      s.inflight.Load(),
 		HighWater:     s.highWater.Load(),
 		Queued:        len(s.jobs),
@@ -364,15 +385,27 @@ func (s *Server) Stats() Stats {
 		st.Breakers[class] = b.State()
 		st.Trips[class] = b.Trips()
 	}
+	st.ProgressSaves, st.ProgressSaveFailures, st.Recoveries,
+		st.RecoveryStepsSaved, st.LadderFalls = s.cfg.Progress.Snapshot()
 	return st
 }
 
 // Handler returns the HTTP API: GET /healthz (liveness + stats), GET
-// /readyz (admission readiness), POST /v1/jobs (synchronous job run).
+// /readyz (admission readiness), GET /v1/stats (the bare counter
+// snapshot, for coordinators and drills), POST /v1/jobs (synchronous
+// job run).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stats": s.Stats()})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
@@ -721,7 +754,7 @@ func (s *Server) finishOutcome(j *job, d jobDone) jobOutcome {
 		d.res.QueueWaitMS = d.wait.Milliseconds()
 		d.res.RunMS = d.run.Milliseconds()
 		d.res.Attempts = d.attempts
-		s.logLine(j.req, j.id, "ok", br, d.wait, d.run, d.attempts, nil)
+		s.logLineX(j.req, j.id, "ok", br, d.wait, d.run, d.attempts, nil, d.prog)
 		return jobOutcome{status: http.StatusOK, res: d.res}
 	case errors.Is(d.err, ErrDraining):
 		// Flushed by Drain: checkpointed, not a dependency failure.
@@ -746,7 +779,7 @@ func (s *Server) finishOutcome(j *job, d jobDone) jobOutcome {
 	default:
 		s.errsN.Add(1)
 		br.Done(false)
-		s.logLine(j.req, j.id, "error", br, d.wait, d.run, d.attempts, d.err)
+		s.logLineX(j.req, j.id, "error", br, d.wait, d.run, d.attempts, d.err, d.prog)
 		return jobOutcome{status: http.StatusInternalServerError,
 			errB: errorBody{Outcome: "error", Error: d.err.Error()}}
 	}
@@ -773,12 +806,25 @@ func (s *Server) runOne(j *job) {
 		}
 	}
 	start := s.cfg.Now()
+	var saves0, fails0, recov0, steps0 uint64
+	if s.cfg.Progress != nil {
+		saves0, fails0, recov0, steps0, _ = s.cfg.Progress.Snapshot()
+	}
 	res, err, attempts := s.executeJob(j.ctx, j.req)
+	// The counters are shared across workers, so under concurrency the
+	// delta attributes overlapping jobs' progress to each of them — an
+	// observability aid, not an exact per-job ledger.
+	prog := ""
+	if s.cfg.Progress != nil {
+		saves, fails, recov, steps, _ := s.cfg.Progress.Snapshot()
+		prog = fmt.Sprintf(" progress_saves=%d progress_save_failures=%d recoveries=%d steps_saved=%d",
+			saves-saves0, fails-fails0, recov-recov0, steps-steps0)
+	}
 	s.inflight.Add(-1)
 	s.activeMu.Lock()
 	delete(s.active, j.id)
 	s.activeMu.Unlock()
-	j.done <- jobDone{res: res, err: err, attempts: attempts, wait: wait, run: s.cfg.Now().Sub(start)}
+	j.done <- jobDone{res: res, err: err, attempts: attempts, wait: wait, run: s.cfg.Now().Sub(start), prog: prog}
 }
 
 // executeJob runs the job with budget-limited, jitter-backed retries.
@@ -978,9 +1024,44 @@ func LoadPendingCheckpoint(path string) ([]PendingJob, error) {
 	return out, nil
 }
 
+// Resubmit re-enqueues jobs recovered from a drain checkpoint — the
+// boot-time half of the crash-recovery contract: lpserved loads the
+// previous process's pending file, Resubmits it, and renames the file
+// aside. Each job goes through the normal admission dance (drain check,
+// breaker, bounded queue); jobs that fail validation or are shed count
+// as rejected and are dropped — their shed outcome is already logged.
+// Accepted jobs run detached: their results land in the evaluator's
+// resume journal and the per-request log, not in an HTTP response.
+// Call after Start.
+func (s *Server) Resubmit(pending []PendingJob) (accepted, rejected int) {
+	for _, p := range pending {
+		job := p.Job
+		if job == nil || s.validateJob(job) != nil {
+			rejected++
+			continue
+		}
+		j, shed := s.admit(context.Background(), job)
+		if shed != nil {
+			rejected++
+			continue
+		}
+		accepted++
+		s.resubmitted.Add(1)
+		go s.awaitJob(j)
+	}
+	s.logf("boot: resubmitted=%d rejected=%d from drain checkpoint", accepted, rejected)
+	return accepted, rejected
+}
+
 // logLine emits the structured per-request line: one line per request,
 // logfmt-shaped, carrying everything an operator greps for.
 func (s *Server) logLine(req *JobRequest, id uint64, outcome string, br *Breaker, wait, run time.Duration, attempts int, err error) {
+	s.logLineX(req, id, outcome, br, wait, run, attempts, err, "")
+}
+
+// logLineX is logLine with extra pre-rendered logfmt fields appended —
+// worker-delivered outcomes carry the job's durable-progress delta.
+func (s *Server) logLineX(req *JobRequest, id uint64, outcome string, br *Breaker, wait, run time.Duration, attempts int, err error, extra string) {
 	if s.cfg.Log == nil {
 		return
 	}
@@ -988,9 +1069,9 @@ func (s *Server) logLine(req *JobRequest, id uint64, outcome string, br *Breaker
 	if err != nil {
 		errStr = fmt.Sprintf(" err=%q", err.Error())
 	}
-	s.logf("job=%d id=%q class=%s app=%s outcome=%s queue_wait=%s run=%s attempts=%d breaker=%s%s",
+	s.logf("job=%d id=%q class=%s app=%s outcome=%s queue_wait=%s run=%s attempts=%d breaker=%s%s%s",
 		id, req.ID, req.Class, req.App, outcome,
-		wait.Round(time.Microsecond), run.Round(time.Microsecond), attempts, br.State(), errStr)
+		wait.Round(time.Microsecond), run.Round(time.Microsecond), attempts, br.State(), extra, errStr)
 }
 
 // logf serializes writer access so concurrent requests do not interleave

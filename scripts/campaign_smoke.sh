@@ -25,13 +25,17 @@ go build -o "$workdir/lpserved" ./cmd/lpserved
 go build -o "$workdir/lpcoord" ./cmd/lpcoord
 
 # start_worker <name>: boots one lpserved, sets WORKER_BASE/WORKER_PID.
+# Every worker shares one -progress-dir, so a job leased from a killed
+# worker resumes the victim's durable epochs on its replacement instead
+# of restarting from step 0.
 # (No command substitution around the body — the pid bookkeeping must
 # land in this shell, not a subshell.)
 start_worker() {
     local name=$1 log="$workdir/$1.log"
     smoke_track_log "$log"
     "$workdir/lpserved" -addr 127.0.0.1:0 -quick -slice 2000 -input test \
-        -drain-deadline 5s -pending "" >"$log" 2>&1 &
+        -drain-deadline 5s -pending "" -progress-dir "$workdir/progress" \
+        >"$log" 2>&1 &
     WORKER_PID=$!
     disown "$WORKER_PID" # workers die by SIGKILL; keep bash from reporting it
     smoke_track_pid "$WORKER_PID"
@@ -76,6 +80,14 @@ wait "$coordpid" || rc=$?
 grep -q 'failed=0' "$coordlog" || fail "campaign reported failed jobs"
 [[ $(wc -l <"$workdir/report_fleet.txt") -eq 7 ]] || \
     fail "fleet report should have 1 header + 6 job lines: $(cat "$workdir/report_fleet.txt")"
+# The coordinator folds the fleet's /v1/stats durable-progress counters
+# into its stats line; with a shared -progress-dir the surviving worker
+# must have journaled durable epochs.
+fleet_stats=$(grep 'campaign stats:' "$coordlog" | tail -1)
+echo "$fleet_stats" | grep -q 'progress_saves=[1-9]' || \
+    fail "fleet stats line missing durable-progress saves: $fleet_stats"
+echo "$fleet_stats" | grep -q 'recovery_steps_saved=' || \
+    fail "fleet stats line missing recovery counters: $fleet_stats"
 echo "campaign-smoke: campaign survived the worker kill"
 
 echo "campaign-smoke: rerunning on a single fresh worker for the reference report"
